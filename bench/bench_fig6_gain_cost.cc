@@ -1,0 +1,56 @@
+// Reproduces Fig. 6: relative gain g_rel, relative cost c_rel, and the
+// efficiency index e = g_rel/c_rel for all eight test cases
+// (4 perturbation patterns × {variants in child only, in both tables}).
+//
+// The paper's qualitative findings to verify against the output:
+//   - g_rel and c_rel each fall in a narrow band across test cases;
+//   - e > 1 everywhere;
+//   - efficiency is highest when variants are only in the child.
+//
+//   $ ./bench_fig6_gain_cost [--atlas=8082] [--accidents=10000]
+
+#include <iostream>
+
+#include "bench_support.h"
+#include "common/string_util.h"
+#include "metrics/report.h"
+
+int main(int argc, char** argv) {
+  using namespace aqp;  // NOLINT
+  const auto config = bench::PaperBenchConfig::FromArgs(argc, argv);
+  std::cout << "Fig. 6 reproduction — " << config.accidents_size
+            << " accidents vs " << config.atlas_size << " atlas rows, "
+            << FormatDouble(100 * config.variant_rate, 0)
+            << "% variants, theta_sim=" << config.sim_threshold << "\n\n";
+  auto results = bench::RunPaperMatrix(config);
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n";
+  metrics::PrintFig6GainCost(*results, std::cout);
+
+  // Summary of the paper's three headline claims.
+  double min_e = 1e18, max_e = 0;
+  double best_child_e = 0, best_both_e = 0;
+  for (const auto& r : *results) {
+    const double e = r.weighted.Efficiency();
+    min_e = std::min(min_e, e);
+    max_e = std::max(max_e, e);
+    if (r.testcase.perturb_parent) {
+      best_both_e = std::max(best_both_e, e);
+    } else {
+      best_child_e = std::max(best_child_e, e);
+    }
+  }
+  std::cout << "\nefficiency range across the eight cases: ["
+            << FormatDouble(min_e, 2) << ", " << FormatDouble(max_e, 2)
+            << "]  (paper: e > 1 throughout, highest for child-only "
+               "cases; child-only best here: "
+            << FormatDouble(best_child_e, 2)
+            << ", both best: " << FormatDouble(best_both_e, 2) << ")\n";
+
+  std::cout << "\nmachine-readable rows:\n";
+  metrics::WriteResultsCsv(*results, std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Fig. 7: the share of execution steps the adaptive run
+// spends in each processor state (EE = lex/rex, AE = lap/rex,
+// EA = lex/rap, AA = lap/rap) plus the number of state transitions,
+// for each of the eight test cases.
+//
+// Paper finding to verify: a substantial share (~30%) of steps stays in
+// the cheap EE state even while achieving the Fig. 6 gains, and the
+// transition count stays small.
+//
+//   $ ./bench_fig7_time_breakdown [--atlas=8082] [--accidents=10000]
+
+#include <iostream>
+
+#include "bench_support.h"
+#include "common/string_util.h"
+#include "metrics/report.h"
+
+int main(int argc, char** argv) {
+  using namespace aqp;  // NOLINT
+  const auto config = bench::PaperBenchConfig::FromArgs(argc, argv);
+  std::cout << "Fig. 7 reproduction — step breakdown per state\n\n";
+  auto results = bench::RunPaperMatrix(config);
+  if (!results.ok()) {
+    std::cerr << results.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n";
+  metrics::PrintFig7TimeBreakdown(*results, std::cout);
+
+  double total_ee_share = 0.0;
+  for (const auto& r : *results) {
+    total_ee_share += r.adaptive.StepShare(adaptive::ProcessorState::kLexRex);
+  }
+  std::cout << "\nmean EE (lex/rex) step share: "
+            << FormatDouble(100.0 * total_ee_share /
+                                static_cast<double>(results->size()),
+                            1)
+            << "%  (paper reports roughly 30%)\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks and ablations beyond the paper's tables: end-to-end
+// operator throughput, the §2.3 space model, and the interleave-policy
+// ablation called out in DESIGN.md §8.
+//
+//   $ ./bench_join_micro
+
+#include <benchmark/benchmark.h>
+
+#include "adaptive/adaptive_join.h"
+#include "datagen/generator.h"
+#include "exec/scan.h"
+#include "join/shjoin.h"
+#include "join/sshjoin.h"
+
+namespace {
+
+using namespace aqp;  // NOLINT
+
+const datagen::TestCase& SharedCase(size_t scale) {
+  static std::map<size_t, datagen::TestCase> cases;
+  auto it = cases.find(scale);
+  if (it == cases.end()) {
+    datagen::TestCaseOptions options;
+    options.atlas.size = scale;
+    options.accidents.size = scale * 2;
+    options.variant_rate = 0.10;
+    options.seed = 9;
+    auto tc = datagen::GenerateTestCase(options);
+    if (!tc.ok()) std::abort();
+    it = cases.emplace(scale, std::move(*tc)).first;
+  }
+  return it->second;
+}
+
+join::SymmetricJoinOptions JoinOptions() {
+  join::SymmetricJoinOptions options;
+  options.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.spec.right_column = datagen::kAtlasLocationColumn;
+  options.spec.sim_threshold = 0.85;
+  return options;
+}
+
+/// Exact symmetric hash join throughput (tuples/second).
+void BM_SHJoin_EndToEnd(benchmark::State& state) {
+  const auto& tc = SharedCase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SHJoin join(&child, &parent, JoinOptions());
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SHJoin_EndToEnd)->Arg(1000)->Arg(4000);
+
+/// Approximate symmetric set hash join throughput.
+void BM_SSHJoin_EndToEnd(benchmark::State& state) {
+  const auto& tc = SharedCase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SSHJoin join(&child, &parent, JoinOptions());
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SSHJoin_EndToEnd)->Arg(1000)->Arg(4000);
+
+/// The adaptive operator on the same workload.
+void BM_AdaptiveJoin_EndToEnd(benchmark::State& state) {
+  const auto& tc = SharedCase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    adaptive::AdaptiveJoinOptions options;
+    options.join = JoinOptions();
+    options.adaptive.parent_side = exec::Side::kRight;
+    options.adaptive.parent_table_size = tc.parent.size();
+    adaptive::AdaptiveJoin join(&child, &parent, options);
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_AdaptiveJoin_EndToEnd)->Arg(1000)->Arg(4000);
+
+/// Interleave-policy ablation on the adaptive operator.
+void BM_AdaptiveJoin_InterleavePolicy(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  const auto policy = static_cast<exec::InterleavePolicy>(state.range(0));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    adaptive::AdaptiveJoinOptions options;
+    options.join = JoinOptions();
+    options.join.interleave = policy;
+    options.join.left_size_hint = tc.child.size();
+    options.join.right_size_hint = tc.parent.size();
+    options.adaptive.parent_side = exec::Side::kRight;
+    options.adaptive.parent_table_size = tc.parent.size();
+    adaptive::AdaptiveJoin join(&child, &parent, options);
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetLabel(exec::InterleavePolicyName(policy));
+}
+BENCHMARK(BM_AdaptiveJoin_InterleavePolicy)
+    ->Arg(static_cast<int>(exec::InterleavePolicy::kAlternate))
+    ->Arg(static_cast<int>(exec::InterleavePolicy::kProportional));
+
+/// §2.3 space model: report index memory as per-iteration counters.
+void BM_IndexSpaceModel(benchmark::State& state) {
+  const auto& tc = SharedCase(4000);
+  for (auto _ : state) {
+    join::HybridJoinCore core(JoinOptions().spec);
+    core.SetProbeMode(exec::Side::kLeft, join::ProbeMode::kApproximate);
+    core.SetProbeMode(exec::Side::kRight, join::ProbeMode::kApproximate);
+    for (size_t i = 0; i < tc.parent.size(); ++i) {
+      core.ProcessTuple(exec::Side::kRight, tc.parent.row(i));
+    }
+    // Exact structures too, for the comparison.
+    core.SetProbeMode(exec::Side::kLeft, join::ProbeMode::kExact);
+    state.counters["exact_index_bytes_per_tuple"] = benchmark::Counter(
+        static_cast<double>(core.exact_index(exec::Side::kRight)
+                                .ApproximateMemoryUsage()) /
+        static_cast<double>(tc.parent.size()));
+    state.counters["qgram_index_bytes_per_tuple"] = benchmark::Counter(
+        static_cast<double>(core.qgram_index(exec::Side::kRight)
+                                .ApproximateMemoryUsage()) /
+        static_cast<double>(tc.parent.size()));
+  }
+}
+BENCHMARK(BM_IndexSpaceModel)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

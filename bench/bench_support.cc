@@ -1,0 +1,83 @@
+#include "bench_support.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace aqp {
+namespace bench {
+
+namespace {
+bool ParseSizeArg(const char* arg, const char* name, size_t* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = static_cast<size_t>(std::strtoull(arg + prefix.size(), nullptr, 10));
+  return true;
+}
+bool ParseDoubleArg(const char* arg, const char* name, double* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = std::strtod(arg + prefix.size(), nullptr);
+  return true;
+}
+}  // namespace
+
+PaperBenchConfig PaperBenchConfig::FromArgs(int argc, char** argv) {
+  PaperBenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    size_t size_value = 0;
+    double double_value = 0.0;
+    if (ParseSizeArg(argv[i], "atlas", &size_value)) {
+      config.atlas_size = size_value;
+    } else if (ParseSizeArg(argv[i], "accidents", &size_value)) {
+      config.accidents_size = size_value;
+    } else if (ParseSizeArg(argv[i], "seed", &size_value)) {
+      config.seed = size_value;
+    } else if (ParseDoubleArg(argv[i], "rate", &double_value)) {
+      config.variant_rate = double_value;
+    } else if (ParseDoubleArg(argv[i], "theta-sim", &double_value)) {
+      config.sim_threshold = double_value;
+    }
+  }
+  return config;
+}
+
+metrics::ExperimentOptions PaperBenchConfig::MakeExperiment(
+    datagen::PerturbationPattern pattern, bool perturb_parent) const {
+  metrics::ExperimentOptions options;
+  options.testcase.pattern = pattern;
+  options.testcase.perturb_parent = perturb_parent;
+  options.testcase.variant_rate = variant_rate;
+  options.testcase.atlas.size = atlas_size;
+  options.testcase.accidents.size = accidents_size;
+  options.testcase.seed = seed;
+  options.sim_threshold = sim_threshold;
+  options.adaptive.delta_adapt = delta_adapt;
+  options.adaptive.window = window;
+  options.adaptive.theta_out = theta_out;
+  options.adaptive.theta_curpert = theta_curpert;
+  options.adaptive.theta_pastpert = theta_pastpert;
+  return options;
+}
+
+Result<std::vector<metrics::ExperimentResult>> RunPaperMatrix(
+    const PaperBenchConfig& config) {
+  std::vector<metrics::ExperimentResult> results;
+  for (datagen::PerturbationPattern pattern : datagen::kAllPatterns) {
+    for (bool both : {false, true}) {
+      Timer timer;
+      auto result =
+          RunExperiment(config.MakeExperiment(pattern, both));
+      if (!result.ok()) return result.status();
+      std::fprintf(stderr, "  [%s] done in %.1fs\n",
+                   result->label.c_str(), timer.ElapsedSeconds());
+      results.push_back(std::move(*result));
+    }
+  }
+  return results;
+}
+
+}  // namespace bench
+}  // namespace aqp

@@ -1,0 +1,46 @@
+#ifndef AQP_BENCH_BENCH_SUPPORT_H_
+#define AQP_BENCH_BENCH_SUPPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metrics/experiment.h"
+
+namespace aqp {
+namespace bench {
+
+/// \brief Scale and MAR configuration shared by the figure benches.
+///
+/// Defaults replicate the paper's setup: an 8082-row atlas, a 10,000
+/// row accidents feed, 10% variants, θ_sim = 0.85, δ_adapt = W = 100,
+/// θ_out = 0.05, θ_curpert = 2, θ_pastpert = 5.
+struct PaperBenchConfig {
+  size_t atlas_size = 8082;
+  size_t accidents_size = 10000;
+  double variant_rate = 0.10;
+  double sim_threshold = 0.85;
+  uint64_t delta_adapt = 100;
+  size_t window = 100;
+  double theta_out = 0.05;
+  uint32_t theta_curpert = 2;
+  uint32_t theta_pastpert = 5;
+  uint64_t seed = 20090324;  // EDBT 2009, day one
+
+  /// Parses --atlas=, --accidents=, --rate=, --seed= overrides.
+  static PaperBenchConfig FromArgs(int argc, char** argv);
+
+  /// Experiment options for one of the eight §4.1 test cases.
+  metrics::ExperimentOptions MakeExperiment(
+      datagen::PerturbationPattern pattern, bool perturb_parent) const;
+};
+
+/// Runs the paper's full 8-case matrix (4 patterns × {child, both}),
+/// printing one progress line per case to stderr.
+Result<std::vector<metrics::ExperimentResult>> RunPaperMatrix(
+    const PaperBenchConfig& config);
+
+}  // namespace bench
+}  // namespace aqp
+
+#endif  // AQP_BENCH_BENCH_SUPPORT_H_

@@ -1,0 +1,83 @@
+// Interactive exploration of the MAR threshold space (§4.2): sweeps one
+// parameter and prints the resulting gain/cost/efficiency so the
+// time-completeness trade-off can be tuned for a target workload.
+//
+//   $ ./tuning_explorer --param=theta_curpert --values=0,1,2,4,8,16
+//   $ ./tuning_explorer --param=delta_adapt --values=25,50,100,200,400
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "metrics/experiment.h"
+
+using namespace aqp;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("param", "theta_curpert",
+                  "parameter to sweep: theta_out|theta_curpert|"
+                  "theta_pastpert|delta_adapt|window|theta_sim");
+  flags.AddString("values", "0,1,2,4,8,16", "comma-separated values");
+  flags.AddInt64("atlas", 2000, "atlas size");
+  flags.AddInt64("accidents", 4000, "accidents size");
+  flags.AddString("pattern", "few_high", "perturbation pattern");
+  flags.AddInt64("seed", 42, "generator seed");
+  if (auto s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n" << flags.Help();
+    return 1;
+  }
+
+  metrics::ExperimentOptions base;
+  base.testcase.atlas.size = static_cast<size_t>(flags.GetInt64("atlas"));
+  base.testcase.accidents.size =
+      static_cast<size_t>(flags.GetInt64("accidents"));
+  base.testcase.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  for (datagen::PerturbationPattern p : datagen::kAllPatterns) {
+    if (flags.GetString("pattern") == datagen::PerturbationPatternName(p)) {
+      base.testcase.pattern = p;
+    }
+  }
+
+  const std::string param = flags.GetString("param");
+  TablePrinter table(
+      {param, "g_rel", "c_rel", "e", "switches", "completeness"});
+  for (const std::string& text : Split(flags.GetString("values"), ',')) {
+    const double value = std::strtod(text.c_str(), nullptr);
+    metrics::ExperimentOptions options = base;
+    if (param == "theta_out") {
+      options.adaptive.theta_out = value;
+    } else if (param == "theta_curpert") {
+      options.adaptive.theta_curpert = static_cast<uint32_t>(value);
+    } else if (param == "theta_pastpert") {
+      options.adaptive.theta_pastpert = static_cast<uint32_t>(value);
+    } else if (param == "delta_adapt") {
+      options.adaptive.delta_adapt = static_cast<uint64_t>(value);
+    } else if (param == "window") {
+      options.adaptive.window = static_cast<size_t>(value);
+    } else if (param == "theta_sim") {
+      options.sim_threshold = value;
+    } else {
+      std::cerr << "unknown parameter '" << param << "'\n";
+      return 1;
+    }
+    auto result = metrics::RunExperiment(options);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    table.AddRow({text, FormatDouble(result->weighted.RelativeGain(), 3),
+                  FormatDouble(result->weighted.RelativeCost(), 3),
+                  FormatDouble(result->weighted.Efficiency(), 2),
+                  std::to_string(result->adaptive.total_transitions),
+                  FormatDouble(result->adaptive_completeness, 3)});
+  }
+  std::cout << "sweep of " << param << " on pattern '"
+            << flags.GetString("pattern") << "' ("
+            << flags.GetInt64("accidents") << " accidents vs "
+            << flags.GetInt64("atlas") << " atlas entries)\n\n";
+  table.Print(std::cout);
+  return 0;
+}

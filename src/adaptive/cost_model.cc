@@ -1,0 +1,80 @@
+#include "adaptive/cost_model.h"
+
+#include <sstream>
+
+namespace aqp {
+namespace adaptive {
+
+StateWeights StateWeights::Paper() {
+  StateWeights w;
+  w.step = {1.0, 22.14, 51.8, 70.2};
+  w.transition = {122.48, 37.96, 84.99, 173.42};
+  return w;
+}
+
+StateWeights StateWeights::Uniform() {
+  StateWeights w;
+  w.step = {1.0, 1.0, 1.0, 1.0};
+  w.transition = {0.0, 0.0, 0.0, 0.0};
+  return w;
+}
+
+std::string StateWeights::ToString() const {
+  std::ostringstream os;
+  os << "w=[";
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    if (i > 0) os << ", ";
+    os << step[i];
+  }
+  os << "] v=[";
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    if (i > 0) os << ", ";
+    os << transition[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+uint64_t CostAccountant::total_steps() const {
+  uint64_t total = 0;
+  for (uint64_t s : steps_) total += s;
+  return total;
+}
+
+uint64_t CostAccountant::total_transitions() const {
+  uint64_t total = 0;
+  for (uint64_t t : transitions_) total += t;
+  return total;
+}
+
+double CostAccountant::StateCost() const {
+  double cost = 0.0;
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    cost += static_cast<double>(steps_[i]) * weights_.step[i];
+  }
+  return cost;
+}
+
+double CostAccountant::TransitionCost() const {
+  double cost = 0.0;
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    cost += static_cast<double>(transitions_[i]) * weights_.transition[i];
+  }
+  return cost;
+}
+
+double CostAccountant::TotalCost() const {
+  return StateCost() + TransitionCost();
+}
+
+double CostAccountant::TotalCostWith(const StateWeights& weights) const {
+  double cost = 0.0;
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    cost += static_cast<double>(steps_[i]) * weights.step[i];
+    cost += static_cast<double>(transitions_[i]) * weights.transition[i];
+  }
+  return cost;
+}
+
+}  // namespace adaptive
+}  // namespace aqp

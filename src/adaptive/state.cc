@@ -1,0 +1,74 @@
+#include "adaptive/state.h"
+
+namespace aqp {
+namespace adaptive {
+
+using join::ProbeMode;
+
+ProbeMode LeftMode(ProcessorState s) {
+  switch (s) {
+    case ProcessorState::kLexRex:
+    case ProcessorState::kLexRap:
+      return ProbeMode::kExact;
+    case ProcessorState::kLapRex:
+    case ProcessorState::kLapRap:
+      return ProbeMode::kApproximate;
+  }
+  return ProbeMode::kExact;
+}
+
+ProbeMode RightMode(ProcessorState s) {
+  switch (s) {
+    case ProcessorState::kLexRex:
+    case ProcessorState::kLapRex:
+      return ProbeMode::kExact;
+    case ProcessorState::kLexRap:
+    case ProcessorState::kLapRap:
+      return ProbeMode::kApproximate;
+  }
+  return ProbeMode::kExact;
+}
+
+ProbeMode ModeOf(ProcessorState s, exec::Side side) {
+  return side == exec::Side::kLeft ? LeftMode(s) : RightMode(s);
+}
+
+ProcessorState MakeProcessorState(ProbeMode left, ProbeMode right) {
+  if (left == ProbeMode::kExact) {
+    return right == ProbeMode::kExact ? ProcessorState::kLexRex
+                                      : ProcessorState::kLexRap;
+  }
+  return right == ProbeMode::kExact ? ProcessorState::kLapRex
+                                    : ProcessorState::kLapRap;
+}
+
+const char* ProcessorStateName(ProcessorState s) {
+  switch (s) {
+    case ProcessorState::kLexRex:
+      return "lex/rex";
+    case ProcessorState::kLapRex:
+      return "lap/rex";
+    case ProcessorState::kLexRap:
+      return "lex/rap";
+    case ProcessorState::kLapRap:
+      return "lap/rap";
+  }
+  return "?";
+}
+
+const char* ProcessorStateCode(ProcessorState s) {
+  switch (s) {
+    case ProcessorState::kLexRex:
+      return "EE";
+    case ProcessorState::kLapRex:
+      return "AE";
+    case ProcessorState::kLexRap:
+      return "EA";
+    case ProcessorState::kLapRap:
+      return "AA";
+  }
+  return "?";
+}
+
+}  // namespace adaptive
+}  // namespace aqp

@@ -1,0 +1,64 @@
+#include "adaptive/trace.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace aqp {
+namespace adaptive {
+
+size_t AdaptationTrace::transition_count() const {
+  size_t count = 0;
+  for (const AssessmentRecord& r : records_) {
+    if (r.transitioned()) ++count;
+  }
+  return count;
+}
+
+std::optional<uint64_t> AdaptationTrace::first_transition_step() const {
+  for (const AssessmentRecord& r : records_) {
+    if (r.transitioned()) return r.assessment.step;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint64_t> AdaptationTrace::EntriesInto(
+    ProcessorState state) const {
+  std::vector<uint64_t> steps;
+  for (const AssessmentRecord& r : records_) {
+    if (r.transitioned() && r.state_after == state) {
+      steps.push_back(r.assessment.step);
+    }
+  }
+  return steps;
+}
+
+std::string AdaptationTrace::ToString(size_t limit) const {
+  TablePrinter table({"step", "p_value", "obs", "exp", "sigma", "A_l", "A_r",
+                      "phi", "state"});
+  const size_t begin =
+      (limit != 0 && records_.size() > limit) ? records_.size() - limit : 0;
+  for (size_t i = begin; i < records_.size(); ++i) {
+    const AssessmentRecord& r = records_[i];
+    const Assessment& a = r.assessment;
+    std::string state = ProcessorStateCode(r.state_before);
+    if (r.transitioned()) {
+      state += "->";
+      state += ProcessorStateCode(r.state_after);
+    }
+    table.AddRow({std::to_string(a.step),
+                  a.model_assessed ? FormatDouble(a.p_value, 4) : "n/a",
+                  std::to_string(a.observed_matches),
+                  FormatDouble(a.expected_matches, 1),
+                  a.sigma ? "yes" : "no", std::to_string(a.window_approx[0]),
+                  std::to_string(a.window_approx[1]),
+                  r.phi >= 0 ? "phi" + std::to_string(r.phi) : "-", state});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  return os.str();
+}
+
+}  // namespace adaptive
+}  // namespace aqp

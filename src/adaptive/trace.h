@@ -1,0 +1,63 @@
+#ifndef AQP_ADAPTIVE_TRACE_H_
+#define AQP_ADAPTIVE_TRACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaptive/mar.h"
+#include "adaptive/state.h"
+
+namespace aqp {
+namespace adaptive {
+
+/// \brief One control-loop activation, as recorded by the trace.
+struct AssessmentRecord {
+  Assessment assessment;
+  ProcessorState state_before = ProcessorState::kLexRex;
+  ProcessorState state_after = ProcessorState::kLexRex;
+  /// ϕ predicate that fired (-1: none / stay).
+  int phi = -1;
+  /// Catch-up work done by the switch, in tuples, per side index.
+  uint64_t catchup_left = 0;
+  uint64_t catchup_right = 0;
+
+  bool transitioned() const { return state_before != state_after; }
+};
+
+/// \brief Timeline of the MAR loop over one join execution.
+///
+/// Consumed by tests (asserting the machine took the expected path),
+/// by the experiment harness (Fig. 7's transition counts), and by
+/// examples that print adaptation timelines.
+class AdaptationTrace {
+ public:
+  void Record(AssessmentRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<AssessmentRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Number of actual state changes.
+  size_t transition_count() const;
+
+  /// Step of the first state change, if any.
+  std::optional<uint64_t> first_transition_step() const;
+
+  /// Steps at which the processor entered `state`.
+  std::vector<uint64_t> EntriesInto(ProcessorState state) const;
+
+  /// Renders the last `limit` activations as an aligned text timeline
+  /// (0 = all).
+  std::string ToString(size_t limit = 0) const;
+
+ private:
+  std::vector<AssessmentRecord> records_;
+};
+
+}  // namespace adaptive
+}  // namespace aqp
+
+#endif  // AQP_ADAPTIVE_TRACE_H_

@@ -1,0 +1,168 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace aqp {
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& name,
+                            const std::string& text) {
+  switch (flag->type) {
+    case Type::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not an integer: '" + text + "'");
+      }
+      flag->int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a number: '" + text + "'");
+      }
+      flag->double_value = v;
+      return Status::OK();
+    }
+    case Type::kString:
+      flag->string_value = text;
+      return Status::OK();
+    case Type::kBool: {
+      std::string lower = ToLowerAscii(text);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        flag->bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a boolean: '" + text + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
+    }
+    Flag* flag = &it->second;
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        flag->bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    AQP_RETURN_IF_ERROR(SetValue(flag, name, value));
+  }
+  return Status::OK();
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return flags_.at(name).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return flags_.at(name).double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return flags_.at(name).string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return flags_.at(name).bool_value;
+}
+
+std::string FlagParser::Help() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.type) {
+      case Type::kInt64:
+        os << " (int, default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        os << " (double, default " << flag.double_value << ")";
+        break;
+      case Type::kString:
+        os << " (string, default '" << flag.string_value << "')";
+        break;
+      case Type::kBool:
+        os << " (bool, default " << (flag.bool_value ? "true" : "false")
+           << ")";
+        break;
+    }
+    os << ": " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aqp

@@ -1,0 +1,76 @@
+#ifndef AQP_COMMON_FLAGS_H_
+#define AQP_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqp {
+
+/// \brief Tiny command-line flag parser for examples and benches.
+///
+/// Supports `--name=value`, `--name value`, and bare boolean
+/// `--name`. Positional arguments are collected in order. Example:
+///
+/// \code
+///   FlagParser flags;
+///   flags.AddInt64("child-size", 10000, "number of child tuples");
+///   flags.AddDouble("theta-sim", 0.85, "similarity threshold");
+///   Status st = flags.Parse(argc, argv);
+/// \endcode
+class FlagParser {
+ public:
+  /// Registers an int64 flag with a default and help text.
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  /// Registers a double flag.
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  /// Registers a string flag.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  /// Registers a boolean flag (`--name` or `--name=true/false`).
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv. Unknown flags produce an InvalidArgument status.
+  Status Parse(int argc, const char* const* argv);
+
+  /// \name Typed accessors; the flag must have been registered.
+  /// @{
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  /// @}
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help string listing all registered flags.
+  std::string Help() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetValue(Flag* flag, const std::string& name,
+                  const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_FLAGS_H_

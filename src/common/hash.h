@@ -1,0 +1,37 @@
+#ifndef AQP_COMMON_HASH_H_
+#define AQP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aqp {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms,
+/// unlike std::hash, so experiment output is stable.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a new 64-bit value into a running hash (boost::hash_combine
+/// style, with 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Finalizer from SplitMix64; good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_HASH_H_

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace aqp {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
+  std::cerr << "[aqp:" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace aqp

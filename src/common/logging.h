@@ -1,0 +1,59 @@
+#ifndef AQP_COMMON_LOGGING_H_
+#define AQP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aqp {
+
+/// \brief Log severities, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The logger is intentionally tiny: experiments and operators use it
+/// for diagnostics only; structured experiment output goes through
+/// metrics/report.h instead.
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  /// Sets the minimum severity that will be emitted.
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line at `level` if it passes the filter.
+  void Log(LogLevel level, const std::string& message);
+
+  /// True iff a message at `level` would be emitted.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+/// \brief Stream-style single-line log statement helper.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace aqp
+
+#define AQP_LOG(level) ::aqp::LogMessage(::aqp::LogLevel::level)
+
+#endif  // AQP_COMMON_LOGGING_H_

@@ -1,0 +1,30 @@
+#ifndef AQP_COMMON_MACROS_H_
+#define AQP_COMMON_MACROS_H_
+
+/// Helper macros for Status/Result propagation, after the Arrow idiom.
+
+#define AQP_CONCAT_IMPL(x, y) x##y
+#define AQP_CONCAT(x, y) AQP_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Status; returns it from the
+/// enclosing function if not OK.
+#define AQP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::aqp::Status _aqp_status = (expr);            \
+    if (!_aqp_status.ok()) return _aqp_status;     \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>; on success assigns the
+/// value to `lhs`, otherwise returns the error status.
+#define AQP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  AQP_ASSIGN_OR_RETURN_IMPL(AQP_CONCAT(_aqp_result_, __LINE__), lhs, expr)
+
+#define AQP_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).ValueOrDie()
+
+/// Marks intentionally unused values.
+#define AQP_UNUSED(x) (void)(x)
+
+#endif  // AQP_COMMON_MACROS_H_

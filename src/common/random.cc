@@ -1,0 +1,42 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqp {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return NextDouble() < p;
+}
+
+std::string Rng::RandomString(size_t length, const std::string& alphabet) {
+  assert(!alphabet.empty());
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(alphabet[Index(alphabet.size())]);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace aqp

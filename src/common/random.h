@@ -1,0 +1,64 @@
+#ifndef AQP_COMMON_RANDOM_H_
+#define AQP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace aqp {
+
+/// \brief Deterministic pseudo-random source used throughout the
+/// library.
+///
+/// All data generation and experiments are seeded explicitly so every
+/// run (and every test) is reproducible. Wraps std::mt19937_64 with the
+/// handful of draws we need.
+class Rng {
+ public:
+  /// Constructs a generator from an explicit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      std::swap((*items)[i], (*items)[Index(i + 1)]);
+    }
+  }
+
+  /// Random string of `length` characters drawn from `alphabet`.
+  std::string RandomString(size_t length, const std::string& alphabet);
+
+  /// Derives an independent child generator (for parallel streams).
+  Rng Fork();
+
+  /// Underlying engine, for interop with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_RANDOM_H_

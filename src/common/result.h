@@ -1,0 +1,72 @@
+#ifndef AQP_COMMON_RESULT_H_
+#define AQP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aqp {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// A Result constructed from an OK status is a programming error; the
+/// invariant is enforced with an assertion in debug builds and coerced
+/// to an internal error otherwise.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, like arrow::Result).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error (implicit).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// \name Value accessors. Must only be called when ok().
+  /// @{
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  /// @}
+
+  /// Returns the value, or `fallback` if an error is held.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_RESULT_H_

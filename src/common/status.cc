@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace aqp {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIOError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + message_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace aqp

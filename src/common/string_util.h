@@ -1,0 +1,43 @@
+#ifndef AQP_COMMON_STRING_UTIL_H_
+#define AQP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqp {
+
+/// Uppercases ASCII letters; other bytes pass through unchanged.
+std::string ToUpperAscii(std::string_view s);
+
+/// Lowercases ASCII letters; other bytes pass through unchanged.
+std::string ToLowerAscii(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// Collapses runs of ASCII whitespace into single spaces and trims.
+std::string CollapseWhitespace(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins the pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a count with thousands separators (e.g. "12,345").
+std::string FormatCount(uint64_t value);
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_STRING_UTIL_H_

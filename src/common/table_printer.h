@@ -1,0 +1,42 @@
+#ifndef AQP_COMMON_TABLE_PRINTER_H_
+#define AQP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aqp {
+
+/// \brief Renders aligned ASCII tables, used by benches and examples to
+/// print the paper's tables/figures as text.
+///
+/// \code
+///   TablePrinter t({"case", "g_rel", "c_rel", "e"});
+///   t.AddRow({"uniform/child", "0.91", "0.42", "2.17"});
+///   t.Print(std::cout);
+/// \endcode
+class TablePrinter {
+ public:
+  /// Constructs a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (handy in tests).
+  std::string ToString() const;
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+#ifndef AQP_COMMON_TIMER_H_
+#define AQP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aqp {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed nanoseconds into a counter on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* accumulator_ns)
+      : accumulator_ns_(accumulator_ns) {}
+  ~ScopedTimer() { *accumulator_ns_ += timer_.ElapsedNanos(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* accumulator_ns_;
+  Timer timer_;
+};
+
+}  // namespace aqp
+
+#endif  // AQP_COMMON_TIMER_H_

@@ -1,0 +1,47 @@
+#ifndef AQP_DATAGEN_ACCIDENTS_H_
+#define AQP_DATAGEN_ACCIDENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief Options for the synthetic accidents table (the child input).
+struct AccidentsOptions {
+  /// Number of accident records.
+  size_t size = 10000;
+  /// Seed for the deterministic generator.
+  uint64_t seed = 7;
+  /// Draw locations with a skewed (approximate Zipf) distribution
+  /// instead of uniformly — city centres see more accidents.
+  bool zipf_locations = false;
+  /// Zipf exponent when zipf_locations is set.
+  double zipf_exponent = 1.0;
+};
+
+/// Accidents schema: [accident_id:int64, location:string,
+/// severity:int64, day:int64]. The join attribute is column 1.
+inline constexpr size_t kAccidentsLocationColumn = 1;
+
+/// \brief The accidents table plus its ground truth.
+struct AccidentsData {
+  storage::Relation table;
+  /// Row index into the atlas of each accident's true location.
+  std::vector<size_t> true_parent_row;
+};
+
+/// \brief Generates `options.size` accident rows referencing locations
+/// of the (clean) atlas. Location strings are copied verbatim —
+/// perturbation is applied later by the test-case generator.
+Result<AccidentsData> GenerateAccidents(const storage::Relation& atlas,
+                                        size_t atlas_location_column,
+                                        const AccidentsOptions& options);
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_ACCIDENTS_H_

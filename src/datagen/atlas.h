@@ -1,0 +1,34 @@
+#ifndef AQP_DATAGEN_ATLAS_H_
+#define AQP_DATAGEN_ATLAS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief Options for the synthetic reference atlas (the parent table).
+struct AtlasOptions {
+  /// Number of municipalities; the paper's Italian atlas has 8082.
+  size_t size = 8082;
+  /// Seed for the deterministic generator.
+  uint64_t seed = 42;
+  /// Minimum location-string length (see LocationNameGenerator).
+  size_t min_name_length = 36;
+};
+
+/// Atlas schema: [location:string, municipality_id:int64, lat:double,
+/// lon:double]. The join attribute is column 0.
+inline constexpr size_t kAtlasLocationColumn = 0;
+
+/// \brief Generates the reference atlas: `size` rows with *unique*
+/// location strings and synthetic map coordinates (the example
+/// application overlays accidents onto these).
+Result<storage::Relation> GenerateAtlas(const AtlasOptions& options);
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_ATLAS_H_

@@ -1,0 +1,80 @@
+#ifndef AQP_DATAGEN_GENERATOR_H_
+#define AQP_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/accidents.h"
+#include "datagen/atlas.h"
+#include "datagen/pattern.h"
+#include "datagen/variant.h"
+#include "storage/relation.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief One of the paper's eight test cases: a perturbation pattern
+/// applied to the child only, or to both tables (§4.1).
+struct TestCaseOptions {
+  /// Fig. 5 pattern; applied identically to both tables when
+  /// `perturb_parent` is set (the paper found mixing patterns adds no
+  /// insight).
+  PerturbationPattern pattern = PerturbationPattern::kUniform;
+  /// Variants in both tables (true) or only in the child (false).
+  bool perturb_parent = false;
+  /// Overall variant proportion per perturbed input (paper: 10%).
+  double variant_rate = 0.10;
+
+  AtlasOptions atlas;
+  AccidentsOptions accidents;
+  VariantOptions variant;
+  /// Master seed; atlas/accidents/perturbation seeds derive from it.
+  uint64_t seed = 42;
+
+  /// Short label like "uniform/child" or "few_high/both".
+  std::string Label() const;
+};
+
+/// \brief A fully materialized test case with ground truth.
+struct TestCase {
+  TestCaseOptions options;
+  /// The (possibly perturbed) parent table.
+  storage::Relation parent;
+  /// The (possibly perturbed) child table.
+  storage::Relation child;
+
+  /// Per child row: its true parent row.
+  std::vector<size_t> child_true_parent;
+  /// Per child row: whether its location string was perturbed.
+  std::vector<uint8_t> child_is_variant;
+  /// Per parent row: whether its location string was perturbed.
+  std::vector<uint8_t> parent_is_variant;
+
+  PatternSpec child_pattern;
+  PatternSpec parent_pattern;
+
+  /// Number of child rows whose pair survives exact matching: neither
+  /// the child row nor its parent row is a variant.
+  size_t CleanPairCount() const;
+  /// Number of child rows that are variants.
+  size_t ChildVariantCount() const;
+  /// Number of parent rows that are variants.
+  size_t ParentVariantCount() const;
+};
+
+/// \brief Materializes a test case: clean atlas + accidents, then
+/// variant injection per the pattern, with collision guarantees (a
+/// variant never equals any parent location, so exact matches on
+/// variants are impossible by construction).
+Result<TestCase> GenerateTestCase(const TestCaseOptions& options);
+
+/// \brief The paper's eight test cases (§4.1): each Fig. 5 pattern ×
+/// {child-only, both}, with shared sizes/seed taken from `base`.
+std::vector<TestCaseOptions> PaperTestMatrix(const TestCaseOptions& base);
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_GENERATOR_H_

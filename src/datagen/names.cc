@@ -1,0 +1,81 @@
+#include "datagen/names.h"
+
+#include <array>
+
+namespace aqp {
+namespace datagen {
+
+namespace {
+
+constexpr std::array<const char*, 20> kRegionCodes = {
+    "PIE", "VDA", "LOM", "TAA", "VEN", "FVG", "LIG", "EMR", "TOS", "UMB",
+    "MAR", "LAZ", "ABR", "MOL", "CAM", "PUG", "BAS", "CAL", "SIC", "SAR"};
+
+constexpr std::array<const char*, 24> kProvinceCodes = {
+    "TO", "AO", "MI", "BZ", "VE", "TS", "GE", "BO", "FI", "PG", "AN", "RM",
+    "AQ", "CB", "NA", "BA", "PZ", "CZ", "PA", "CA", "BG", "VR", "PD", "TN"};
+
+constexpr std::array<const char*, 16> kPrefixes = {
+    "SAN",    "SANTA", "SANTO", "MONTE", "CASTEL", "VILLA",
+    "BORGO",  "ROCCA", "TORRE", "PIEVE", "CIVITA", "COLLE",
+    "SERRA",  "CAMPO", "POGGIO", "RIVA"};
+
+constexpr std::array<const char*, 18> kSuffixes = {
+    "VALGARDENA", "TERME",      "MARITTIMA", "SCRIVIA",   "ADIGE",
+    "SUPERIORE",  "INFERIORE",  "VECCHIO",   "NUOVO",     "DEL MONTE",
+    "IN COLLE",   "SUL NAVIGLIO", "DI SOPRA", "DI SOTTO", "DEL FRIULI",
+    "VESUVIANO",  "DEGLI ULIVI", "AL MARE"};
+
+constexpr std::array<const char*, 28> kOnsets = {
+    "B",  "C",  "D",  "F",  "G",  "L",  "M",  "N",  "P",  "R",
+    "S",  "T",  "V",  "Z",  "BR", "CR", "DR", "FR", "GR", "PR",
+    "TR", "VR", "GL", "PL", "SC", "SP", "ST", "GN"};
+
+constexpr std::array<const char*, 10> kNuclei = {"A",  "E",  "I",  "O", "U",
+                                                 "IA", "IE", "IO", "AU", "UO"};
+
+constexpr std::array<const char*, 12> kCodas = {
+    "", "", "", "", "N", "R", "L", "S", "NT", "ND", "RT", "SS"};
+
+}  // namespace
+
+std::string LocationNameGenerator::BaseName(Rng* rng) const {
+  const size_t syllables = static_cast<size_t>(rng->Uniform(2, 4));
+  std::string name;
+  for (size_t i = 0; i < syllables; ++i) {
+    name += kOnsets[rng->Index(kOnsets.size())];
+    name += kNuclei[rng->Index(kNuclei.size())];
+    if (i + 1 == syllables) {
+      // Italian-style vocalic ending: drop the coda on the last
+      // syllable most of the time.
+      if (rng->Bernoulli(0.2)) name += kCodas[rng->Index(kCodas.size())];
+    } else {
+      name += kCodas[rng->Index(kCodas.size())];
+    }
+  }
+  return name;
+}
+
+std::string LocationNameGenerator::Generate(Rng* rng) const {
+  std::string out;
+  out += kRegionCodes[rng->Index(kRegionCodes.size())];
+  out += ' ';
+  out += kProvinceCodes[rng->Index(kProvinceCodes.size())];
+  out += ' ';
+  if (rng->Bernoulli(0.55)) {
+    out += kPrefixes[rng->Index(kPrefixes.size())];
+    out += ' ';
+  }
+  out += BaseName(rng);
+  // Extend with suffix words until the minimum length is met; one
+  // extra suffix sometimes even when already long enough, for variety.
+  while (out.size() < min_length_ || rng->Bernoulli(0.25)) {
+    out += ' ';
+    out += kSuffixes[rng->Index(kSuffixes.size())];
+    if (out.size() >= min_length_ + 16) break;
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace aqp

@@ -1,0 +1,196 @@
+#include "datagen/pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace aqp {
+namespace datagen {
+
+const char* PerturbationPatternName(PerturbationPattern pattern) {
+  switch (pattern) {
+    case PerturbationPattern::kUniform:
+      return "uniform";
+    case PerturbationPattern::kLowIntensityRegions:
+      return "low_intensity";
+    case PerturbationPattern::kFewHighIntensityRegions:
+      return "few_high";
+    case PerturbationPattern::kManyHighIntensityRegions:
+      return "many_high";
+  }
+  return "?";
+}
+
+double PatternSpec::IntensityAt(size_t row) const {
+  for (const Region& r : regions) {
+    if (row >= r.begin && row < r.end) return r.intensity;
+    if (row < r.begin) break;  // regions are sorted
+  }
+  return 0.0;
+}
+
+double PatternSpec::ExpectedOverallRate() const {
+  if (table_size == 0) return 0.0;
+  double mass = 0.0;
+  for (const Region& r : regions) {
+    mass += r.intensity * static_cast<double>(r.length());
+  }
+  return mass / static_cast<double>(table_size);
+}
+
+std::string PatternSpec::DensityStrip(size_t width) const {
+  if (width == 0 || table_size == 0) return "";
+  std::string strip(width, '.');
+  for (size_t b = 0; b < width; ++b) {
+    const size_t row = b * table_size / width;
+    const double intensity = IntensityAt(row);
+    if (intensity <= 0.0) {
+      strip[b] = '.';
+    } else if (intensity < 0.15) {
+      strip[b] = ':';
+    } else if (intensity < 0.4) {
+      strip[b] = '+';
+    } else {
+      strip[b] = '#';
+    }
+  }
+  return strip;
+}
+
+namespace {
+
+/// Lays out `count` equal-length regions of total coverage `coverage`,
+/// evenly spaced and centred within their slots.
+std::vector<Region> EvenRegions(size_t table_size, size_t count,
+                                double coverage, double intensity) {
+  std::vector<Region> regions;
+  if (table_size == 0 || count == 0) return regions;
+  const size_t slot = table_size / count;
+  size_t region_len = static_cast<size_t>(
+      std::llround(coverage * static_cast<double>(table_size) /
+                   static_cast<double>(count)));
+  region_len = std::clamp<size_t>(region_len, 1, slot);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t slot_begin = i * slot;
+    const size_t offset = (slot - region_len) / 2;
+    Region r;
+    r.begin = slot_begin + offset;
+    r.end = r.begin + region_len;
+    r.intensity = intensity;
+    regions.push_back(r);
+  }
+  return regions;
+}
+
+}  // namespace
+
+Result<PatternSpec> MakePattern(PerturbationPattern pattern,
+                                size_t table_size, double total_rate) {
+  if (table_size == 0) {
+    return Status::InvalidArgument("table_size must be positive");
+  }
+  if (total_rate < 0.0 || total_rate > 1.0) {
+    return Status::InvalidArgument("total_rate must be in [0, 1]");
+  }
+  PatternSpec spec;
+  spec.pattern = pattern;
+  spec.table_size = table_size;
+  switch (pattern) {
+    case PerturbationPattern::kUniform:
+      spec.regions = {Region{0, table_size, total_rate}};
+      break;
+    case PerturbationPattern::kLowIntensityRegions: {
+      // Eight regions covering half the input => intensity 2x the rate.
+      const double coverage = 0.5;
+      spec.regions =
+          EvenRegions(table_size, 8, coverage, total_rate / coverage);
+      break;
+    }
+    case PerturbationPattern::kFewHighIntensityRegions: {
+      // Three regions covering 15% => intensity ~6.7x the rate.
+      const double coverage = 0.15;
+      spec.regions =
+          EvenRegions(table_size, 3, coverage, total_rate / coverage);
+      break;
+    }
+    case PerturbationPattern::kManyHighIntensityRegions: {
+      // Ten shorter regions, same 15% coverage and intensity as (c).
+      const double coverage = 0.15;
+      spec.regions =
+          EvenRegions(table_size, 10, coverage, total_rate / coverage);
+      break;
+    }
+  }
+  // Intensities are probabilities; with very high rates the region
+  // layouts above could exceed 1 — reject rather than silently clamp.
+  for (const Region& r : spec.regions) {
+    if (r.intensity > 1.0) {
+      return Status::InvalidArgument(
+          "total_rate too high for pattern '" +
+          std::string(PerturbationPatternName(pattern)) +
+          "': region intensity would exceed 1");
+    }
+  }
+  return spec;
+}
+
+std::vector<size_t> SampleVariantPositions(const PatternSpec& spec,
+                                           double total_rate, Rng* rng) {
+  std::vector<size_t> positions;
+  const size_t target = static_cast<size_t>(
+      std::llround(total_rate * static_cast<double>(spec.table_size)));
+  if (target == 0 || spec.regions.empty()) return positions;
+
+  // Per-region quotas proportional to intensity * length, fixed up to
+  // hit the target exactly.
+  std::vector<size_t> quota(spec.regions.size(), 0);
+  double mass = 0.0;
+  for (const Region& r : spec.regions) {
+    mass += r.intensity * static_cast<double>(r.length());
+  }
+  size_t assigned = 0;
+  for (size_t i = 0; i < spec.regions.size(); ++i) {
+    const Region& r = spec.regions[i];
+    const double share =
+        mass > 0.0 ? r.intensity * static_cast<double>(r.length()) / mass
+                   : 0.0;
+    quota[i] = std::min<size_t>(
+        r.length(),
+        static_cast<size_t>(std::floor(share * static_cast<double>(target))));
+    assigned += quota[i];
+  }
+  // Distribute the remainder round-robin over regions with headroom.
+  size_t i = 0;
+  while (assigned < target) {
+    bool any = false;
+    for (i = 0; i < spec.regions.size() && assigned < target; ++i) {
+      if (quota[i] < spec.regions[i].length()) {
+        ++quota[i];
+        ++assigned;
+        any = true;
+      }
+    }
+    if (!any) break;  // every region saturated
+  }
+
+  // Sample without replacement inside each region.
+  for (size_t r = 0; r < spec.regions.size(); ++r) {
+    const Region& region = spec.regions[r];
+    if (quota[r] == region.length()) {
+      for (size_t row = region.begin; row < region.end; ++row) {
+        positions.push_back(row);
+      }
+      continue;
+    }
+    std::unordered_set<size_t> chosen;
+    while (chosen.size() < quota[r]) {
+      chosen.insert(region.begin + rng->Index(region.length()));
+    }
+    positions.insert(positions.end(), chosen.begin(), chosen.end());
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+}  // namespace datagen
+}  // namespace aqp

@@ -1,0 +1,92 @@
+#ifndef AQP_DATAGEN_PATTERN_H_
+#define AQP_DATAGEN_PATTERN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief The four perturbation patterns of Fig. 5.
+enum class PerturbationPattern {
+  /// (a) variants uniformly spread over the whole input.
+  kUniform,
+  /// (b) low-intensity perturbation regions interleaved with clean
+  /// stretches.
+  kLowIntensityRegions,
+  /// (c) a small number of well-separated high-intensity regions.
+  kFewHighIntensityRegions,
+  /// (d) many short high-intensity regions.
+  kManyHighIntensityRegions,
+};
+
+/// All four patterns, in Fig. 5 order.
+inline constexpr PerturbationPattern kAllPatterns[] = {
+    PerturbationPattern::kUniform,
+    PerturbationPattern::kLowIntensityRegions,
+    PerturbationPattern::kFewHighIntensityRegions,
+    PerturbationPattern::kManyHighIntensityRegions,
+};
+
+/// Canonical name ("uniform", "low_intensity", "few_high", "many_high").
+const char* PerturbationPatternName(PerturbationPattern pattern);
+
+/// \brief One perturbation region: rows [begin, end) carry variants
+/// with probability `intensity`.
+struct Region {
+  size_t begin = 0;
+  size_t end = 0;
+  double intensity = 0.0;
+
+  size_t length() const { return end - begin; }
+};
+
+/// \brief A whole input's perturbation layout.
+struct PatternSpec {
+  PerturbationPattern pattern = PerturbationPattern::kUniform;
+  size_t table_size = 0;
+  /// Non-overlapping, sorted regions.
+  std::vector<Region> regions;
+
+  /// Variant probability at a given row (0 outside all regions).
+  double IntensityAt(size_t row) const;
+
+  /// Σ intensity·length / table_size — should equal the configured
+  /// total rate.
+  double ExpectedOverallRate() const;
+
+  /// Renders a Fig. 5-style density strip ("....::::####....") with
+  /// `width` buckets.
+  std::string DensityStrip(size_t width = 64) const;
+};
+
+/// \brief Builds the region layout of a pattern.
+///
+/// Region counts and coverages follow the qualitative description of
+/// §4.1: (a) one full-length region at the base rate; (b) eight
+/// regions covering half the input at twice the base rate; (c) three
+/// regions covering 15% at ~6.7× the base rate; (d) ten regions
+/// covering the same 15% (shorter regions, same intensity). All
+/// layouts keep the overall variant proportion at `total_rate`
+/// (paper: 10%).
+Result<PatternSpec> MakePattern(PerturbationPattern pattern,
+                                size_t table_size, double total_rate);
+
+/// \brief Draws the exact set of variant row positions for a pattern.
+///
+/// The paper fixes the proportion of variants, so sampling is
+/// without-replacement per region with counts proportional to
+/// intensity·length, totalling round(total_rate · table_size).
+/// Positions are returned sorted.
+std::vector<size_t> SampleVariantPositions(const PatternSpec& spec,
+                                           double total_rate, Rng* rng);
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_PATTERN_H_

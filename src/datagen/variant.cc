@@ -1,0 +1,95 @@
+#include "datagen/variant.h"
+
+#include <cassert>
+
+namespace aqp {
+namespace datagen {
+
+namespace {
+
+std::string ApplyEdit(const std::string& s, EditKind kind,
+                      const std::string& alphabet, Rng* rng) {
+  std::string out = s;
+  switch (kind) {
+    case EditKind::kSubstitute: {
+      if (out.empty()) return ApplyEdit(s, EditKind::kInsert, alphabet, rng);
+      size_t pos = rng->Index(out.size());
+      // Never land on a space: keeping the word structure intact
+      // mirrors the paper's example and keeps normalization no-ops.
+      for (size_t tries = 0; out[pos] == ' ' && tries < 8; ++tries) {
+        pos = rng->Index(out.size());
+      }
+      char replacement = alphabet[rng->Index(alphabet.size())];
+      while (replacement == out[pos]) {
+        replacement = alphabet[rng->Index(alphabet.size())];
+      }
+      out[pos] = replacement;
+      return out;
+    }
+    case EditKind::kDelete: {
+      if (out.size() <= 1) {
+        return ApplyEdit(s, EditKind::kInsert, alphabet, rng);
+      }
+      size_t pos = rng->Index(out.size());
+      for (size_t tries = 0; out[pos] == ' ' && tries < 8; ++tries) {
+        pos = rng->Index(out.size());
+      }
+      out.erase(pos, 1);
+      return out;
+    }
+    case EditKind::kInsert: {
+      const size_t pos = rng->Index(out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 alphabet[rng->Index(alphabet.size())]);
+      return out;
+    }
+    case EditKind::kTranspose: {
+      if (out.size() < 2) {
+        return ApplyEdit(s, EditKind::kInsert, alphabet, rng);
+      }
+      for (size_t tries = 0; tries < 16; ++tries) {
+        const size_t pos = rng->Index(out.size() - 1);
+        if (out[pos] != out[pos + 1] && out[pos] != ' ' &&
+            out[pos + 1] != ' ') {
+          std::swap(out[pos], out[pos + 1]);
+          return out;
+        }
+      }
+      // Degenerate string (e.g. "AAAA"): fall back to substitution.
+      return ApplyEdit(s, EditKind::kSubstitute, alphabet, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MakeVariant(const std::string& original,
+                        const VariantOptions& options, Rng* rng) {
+  assert(!options.kinds.empty());
+  assert(!options.alphabet.empty());
+  for (size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const EditKind kind = options.kinds[rng->Index(options.kinds.size())];
+    std::string out = ApplyEdit(original, kind, options.alphabet, rng);
+    if (out != original) return out;
+  }
+  // Substitution with a lower-case alphabet cannot fail to differ; this
+  // is unreachable for sane options, but return a safe fallback.
+  return original + options.alphabet[0];
+}
+
+Result<std::string> MakeNonCollidingVariant(
+    const std::string& original,
+    const std::unordered_set<std::string>& forbidden,
+    const VariantOptions& options, Rng* rng) {
+  for (size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    std::string out = MakeVariant(original, options, rng);
+    if (forbidden.count(out) == 0) return out;
+  }
+  return Status::Internal(
+      "could not produce a non-colliding variant of '" + original +
+      "' after " + std::to_string(options.max_attempts) + " attempts");
+}
+
+}  // namespace datagen
+}  // namespace aqp

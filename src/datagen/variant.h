@@ -1,0 +1,50 @@
+#ifndef AQP_DATAGEN_VARIANT_H_
+#define AQP_DATAGEN_VARIANT_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief Single-character edit operations.
+enum class EditKind { kSubstitute, kDelete, kInsert, kTranspose };
+
+/// \brief Options for variant creation.
+///
+/// The paper introduces "a small, one-character variation in the
+/// string, e.g. TAA BZ SANTA CRISTINx VALGARDENA": a substitution. The
+/// default matches that; the other edit kinds are available for
+/// robustness experiments.
+struct VariantOptions {
+  std::vector<EditKind> kinds = {EditKind::kSubstitute};
+  /// Replacement characters for substitutions/insertions. Lower-case
+  /// by default, mirroring the paper's example (CRISTINx), which also
+  /// guarantees the variant differs from the upper-case original.
+  std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  /// Give up after this many attempts to avoid a forbidden collision.
+  size_t max_attempts = 64;
+};
+
+/// Applies one random single-character edit; the result is guaranteed
+/// to differ from `original` (edit distance exactly 1 for substitute/
+/// delete/insert; transpose can be distance 2 under unit costs).
+std::string MakeVariant(const std::string& original,
+                        const VariantOptions& options, Rng* rng);
+
+/// Like MakeVariant, but retries until the result is not contained in
+/// `forbidden` (used to guarantee variants never collide with clean
+/// reference values, which would silently re-enable exact matches).
+Result<std::string> MakeNonCollidingVariant(
+    const std::string& original,
+    const std::unordered_set<std::string>& forbidden,
+    const VariantOptions& options, Rng* rng);
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_VARIANT_H_

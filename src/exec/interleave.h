@@ -1,0 +1,68 @@
+#ifndef AQP_EXEC_INTERLEAVE_H_
+#define AQP_EXEC_INTERLEAVE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "exec/operator.h"
+
+namespace aqp {
+namespace exec {
+
+/// \brief How a symmetric binary operator alternates between its
+/// inputs.
+///
+/// The paper's symmetric joins scan "each of the tables in turn, one
+/// tuple at a time" (§2.2) — strict alternation, the default here. The
+/// proportional policy reads the larger input more often so both are
+/// exhausted at about the same time (an ablation knob, see DESIGN.md).
+enum class InterleavePolicy {
+  /// L, R, L, R, ... then drain the survivor.
+  kAlternate,
+  /// Reads sides in proportion to their expected sizes.
+  kProportional,
+  /// Exhausts the left input before reading the right.
+  kLeftFirst,
+  /// Exhausts the right input before reading the left.
+  kRightFirst,
+};
+
+/// Canonical name ("alternate", ...).
+const char* InterleavePolicyName(InterleavePolicy policy);
+
+/// \brief Strategy object deciding which input to read next.
+class InterleaveScheduler {
+ public:
+  /// `left_hint`/`right_hint` are expected input cardinalities; only
+  /// the proportional policy uses them (0 means unknown and falls back
+  /// to alternation).
+  InterleaveScheduler(InterleavePolicy policy, uint64_t left_hint,
+                      uint64_t right_hint);
+
+  /// Picks the side to read next given which inputs are exhausted;
+  /// nullopt when both are.
+  std::optional<Side> NextSide(bool left_exhausted, bool right_exhausted);
+
+  /// Informs the scheduler that one tuple was read from `side`.
+  void OnRead(Side side);
+
+  /// Tuples read so far from `side`.
+  uint64_t reads(Side side) const {
+    return side == Side::kLeft ? left_reads_ : right_reads_;
+  }
+
+ private:
+  Side Preferred() const;
+
+  InterleavePolicy policy_;
+  uint64_t left_hint_;
+  uint64_t right_hint_;
+  uint64_t left_reads_ = 0;
+  uint64_t right_reads_ = 0;
+  Side last_ = Side::kRight;  // so the first alternation read is left
+};
+
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_INTERLEAVE_H_

@@ -1,0 +1,46 @@
+#include "exec/operator.h"
+
+#include "common/macros.h"
+
+namespace aqp {
+namespace exec {
+
+const char* SideName(Side side) {
+  return side == Side::kLeft ? "left" : "right";
+}
+
+Result<storage::Relation> CollectAll(Operator* op) {
+  AQP_RETURN_IF_ERROR(op->Open());
+  storage::Relation out(op->output_schema());
+  while (true) {
+    auto next = op->Next();
+    if (!next.ok()) {
+      // Best-effort close; the original error wins.
+      (void)op->Close();
+      return next.status();
+    }
+    if (!next->has_value()) break;
+    out.AppendUnchecked(std::move(**next));
+  }
+  AQP_RETURN_IF_ERROR(op->Close());
+  return out;
+}
+
+Result<size_t> CountAll(Operator* op) {
+  AQP_RETURN_IF_ERROR(op->Open());
+  size_t count = 0;
+  while (true) {
+    auto next = op->Next();
+    if (!next.ok()) {
+      (void)op->Close();
+      return next.status();
+    }
+    if (!next->has_value()) break;
+    ++count;
+  }
+  AQP_RETURN_IF_ERROR(op->Close());
+  return count;
+}
+
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,74 @@
+#ifndef AQP_EXEC_OPERATOR_H_
+#define AQP_EXEC_OPERATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace aqp {
+namespace exec {
+
+/// \brief Which input of a binary operator.
+enum class Side { kLeft = 0, kRight = 1 };
+
+/// The opposite input.
+inline Side OtherSide(Side side) {
+  return side == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+/// "left" / "right".
+const char* SideName(Side side);
+
+/// \brief Pipelined iterator-model operator (OPEN/NEXT/CLOSE, Graefe).
+///
+/// The adaptive framework (after Eurviriyanukul et al., cited as [11]
+/// in the paper) replaces physical operators only at *quiescent*
+/// states: states where the last input tuple consumed has been joined
+/// with every match it has, so no partial per-tuple state would be lost
+/// by a swap. Operators advertise this through `quiescent()`:
+///
+/// - `quiescent()` must be true right after Open() and after any Next()
+///   call that left no outstanding matches pending;
+/// - it must be false while matches for the current probe tuple are
+///   still being enumerated one Next() at a time.
+///
+/// Next() returns an engaged optional with the next output tuple, an
+/// empty optional at end-of-stream, or a non-OK status on error.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator; must be called exactly once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next output tuple, or nullopt at end-of-stream.
+  virtual Result<std::optional<storage::Tuple>> Next() = 0;
+
+  /// Releases resources; no Next() may follow.
+  virtual Status Close() = 0;
+
+  /// Schema of the tuples produced by Next().
+  virtual const storage::Schema& output_schema() const = 0;
+
+  /// True iff the operator is in a quiescent state (§2.1).
+  virtual bool quiescent() const { return true; }
+
+  /// Operator name for diagnostics ("SHJoin", "RelationScan", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Drains `op` (Open/Next*/Close) into a materialized relation.
+Result<storage::Relation> CollectAll(Operator* op);
+
+/// Drains `op`, returning only the number of tuples produced.
+Result<size_t> CountAll(Operator* op);
+
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_OPERATOR_H_

@@ -1,0 +1,49 @@
+#include "exec/scan.h"
+
+namespace aqp {
+namespace exec {
+
+Status RelationScan::Open() {
+  if (open_) return Status::FailedPrecondition("RelationScan already open");
+  open_ = true;
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<storage::Tuple>> RelationScan::Next() {
+  if (!open_) return Status::FailedPrecondition("RelationScan not open");
+  if (position_ >= relation_->size()) {
+    return std::optional<storage::Tuple>();
+  }
+  return std::optional<storage::Tuple>(relation_->row(position_++));
+}
+
+Status RelationScan::Close() {
+  if (!open_) return Status::FailedPrecondition("RelationScan not open");
+  open_ = false;
+  return Status::OK();
+}
+
+Status VectorScan::Open() {
+  if (open_) return Status::FailedPrecondition("VectorScan already open");
+  open_ = true;
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<storage::Tuple>> VectorScan::Next() {
+  if (!open_) return Status::FailedPrecondition("VectorScan not open");
+  if (position_ >= tuples_.size()) {
+    return std::optional<storage::Tuple>();
+  }
+  return std::optional<storage::Tuple>(tuples_[position_++]);
+}
+
+Status VectorScan::Close() {
+  if (!open_) return Status::FailedPrecondition("VectorScan not open");
+  open_ = false;
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace aqp

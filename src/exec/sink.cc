@@ -1,0 +1,30 @@
+#include "exec/sink.h"
+
+#include "common/macros.h"
+
+namespace aqp {
+namespace exec {
+
+Result<size_t> Drain(Operator* op,
+                     const std::function<bool(const storage::Tuple&)>& visitor,
+                     const DrainOptions& options) {
+  AQP_RETURN_IF_ERROR(op->Open());
+  size_t delivered = 0;
+  while (true) {
+    auto next = op->Next();
+    if (!next.ok()) {
+      (void)op->Close();
+      return next.status();
+    }
+    if (!next->has_value()) break;
+    ++delivered;
+    const bool keep_going = visitor(**next);
+    if (!keep_going) break;
+    if (options.limit != 0 && delivered >= options.limit) break;
+  }
+  AQP_RETURN_IF_ERROR(op->Close());
+  return delivered;
+}
+
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,57 @@
+#include "join/brute_force.h"
+
+#include "text/similarity.h"
+
+namespace aqp {
+namespace join {
+
+std::vector<BrutePair> BruteForceExactJoin(const storage::Relation& left,
+                                           const storage::Relation& right,
+                                           const JoinSpec& spec) {
+  std::vector<BrutePair> out;
+  for (size_t i = 0; i < left.size(); ++i) {
+    const std::string& lkey = left.row(i).at(spec.left_column).AsString();
+    for (size_t j = 0; j < right.size(); ++j) {
+      const std::string& rkey = right.row(j).at(spec.right_column).AsString();
+      if (lkey == rkey) {
+        out.push_back(BrutePair{i, j, 1.0});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<BrutePair> BruteForceSimilarityJoin(const storage::Relation& left,
+                                                const storage::Relation& right,
+                                                const JoinSpec& spec) {
+  std::vector<BrutePair> out;
+  // Precompute right-side gram sets once.
+  std::vector<text::GramSet> right_grams;
+  right_grams.reserve(right.size());
+  for (size_t j = 0; j < right.size(); ++j) {
+    right_grams.push_back(text::GramSet::Of(
+        right.row(j).at(spec.right_column).AsString(), spec.qgram));
+  }
+  for (size_t i = 0; i < left.size(); ++i) {
+    const std::string& lkey = left.row(i).at(spec.left_column).AsString();
+    const text::GramSet lgrams = text::GramSet::Of(lkey, spec.qgram);
+    for (size_t j = 0; j < right.size(); ++j) {
+      double sim;
+      if (lgrams.empty() && right_grams[j].empty()) {
+        // Mirror the engine's degenerate-probe rule: gram-less strings
+        // match only by equality.
+        sim = (lkey == right.row(j).at(spec.right_column).AsString()) ? 1.0
+                                                                      : 0.0;
+      } else {
+        sim = text::SetSimilarity(spec.measure, lgrams, right_grams[j]);
+      }
+      if (sim >= spec.sim_threshold) {
+        out.push_back(BrutePair{i, j, sim});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace join
+}  // namespace aqp

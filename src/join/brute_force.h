@@ -1,0 +1,50 @@
+#ifndef AQP_JOIN_BRUTE_FORCE_H_
+#define AQP_JOIN_BRUTE_FORCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "join/join_types.h"
+#include "storage/relation.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief A matching (left row index, right row index, similarity)
+/// triple from a brute-force join.
+struct BrutePair {
+  size_t left_row;
+  size_t right_row;
+  double similarity;
+
+  friend bool operator==(const BrutePair& a, const BrutePair& b) {
+    return a.left_row == b.left_row && a.right_row == b.right_row;
+  }
+  friend bool operator<(const BrutePair& a, const BrutePair& b) {
+    return a.left_row != b.left_row ? a.left_row < b.left_row
+                                    : a.right_row < b.right_row;
+  }
+};
+
+/// \brief O(n·m) reference joins used as ground truth by the property
+/// tests and as the "what a non-pipelined engine would do" comparator
+/// in benches. Deliberately simple — correctness oracle, not a
+/// competitor.
+/// @{
+
+/// All pairs with bytewise-equal join attributes.
+std::vector<BrutePair> BruteForceExactJoin(const storage::Relation& left,
+                                           const storage::Relation& right,
+                                           const JoinSpec& spec);
+
+/// All pairs whose set similarity reaches spec.sim_threshold, computed
+/// by direct gram-set intersection (no index, no count filter).
+std::vector<BrutePair> BruteForceSimilarityJoin(const storage::Relation& left,
+                                                const storage::Relation& right,
+                                                const JoinSpec& spec);
+/// @}
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_BRUTE_FORCE_H_

@@ -1,0 +1,41 @@
+#include "join/exact_index.h"
+
+namespace aqp {
+namespace join {
+
+size_t ExactIndex::CatchUpWith(const storage::TupleStore& store) {
+  const size_t target = store.size();
+  size_t inserted = 0;
+  for (size_t i = watermark_; i < target; ++i) {
+    const auto id = static_cast<storage::TupleId>(i);
+    buckets_[store.JoinKey(id)].push_back(id);
+    ++inserted;
+  }
+  watermark_ = target;
+  return inserted;
+}
+
+const std::vector<storage::TupleId>* ExactIndex::Probe(
+    const std::string& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+double ExactIndex::AverageBucketLength() const {
+  if (buckets_.empty()) return 0.0;
+  return static_cast<double>(watermark_) /
+         static_cast<double>(buckets_.size());
+}
+
+size_t ExactIndex::ApproximateMemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [key, postings] : buckets_) {
+    bytes += key.capacity() + sizeof(key);
+    bytes += postings.capacity() * sizeof(storage::TupleId) +
+             sizeof(postings);
+  }
+  return bytes;
+}
+
+}  // namespace join
+}  // namespace aqp

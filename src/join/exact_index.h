@@ -1,0 +1,50 @@
+#ifndef AQP_JOIN_EXACT_INDEX_H_
+#define AQP_JOIN_EXACT_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple_store.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief SHJoin's per-operand hash table: join-attribute value →
+/// tuples carrying it (Fig. 3, left).
+///
+/// The index lags its TupleStore deliberately: the adaptive processor
+/// only keeps the *live* structure current (§2.3, "the other lags
+/// behind"), so insertion is expressed as catch-up to the store's
+/// current size. `watermark()` is the number of store tuples indexed so
+/// far.
+class ExactIndex {
+ public:
+  /// Indexes store tuples [watermark, store.size()); returns how many
+  /// tuples were inserted (the switch-cost driver).
+  size_t CatchUpWith(const storage::TupleStore& store);
+
+  /// Tuples whose join attribute equals `key`, or nullptr if none.
+  const std::vector<storage::TupleId>* Probe(const std::string& key) const;
+
+  /// Number of store tuples indexed so far.
+  size_t watermark() const { return watermark_; }
+
+  /// Number of distinct join-attribute values.
+  size_t distinct_keys() const { return buckets_.size(); }
+
+  /// Average bucket length B_ex (Table 1's cost parameter).
+  double AverageBucketLength() const;
+
+  /// Rough heap footprint in bytes (§2.3: n · p plus key storage).
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<storage::TupleId>> buckets_;
+  size_t watermark_ = 0;
+};
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_EXACT_INDEX_H_

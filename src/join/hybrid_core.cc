@@ -1,0 +1,95 @@
+#include "join/hybrid_core.h"
+
+namespace aqp {
+namespace join {
+
+const char* ProbeModeName(ProbeMode mode) {
+  return mode == ProbeMode::kExact ? "exact" : "approximate";
+}
+
+HybridJoinCore::HybridJoinCore(const JoinSpec& spec,
+                               ApproxProbeOptions approx_options)
+    : spec_(spec),
+      approx_options_(approx_options),
+      stores_{storage::TupleStore(spec.left_column),
+              storage::TupleStore(spec.right_column)},
+      exact_{},
+      qgram_{QGramIndex(spec.qgram), QGramIndex(spec.qgram)} {}
+
+void HybridJoinCore::MaintainLiveIndex(Side side) {
+  const size_t s = Idx(side);
+  const size_t o = Idx(OtherSide(side));
+  // The index built over `side` is probed by tuples read from the
+  // *other* side, so the other side's probe mode selects which of this
+  // side's structures must stay current.
+  if (mode_[o] == ProbeMode::kExact) {
+    exact_[s].CatchUpWith(stores_[s]);
+  } else {
+    qgram_[s].CatchUpWith(stores_[s]);
+  }
+}
+
+std::vector<JoinMatch> HybridJoinCore::ProcessTuple(Side side,
+                                                    storage::Tuple tuple) {
+  const size_t s = Idx(side);
+  const size_t o = Idx(OtherSide(side));
+  const storage::TupleId id = stores_[s].Add(std::move(tuple));
+  MaintainLiveIndex(side);
+
+  const std::string& key = stores_[s].JoinKey(id);
+  std::vector<JoinMatch> matches;
+  if (mode_[s] == ProbeMode::kExact) {
+    matches = ProbeExact(exact_[o], key, side, id);
+  } else {
+    matches = ProbeApproximate(qgram_[o], stores_[o], key, spec_, side, id,
+                               approx_options_, &approx_stats_);
+  }
+
+  for (const JoinMatch& m : matches) {
+    if (m.kind == MatchKind::kExact) {
+      stores_[s].SetMatchedExactly(id);
+      stores_[o].SetMatchedExactly(m.stored_id);
+      ++exact_pairs_;
+    } else {
+      ++approximate_pairs_;
+    }
+    if (stores_[s].SetMatchedAny(id)) {
+      stores_[s].IncrementMatchedAnyCount();
+    }
+    if (stores_[o].SetMatchedAny(m.stored_id)) {
+      stores_[o].IncrementMatchedAnyCount();
+    }
+  }
+  pairs_emitted_ += matches.size();
+  return matches;
+}
+
+size_t HybridJoinCore::SetProbeMode(Side side, ProbeMode mode) {
+  const size_t s = Idx(side);
+  if (mode_[s] == mode) return 0;
+  mode_[s] = mode;
+  // Tuples from `side` now probe the opposite side through a different
+  // structure; bring it up to date with everything seen so far.
+  const size_t o = Idx(OtherSide(side));
+  size_t caught_up = 0;
+  if (mode == ProbeMode::kExact) {
+    caught_up = exact_[o].CatchUpWith(stores_[o]);
+  } else {
+    caught_up = qgram_[o].CatchUpWith(stores_[o]);
+  }
+  catchup_tuples_ += caught_up;
+  return caught_up;
+}
+
+size_t HybridJoinCore::ApproximateMemoryUsage() const {
+  size_t bytes = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    bytes += stores_[i].ApproximateMemoryUsage();
+    bytes += exact_[i].ApproximateMemoryUsage();
+    bytes += qgram_[i].ApproximateMemoryUsage();
+  }
+  return bytes;
+}
+
+}  // namespace join
+}  // namespace aqp

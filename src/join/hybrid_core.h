@@ -1,0 +1,121 @@
+#ifndef AQP_JOIN_HYBRID_CORE_H_
+#define AQP_JOIN_HYBRID_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/exact_index.h"
+#include "join/join_types.h"
+#include "join/probe.h"
+#include "join/qgram_index.h"
+#include "storage/tuple_store.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief How tuples read from one input are matched against the other.
+///
+/// The state names of the paper's four-state machine (§3.4) are the
+/// per-side probe modes: in `lap/rex`, tuples read from the left probe
+/// the right via the q-gram index (approximate) while tuples read from
+/// the right probe the left via the exact hash table.
+enum class ProbeMode { kExact, kApproximate };
+
+/// "exact" / "approximate".
+const char* ProbeModeName(ProbeMode mode);
+
+/// \brief The switchable symmetric join engine shared by SHJoin,
+/// SSHJoin, and the adaptive operator.
+///
+/// The core owns, per operand: the tuple store (tuples are kept exactly
+/// once, §2.3), the exact hash index, and the q-gram index. Only the
+/// *live* structures — those the current mode combination probes — are
+/// kept current; the others lag behind their store and are caught up at
+/// switch points via watermarks, so switch cost is proportional to the
+/// tuples seen since the previous switch, exactly as §2.3 prescribes.
+///
+/// The core is deliberately input-agnostic: callers (pipelined operator
+/// wrappers, tests, benches) feed tuples through ProcessTuple() in
+/// whatever order their scheduler chooses. One ProcessTuple call is one
+/// "step" of the paper: the sequence of elementary operations between
+/// two quiescent states.
+class HybridJoinCore {
+ public:
+  /// Constructs the engine. The spec must already be validated.
+  explicit HybridJoinCore(const JoinSpec& spec,
+                          ApproxProbeOptions approx_options = {});
+
+  /// Ingests one tuple read from `side`: appends it to the side's
+  /// store, maintains the side's live index, and probes the opposite
+  /// side according to `probe_mode(side)`. Returns all matches for the
+  /// tuple (the step's complete output — afterwards the operator is
+  /// quiescent again). Matched-exactly flags (§3.3) and distinct-match
+  /// counters are updated.
+  std::vector<JoinMatch> ProcessTuple(Side side, storage::Tuple tuple);
+
+  /// Current probe mode of tuples read from `side`.
+  ProbeMode probe_mode(Side side) const { return mode_[Idx(side)]; }
+
+  /// Changes how tuples read from `side` probe. Catches up the
+  /// opposite side's newly live index; returns the number of tuples
+  /// inserted during catch-up (0 when the mode is unchanged).
+  size_t SetProbeMode(Side side, ProbeMode mode);
+
+  /// \name Introspection.
+  /// @{
+  const storage::TupleStore& store(Side side) const {
+    return stores_[Idx(side)];
+  }
+  const ExactIndex& exact_index(Side side) const {
+    return exact_[Idx(side)];
+  }
+  const QGramIndex& qgram_index(Side side) const {
+    return qgram_[Idx(side)];
+  }
+  const JoinSpec& spec() const { return spec_; }
+
+  /// Distinct tuples of `side` matched at least once.
+  uint64_t distinct_matched(Side side) const {
+    return stores_[Idx(side)].matched_any_count();
+  }
+
+  /// Total pairs emitted so far.
+  uint64_t pairs_emitted() const { return pairs_emitted_; }
+  /// Pairs by kind.
+  uint64_t exact_pairs() const { return exact_pairs_; }
+  uint64_t approximate_pairs() const { return approximate_pairs_; }
+
+  /// Cumulative work counters of all approximate probes.
+  const ApproxProbeStats& approx_probe_stats() const { return approx_stats_; }
+
+  /// Tuples inserted by all switch catch-ups so far.
+  uint64_t catchup_tuples() const { return catchup_tuples_; }
+
+  /// Rough total heap footprint (stores + all four indexes).
+  size_t ApproximateMemoryUsage() const;
+  /// @}
+
+ private:
+  static size_t Idx(Side side) { return static_cast<size_t>(side); }
+
+  /// Keeps `side`'s live index (the one the opposite side probes)
+  /// current with the side's store.
+  void MaintainLiveIndex(Side side);
+
+  JoinSpec spec_;
+  ApproxProbeOptions approx_options_;
+  storage::TupleStore stores_[2];
+  ExactIndex exact_[2];
+  QGramIndex qgram_[2];
+  ProbeMode mode_[2] = {ProbeMode::kExact, ProbeMode::kExact};
+  uint64_t pairs_emitted_ = 0;
+  uint64_t exact_pairs_ = 0;
+  uint64_t approximate_pairs_ = 0;
+  uint64_t catchup_tuples_ = 0;
+  ApproxProbeStats approx_stats_;
+};
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_HYBRID_CORE_H_

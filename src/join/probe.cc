@@ -1,0 +1,124 @@
+#include "join/probe.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/similarity.h"
+
+namespace aqp {
+namespace join {
+
+void ApproxProbeStats::MergeFrom(const ApproxProbeStats& other) {
+  grams += other.grams;
+  postings_scanned += other.postings_scanned;
+  candidates += other.candidates;
+  verified += other.verified;
+  matches += other.matches;
+}
+
+std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
+                                  const std::string& key, Side probe_side,
+                                  storage::TupleId probe_id) {
+  std::vector<JoinMatch> out;
+  const std::vector<storage::TupleId>* bucket = index.Probe(key);
+  if (bucket == nullptr) return out;
+  out.reserve(bucket->size());
+  for (storage::TupleId stored : *bucket) {
+    out.push_back(JoinMatch{probe_side, probe_id, stored, 1.0,
+                            MatchKind::kExact});
+  }
+  return out;
+}
+
+std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
+                                        const storage::TupleStore& store,
+                                        const std::string& probe_key,
+                                        const JoinSpec& spec, Side probe_side,
+                                        storage::TupleId probe_id,
+                                        const ApproxProbeOptions& options,
+                                        ApproxProbeStats* stats) {
+  std::vector<JoinMatch> out;
+  const text::GramSet probe_grams =
+      text::GramSet::Of(probe_key, spec.qgram);
+  if (stats != nullptr) stats->grams += probe_grams.size();
+
+  if (probe_grams.empty()) {
+    // Degenerate probe (possible only without padding): it can only
+    // match stored tuples that are also gram-less, by string equality.
+    for (storage::TupleId stored : index.empty_gram_tuples()) {
+      if (store.JoinKey(stored) == probe_key) {
+        out.push_back(JoinMatch{probe_side, probe_id, stored, 1.0,
+                                MatchKind::kExact});
+        if (stats != nullptr) ++stats->matches;
+      }
+    }
+    return out;
+  }
+
+  const size_t g = probe_grams.size();
+  const size_t k =
+      text::MinOverlapForThreshold(spec.measure, g, spec.sim_threshold);
+
+  // Order the probe's grams; "reverse frequency order" = rarest first.
+  std::vector<std::pair<size_t, text::GramKey>> ordered;
+  ordered.reserve(g);
+  for (text::GramKey key : probe_grams.grams()) {
+    ordered.emplace_back(index.Frequency(key), key);
+  }
+  if (options.rare_grams_first) {
+    std::sort(ordered.begin(), ordered.end());
+  }
+
+  // T(t): candidate tuple -> number of shared grams seen so far. For
+  // every candidate in T the final count equals the exact overlap,
+  // because each shared gram either inserted it or incremented it.
+  std::unordered_map<storage::TupleId, uint32_t> counters;
+  counters.reserve(64);
+  const size_t insert_phase_end =
+      options.insert_phase_optimization && k <= g ? g - k + 1 : g;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const std::vector<storage::TupleId>* postings =
+        index.Postings(ordered[i].second);
+    if (postings == nullptr) continue;
+    if (stats != nullptr) stats->postings_scanned += postings->size();
+    const bool may_insert = i < insert_phase_end;
+    for (storage::TupleId candidate : *postings) {
+      if (may_insert) {
+        ++counters[candidate];
+      } else {
+        auto it = counters.find(candidate);
+        if (it != counters.end()) ++it->second;
+      }
+    }
+  }
+  if (stats != nullptr) stats->candidates += counters.size();
+
+  // Verification: the counter is the overlap; all four coefficients
+  // are functions of (g, candidate gram-set size, overlap).
+  for (const auto& [candidate, overlap] : counters) {
+    if (overlap < k) continue;
+    if (stats != nullptr) ++stats->verified;
+    const size_t candidate_size = index.GramSetSize(candidate);
+    const double sim = text::SetSimilarityFromOverlap(
+        spec.measure, g, candidate_size, overlap);
+    if (sim < spec.sim_threshold) continue;
+    // Identical gram sets do not imply identical strings; the exact
+    // flag (§3.3) requires bytewise equality.
+    const bool equal =
+        sim >= 1.0 && store.JoinKey(candidate) == probe_key;
+    out.push_back(JoinMatch{probe_side, probe_id, candidate,
+                            equal ? 1.0 : sim,
+                            equal ? MatchKind::kExact
+                                  : MatchKind::kApproximate});
+    if (stats != nullptr) ++stats->matches;
+  }
+  // Deterministic output order (unordered_map iteration is not).
+  std::sort(out.begin(), out.end(),
+            [](const JoinMatch& a, const JoinMatch& b) {
+              return a.stored_id < b.stored_id;
+            });
+  return out;
+}
+
+}  // namespace join
+}  // namespace aqp

@@ -1,0 +1,75 @@
+#ifndef AQP_JOIN_PROBE_H_
+#define AQP_JOIN_PROBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "join/exact_index.h"
+#include "join/join_types.h"
+#include "join/qgram_index.h"
+#include "storage/tuple_store.h"
+#include "text/qgram.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief Knobs for the approximate probe (ablation switches; the
+/// defaults are the paper's algorithm).
+struct ApproxProbeOptions {
+  /// §2.2's optimization: only the first g-k+1 grams may *insert*
+  /// candidates into T(t); the remaining k-1 grams only increment
+  /// counters of existing candidates. Sound because a tuple sharing
+  /// none of the first g-k+1 grams can share at most k-1 < k grams.
+  bool insert_phase_optimization = true;
+  /// Process probe grams in ascending posting-frequency order
+  /// ("reverse frequency order"), so the insert phase consumes the
+  /// rarest — shortest — posting lists and T(t) stays small.
+  bool rare_grams_first = true;
+};
+
+/// \brief Work counters for one approximate probe, feeding the Table 1
+/// cost model.
+struct ApproxProbeStats {
+  uint64_t grams = 0;                ///< |q(t)| of the probe
+  uint64_t postings_scanned = 0;     ///< Σ posting-list lengths touched
+  uint64_t candidates = 0;           ///< |T(t)|
+  uint64_t verified = 0;             ///< candidates reaching count k
+  uint64_t matches = 0;              ///< pairs passing the threshold
+
+  void MergeFrom(const ApproxProbeStats& other);
+};
+
+/// \brief Probes the exact index with a join-attribute value.
+///
+/// Returns one JoinMatch (kind kExact, similarity 1.0) per stored tuple
+/// whose attribute equals `key`.
+std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
+                                  const std::string& key, Side probe_side,
+                                  storage::TupleId probe_id);
+
+/// \brief Probes the q-gram index with a probe tuple's join-attribute
+/// value — the SSHJoin NEXT() kernel (§2.2).
+///
+/// Implements candidate generation via counted gram lookups with the
+/// insert-phase optimization, then verifies every candidate with the
+/// exact coefficient computed from (probe size, candidate size,
+/// overlap). The result is exactly the set of stored tuples with
+/// sim(probe, stored) >= spec.sim_threshold; matches whose strings are
+/// bytewise equal are flagged kExact (similarity 1.0), the rest
+/// kApproximate.
+///
+/// `store` supplies candidate strings for the equality check; `stats`
+/// may be null.
+std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
+                                        const storage::TupleStore& store,
+                                        const std::string& probe_key,
+                                        const JoinSpec& spec, Side probe_side,
+                                        storage::TupleId probe_id,
+                                        const ApproxProbeOptions& options,
+                                        ApproxProbeStats* stats);
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_PROBE_H_

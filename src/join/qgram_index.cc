@@ -1,0 +1,60 @@
+#include "join/qgram_index.h"
+
+namespace aqp {
+namespace join {
+
+size_t QGramIndex::CatchUpWith(const storage::TupleStore& store) {
+  const size_t target = store.size();
+  size_t inserted = 0;
+  gram_sets_.reserve(target);
+  for (size_t i = watermark_; i < target; ++i) {
+    const auto id = static_cast<storage::TupleId>(i);
+    text::GramSet set = text::GramSet::Of(store.JoinKey(id), options_);
+    if (set.empty()) {
+      empty_gram_tuples_.push_back(id);
+    } else {
+      for (text::GramKey key : set.grams()) {
+        postings_[key].push_back(id);
+        ++total_postings_;
+      }
+    }
+    gram_sets_.push_back(std::move(set));
+    ++inserted;
+  }
+  watermark_ = target;
+  return inserted;
+}
+
+const std::vector<storage::TupleId>* QGramIndex::Postings(
+    text::GramKey key) const {
+  auto it = postings_.find(key);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+size_t QGramIndex::Frequency(text::GramKey key) const {
+  auto it = postings_.find(key);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+double QGramIndex::AveragePostingLength() const {
+  if (postings_.empty()) return 0.0;
+  return static_cast<double>(total_postings_) /
+         static_cast<double>(postings_.size());
+}
+
+size_t QGramIndex::ApproximateMemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [key, postings] : postings_) {
+    bytes += sizeof(key);
+    bytes += postings.capacity() * sizeof(storage::TupleId) +
+             sizeof(postings);
+  }
+  for (const text::GramSet& set : gram_sets_) {
+    bytes += set.grams().capacity() * sizeof(text::GramKey) + sizeof(set);
+  }
+  bytes += empty_gram_tuples_.capacity() * sizeof(storage::TupleId);
+  return bytes;
+}
+
+}  // namespace join
+}  // namespace aqp

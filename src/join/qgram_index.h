@@ -1,0 +1,84 @@
+#ifndef AQP_JOIN_QGRAM_INDEX_H_
+#define AQP_JOIN_QGRAM_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple_store.h"
+#include "text/qgram.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief SSHJoin's per-operand structure: q-gram → tuples containing
+/// it (Fig. 3, right), plus the gram set of every indexed tuple.
+///
+/// The posting list length of a gram is its *frequency* — the quantity
+/// SSHJoin's probe uses to order grams rarest-first (§2.2). Gram sets
+/// are retained so the verifier can compute exact coefficients from
+/// (probe size, candidate size, overlap) without touching strings, and
+/// so equality of rebuilt-vs-caught-up indexes is testable.
+///
+/// Like ExactIndex, the structure lags its TupleStore and is advanced
+/// by CatchUpWith().
+class QGramIndex {
+ public:
+  /// The index extracts q-grams with these options.
+  explicit QGramIndex(text::QGramOptions options)
+      : options_(options) {}
+
+  /// Indexes store tuples [watermark, store.size()); returns how many
+  /// tuples were inserted.
+  size_t CatchUpWith(const storage::TupleStore& store);
+
+  /// Posting list of a gram (tuples whose join attribute contains it),
+  /// or nullptr if the gram is unknown.
+  const std::vector<storage::TupleId>* Postings(text::GramKey key) const;
+
+  /// Frequency of a gram: number of indexed tuples containing it.
+  size_t Frequency(text::GramKey key) const;
+
+  /// Gram-set size of an indexed tuple (id < watermark()).
+  size_t GramSetSize(storage::TupleId id) const {
+    return gram_sets_[id].size();
+  }
+
+  /// Gram set of an indexed tuple.
+  const text::GramSet& GramSetOf(storage::TupleId id) const {
+    return gram_sets_[id];
+  }
+
+  /// Indexed tuples whose join attribute produced no grams (empty
+  /// strings when padding is off); they can only match each other.
+  const std::vector<storage::TupleId>& empty_gram_tuples() const {
+    return empty_gram_tuples_;
+  }
+
+  /// Number of store tuples indexed so far.
+  size_t watermark() const { return watermark_; }
+
+  /// Number of distinct grams in the index.
+  size_t distinct_grams() const { return postings_.size(); }
+
+  /// Average posting-list length B_ap (Table 1's cost parameter).
+  double AveragePostingLength() const;
+
+  /// Extraction options.
+  const text::QGramOptions& options() const { return options_; }
+
+  /// Rough heap footprint in bytes (§2.3: n · (|jA|+q-1) · p).
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  text::QGramOptions options_;
+  std::unordered_map<text::GramKey, std::vector<storage::TupleId>> postings_;
+  std::vector<text::GramSet> gram_sets_;  // indexed by TupleId
+  std::vector<storage::TupleId> empty_gram_tuples_;
+  size_t watermark_ = 0;
+  size_t total_postings_ = 0;
+};
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_QGRAM_INDEX_H_

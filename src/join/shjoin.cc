@@ -1,0 +1,4 @@
+#include "join/shjoin.h"
+
+// SHJoin is fully defined in the header; this translation unit anchors
+// the type for the library target.

@@ -1,0 +1,27 @@
+#ifndef AQP_JOIN_SHJOIN_H_
+#define AQP_JOIN_SHJOIN_H_
+
+#include "join/symmetric_join.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief SHJoin — the exact pipelined symmetric hash join (Wilschut &
+/// Apers), §2.1.
+///
+/// Both inputs are matched by join-attribute equality through the two
+/// hash tables built in parallel while reading; results stream out
+/// without waiting for input exhaustion. This is the all-exact baseline
+/// of the paper's evaluation (result size `r`, cost `c`).
+class SHJoin : public SymmetricJoin {
+ public:
+  SHJoin(exec::Operator* left, exec::Operator* right,
+         SymmetricJoinOptions options)
+      : SymmetricJoin(left, right, std::move(options), ProbeMode::kExact,
+                      ProbeMode::kExact, "SHJoin") {}
+};
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_SHJOIN_H_

@@ -1,0 +1,4 @@
+#include "join/sshjoin.h"
+
+// SSHJoin is fully defined in the header; this translation unit anchors
+// the type for the library target.

@@ -1,0 +1,95 @@
+#include "join/symmetric_join.h"
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace aqp {
+namespace join {
+
+SymmetricJoin::SymmetricJoin(exec::Operator* left, exec::Operator* right,
+                             SymmetricJoinOptions options,
+                             ProbeMode initial_left_mode,
+                             ProbeMode initial_right_mode, std::string name)
+    : left_(left),
+      right_(right),
+      options_(std::move(options)),
+      name_(std::move(name)),
+      core_(options_.spec, options_.approx),
+      scheduler_(options_.interleave, options_.left_size_hint,
+                 options_.right_size_hint),
+      output_schema_() {
+  core_.SetProbeMode(exec::Side::kLeft, initial_left_mode);
+  core_.SetProbeMode(exec::Side::kRight, initial_right_mode);
+}
+
+Status SymmetricJoin::Open() {
+  if (open_) return Status::FailedPrecondition(name_ + " already open");
+  AQP_RETURN_IF_ERROR(options_.spec.ValidateAgainstSchemas(
+      left_->output_schema(), right_->output_schema()));
+  AQP_RETURN_IF_ERROR(left_->Open());
+  AQP_RETURN_IF_ERROR(right_->Open());
+  output_schema_ = JoinOutputSchema(left_->output_schema(),
+                                    right_->output_schema(),
+                                    options_.emit_similarity);
+  open_ = true;
+  left_done_ = false;
+  right_done_ = false;
+  return Status::OK();
+}
+
+storage::Tuple SymmetricJoin::BuildOutput(const JoinMatch& match) const {
+  const storage::Tuple& l = core_.store(exec::Side::kLeft).Get(match.left_id());
+  const storage::Tuple& r =
+      core_.store(exec::Side::kRight).Get(match.right_id());
+  storage::Tuple out = storage::Tuple::Concat(l, r);
+  if (options_.emit_similarity) {
+    out.Append(storage::Value(match.similarity));
+  }
+  return out;
+}
+
+Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
+  if (!open_) return Status::FailedPrecondition(name_ + " not open");
+  while (pending_.empty()) {
+    // Quiescent: the previous tuple's matches are fully enumerated.
+    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
+    auto side = scheduler_.NextSide(left_done_, right_done_);
+    if (!side.has_value()) return std::optional<storage::Tuple>();
+    exec::Operator* input =
+        (*side == exec::Side::kLeft) ? left_ : right_;
+    auto next = input->Next();
+    if (!next.ok()) return next.status();
+    if (!next->has_value()) {
+      if (*side == exec::Side::kLeft) {
+        left_done_ = true;
+      } else {
+        right_done_ = true;
+      }
+      continue;
+    }
+    scheduler_.OnRead(*side);
+    Timer timer;
+    std::vector<JoinMatch> matches =
+        core_.ProcessTuple(*side, std::move(**next));
+    const int64_t elapsed_ns = timer.ElapsedNanos();
+    ++steps_;
+    for (const JoinMatch& m : matches) {
+      pending_.push_back(BuildOutput(m));
+    }
+    OnStepCompleted(*side, matches, elapsed_ns);
+  }
+  storage::Tuple out = std::move(pending_.front());
+  pending_.pop_front();
+  return std::optional<storage::Tuple>(std::move(out));
+}
+
+Status SymmetricJoin::Close() {
+  if (!open_) return Status::FailedPrecondition(name_ + " not open");
+  open_ = false;
+  AQP_RETURN_IF_ERROR(left_->Close());
+  AQP_RETURN_IF_ERROR(right_->Close());
+  return Status::OK();
+}
+
+}  // namespace join
+}  // namespace aqp

@@ -1,0 +1,116 @@
+#ifndef AQP_JOIN_SYMMETRIC_JOIN_H_
+#define AQP_JOIN_SYMMETRIC_JOIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "exec/interleave.h"
+#include "exec/operator.h"
+#include "join/hybrid_core.h"
+#include "join/join_types.h"
+
+namespace aqp {
+namespace join {
+
+/// \brief Configuration shared by all symmetric join operators.
+struct SymmetricJoinOptions {
+  /// What to join and how to compare (θ_sim, q, measure).
+  JoinSpec spec;
+  /// Input alternation policy (the paper scans "each of the tables in
+  /// turn").
+  exec::InterleavePolicy interleave = exec::InterleavePolicy::kAlternate;
+  /// Expected input cardinalities for the proportional policy
+  /// (0 = unknown).
+  uint64_t left_size_hint = 0;
+  uint64_t right_size_hint = 0;
+  /// Append a "sim" double column to every output tuple.
+  bool emit_similarity = false;
+  /// Approximate-probe knobs (ablation switches).
+  ApproxProbeOptions approx;
+};
+
+/// \brief Pipelined symmetric join driver: pulls from two child
+/// operators, feeds a HybridJoinCore, and enumerates result tuples.
+///
+/// This is the iterator of Fig. 2: Next() either returns an outstanding
+/// match of the current probe tuple (non-quiescent states) or advances
+/// the join by whole steps until output appears (each step ends in a
+/// quiescent state, §2.1). Subclasses hook into the step loop:
+///
+/// - OnStepCompleted() fires right after each step with its matches and
+///   elapsed time (monitor feed);
+/// - OnQuiescentPoint() fires between steps while no output is pending
+///   — the only moments where probe modes may be switched safely
+///   (assess/respond).
+///
+/// SHJoin pins both modes to exact, SSHJoin to approximate; the
+/// adaptive operator drives them through the MAR controller.
+class SymmetricJoin : public exec::Operator {
+ public:
+  /// Children are borrowed, not owned, and must outlive the join.
+  SymmetricJoin(exec::Operator* left, exec::Operator* right,
+                SymmetricJoinOptions options, ProbeMode initial_left_mode,
+                ProbeMode initial_right_mode, std::string name);
+
+  Status Open() override;
+  Result<std::optional<storage::Tuple>> Next() override;
+  Status Close() override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+  /// Quiescent iff no matches of the last probe tuple remain pending.
+  bool quiescent() const override { return pending_.empty(); }
+  std::string name() const override { return name_; }
+
+  /// \name Introspection.
+  /// @{
+  const HybridJoinCore& core() const { return core_; }
+  /// Steps executed so far (= input tuples fully processed).
+  uint64_t steps() const { return steps_; }
+  /// True once `side`'s input has reported end-of-stream.
+  bool input_exhausted(exec::Side side) const {
+    return side == exec::Side::kLeft ? left_done_ : right_done_;
+  }
+  const SymmetricJoinOptions& options() const { return options_; }
+  /// @}
+
+ protected:
+  /// Called between steps whenever the operator is quiescent; the only
+  /// safe point for SetProbeMode(). Default: no adaptation.
+  virtual Status OnQuiescentPoint() { return Status::OK(); }
+
+  /// Called after each step with the side read, the step's matches,
+  /// and the elapsed wall time of the core work.
+  virtual void OnStepCompleted(exec::Side side,
+                               const std::vector<JoinMatch>& matches,
+                               int64_t elapsed_ns) {
+    (void)side;
+    (void)matches;
+    (void)elapsed_ns;
+  }
+
+  /// Mutable core access for subclasses (responder switches).
+  HybridJoinCore* mutable_core() { return &core_; }
+
+ private:
+  storage::Tuple BuildOutput(const JoinMatch& match) const;
+
+  exec::Operator* left_;
+  exec::Operator* right_;
+  SymmetricJoinOptions options_;
+  std::string name_;
+  HybridJoinCore core_;
+  exec::InterleaveScheduler scheduler_;
+  storage::Schema output_schema_;
+  std::deque<storage::Tuple> pending_;
+  uint64_t steps_ = 0;
+  bool left_done_ = false;
+  bool right_done_ = false;
+  bool open_ = false;
+};
+
+}  // namespace join
+}  // namespace aqp
+
+#endif  // AQP_JOIN_SYMMETRIC_JOIN_H_

@@ -1,0 +1,45 @@
+#include "metrics/gain_cost.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aqp {
+namespace metrics {
+
+double GainCost::RelativeGain() const {
+  const double gap = R - r;
+  if (gap <= 0.0) return 1.0;
+  return (r_abs - r) / gap;
+}
+
+double GainCost::RelativeCost() const {
+  const double gap = C - c;
+  if (gap <= 0.0) return c_abs > 0.0 ? 1.0 : 0.0;
+  return c_abs / gap;
+}
+
+double GainCost::RelativeCostGap() const {
+  const double gap = C - c;
+  if (gap <= 0.0) return 0.0;
+  return (c_abs - c) / gap;
+}
+
+double GainCost::Efficiency() const {
+  const double c_rel = RelativeCost();
+  if (c_rel == 0.0) return RelativeGain() > 0.0 ? 1e9 : 0.0;
+  return RelativeGain() / c_rel;
+}
+
+std::string GainCost::ToString() const {
+  std::ostringstream os;
+  os << "gain=" << FormatDouble(RelativeGain(), 3)
+     << " cost=" << FormatDouble(RelativeCost(), 3)
+     << " e=" << FormatDouble(Efficiency(), 2) << " (r=" << r
+     << ", r_abs=" << r_abs << ", R=" << R << "; c=" << c
+     << ", c_abs=" << c_abs << ", C=" << C << ")";
+  return os.str();
+}
+
+}  // namespace metrics
+}  // namespace aqp

@@ -1,0 +1,119 @@
+#include "metrics/report.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace aqp {
+namespace metrics {
+
+using adaptive::kAllProcessorStates;
+using adaptive::ProcessorState;
+using adaptive::StateIndex;
+
+void PrintFig6GainCost(const std::vector<ExperimentResult>& results,
+                       std::ostream& os) {
+  os << "Fig. 6 — Gain and cost across all test cases\n";
+  TablePrinter table({"test case", "g_rel", "c_rel", "e", "r (exact)",
+                      "r_abs (adaptive)", "R (approx)", "completeness"});
+  for (const ExperimentResult& res : results) {
+    table.AddRow({res.label, FormatDouble(res.weighted.RelativeGain(), 3),
+                  FormatDouble(res.weighted.RelativeCost(), 3),
+                  FormatDouble(res.weighted.Efficiency(), 2),
+                  std::to_string(static_cast<uint64_t>(res.weighted.r)),
+                  std::to_string(static_cast<uint64_t>(res.weighted.r_abs)),
+                  std::to_string(static_cast<uint64_t>(res.weighted.R)),
+                  FormatDouble(res.adaptive_completeness, 3)});
+  }
+  table.Print(os);
+}
+
+void PrintFig7TimeBreakdown(const std::vector<ExperimentResult>& results,
+                            std::ostream& os) {
+  os << "Fig. 7 — Breakdown of relative execution times (steps per state)\n";
+  TablePrinter table({"test case", "EE %", "AE %", "EA %", "AA %",
+                      "transitions", "steps"});
+  for (const ExperimentResult& res : results) {
+    const RunStats& run = res.adaptive;
+    table.AddRow(
+        {res.label,
+         FormatDouble(100.0 * run.StepShare(ProcessorState::kLexRex), 1),
+         FormatDouble(100.0 * run.StepShare(ProcessorState::kLapRex), 1),
+         FormatDouble(100.0 * run.StepShare(ProcessorState::kLexRap), 1),
+         FormatDouble(100.0 * run.StepShare(ProcessorState::kLapRap), 1),
+         std::to_string(run.total_transitions),
+         std::to_string(run.total_steps)});
+  }
+  table.Print(os);
+}
+
+void PrintFig8CostBreakdown(const std::vector<ExperimentResult>& results,
+                            const adaptive::StateWeights& weights,
+                            std::ostream& os) {
+  os << "Fig. 8 — Breakdown of relative execution costs (weighted, % of "
+        "c_abs)\n";
+  TablePrinter table({"test case", "EE %", "AE %", "EA %", "AA %",
+                      "transition %", "c_abs"});
+  for (const ExperimentResult& res : results) {
+    const RunStats& run = res.adaptive;
+    double state_cost[adaptive::kNumProcessorStates];
+    double transition_cost = 0.0;
+    double total = 0.0;
+    for (ProcessorState s : kAllProcessorStates) {
+      const size_t i = StateIndex(s);
+      state_cost[i] =
+          static_cast<double>(run.steps_per_state[i]) * weights.step[i];
+      transition_cost +=
+          static_cast<double>(run.transitions_into[i]) * weights.transition[i];
+      total += state_cost[i];
+    }
+    total += transition_cost;
+    auto share = [&](double cost) {
+      return FormatDouble(total > 0.0 ? 100.0 * cost / total : 0.0, 1);
+    };
+    table.AddRow({res.label,
+                  share(state_cost[StateIndex(ProcessorState::kLexRex)]),
+                  share(state_cost[StateIndex(ProcessorState::kLapRex)]),
+                  share(state_cost[StateIndex(ProcessorState::kLexRap)]),
+                  share(state_cost[StateIndex(ProcessorState::kLapRap)]),
+                  share(transition_cost), FormatDouble(total, 0)});
+  }
+  table.Print(os);
+}
+
+void WriteResultsCsv(const std::vector<ExperimentResult>& results,
+                     std::ostream& os) {
+  CsvWriter csv(&os);
+  csv.WriteRow({"test_case", "g_rel", "c_rel", "c_rel_gap", "efficiency",
+                "r_exact", "r_adaptive", "R_approx", "c_exact", "c_adaptive",
+                "C_approx", "steps_EE", "steps_AE", "steps_EA", "steps_AA",
+                "transitions", "catchup_tuples", "wall_exact_s",
+                "wall_adaptive_s", "wall_approx_s", "completeness_exact",
+                "completeness_adaptive", "completeness_approx"});
+  for (const ExperimentResult& res : results) {
+    const RunStats& run = res.adaptive;
+    csv.WriteRow(
+        {res.label, CsvWriter::Field(res.weighted.RelativeGain()),
+         CsvWriter::Field(res.weighted.RelativeCost()),
+         CsvWriter::Field(res.weighted.RelativeCostGap()),
+         CsvWriter::Field(res.weighted.Efficiency()),
+         CsvWriter::Field(res.weighted.r), CsvWriter::Field(res.weighted.r_abs),
+         CsvWriter::Field(res.weighted.R), CsvWriter::Field(res.weighted.c),
+         CsvWriter::Field(res.weighted.c_abs), CsvWriter::Field(res.weighted.C),
+         CsvWriter::Field(run.steps_per_state[0]),
+         CsvWriter::Field(run.steps_per_state[1]),
+         CsvWriter::Field(run.steps_per_state[2]),
+         CsvWriter::Field(run.steps_per_state[3]),
+         CsvWriter::Field(run.total_transitions),
+         CsvWriter::Field(run.catchup_tuples),
+         CsvWriter::Field(res.all_exact.wall_seconds),
+         CsvWriter::Field(res.adaptive.wall_seconds),
+         CsvWriter::Field(res.all_approx.wall_seconds),
+         CsvWriter::Field(res.exact_completeness),
+         CsvWriter::Field(res.adaptive_completeness),
+         CsvWriter::Field(res.approx_completeness)});
+  }
+}
+
+}  // namespace metrics
+}  // namespace aqp

@@ -1,0 +1,41 @@
+#ifndef AQP_METRICS_REPORT_H_
+#define AQP_METRICS_REPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "metrics/experiment.h"
+
+namespace aqp {
+namespace metrics {
+
+/// \brief Renderers reproducing the paper's result figures as text
+/// tables (one function per figure), plus CSV twins for downstream
+/// plotting.
+/// @{
+
+/// Fig. 6: g_rel, c_rel and efficiency e per test case.
+void PrintFig6GainCost(const std::vector<ExperimentResult>& results,
+                       std::ostream& os);
+
+/// Fig. 7: share of steps per state (EE/AE/EA/AA) and transition
+/// counts per test case.
+void PrintFig7TimeBreakdown(const std::vector<ExperimentResult>& results,
+                            std::ostream& os);
+
+/// Fig. 8: weighted execution-cost breakdown per state plus transition
+/// cost, per test case.
+void PrintFig8CostBreakdown(const std::vector<ExperimentResult>& results,
+                            const adaptive::StateWeights& weights,
+                            std::ostream& os);
+
+/// CSV rows covering everything the three figures show (one row per
+/// test case).
+void WriteResultsCsv(const std::vector<ExperimentResult>& results,
+                     std::ostream& os);
+/// @}
+
+}  // namespace metrics
+}  // namespace aqp
+
+#endif  // AQP_METRICS_REPORT_H_

@@ -1,0 +1,49 @@
+#include "metrics/run_stats.h"
+
+namespace aqp {
+namespace metrics {
+
+double RunStats::WeightedCost(const adaptive::StateWeights& weights) const {
+  double cost = 0.0;
+  for (size_t i = 0; i < adaptive::kNumProcessorStates; ++i) {
+    cost += static_cast<double>(steps_per_state[i]) * weights.step[i];
+    cost += static_cast<double>(transitions_into[i]) * weights.transition[i];
+  }
+  return cost;
+}
+
+double RunStats::StepShare(adaptive::ProcessorState s) const {
+  if (total_steps == 0) return 0.0;
+  return static_cast<double>(steps_per_state[adaptive::StateIndex(s)]) /
+         static_cast<double>(total_steps);
+}
+
+RunStats SummarizeRun(const adaptive::AdaptiveJoin& join,
+                      const std::string& label, double wall_seconds) {
+  RunStats stats;
+  stats.label = label;
+  const join::HybridJoinCore& core = join.core();
+  stats.result_pairs = core.pairs_emitted();
+  const exec::Side child =
+      exec::OtherSide(join.adaptive_options().adaptive.parent_side);
+  stats.distinct_children_matched = core.distinct_matched(child);
+  stats.exact_pairs = core.exact_pairs();
+  stats.approx_pairs = core.approximate_pairs();
+
+  const adaptive::CostAccountant& cost = join.cost();
+  stats.total_steps = cost.total_steps();
+  stats.total_transitions = cost.total_transitions();
+  for (adaptive::ProcessorState s : adaptive::kAllProcessorStates) {
+    stats.steps_per_state[adaptive::StateIndex(s)] = cost.steps(s);
+    stats.transitions_into[adaptive::StateIndex(s)] = cost.transitions(s);
+    stats.state_time_ns[adaptive::StateIndex(s)] = join.state_time_ns(s);
+  }
+  stats.catchup_tuples = core.catchup_tuples();
+  stats.wall_seconds = wall_seconds;
+  stats.probe = core.approx_probe_stats();
+  stats.memory_bytes = core.ApproximateMemoryUsage();
+  return stats;
+}
+
+}  // namespace metrics
+}  // namespace aqp

@@ -1,0 +1,74 @@
+#include "stats/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/special_functions.h"
+
+namespace aqp {
+namespace stats {
+
+Binomial::Binomial(uint64_t n, double p)
+    : n_(n), p_(std::clamp(p, 0.0, 1.0)) {}
+
+double Binomial::Mean() const { return static_cast<double>(n_) * p_; }
+
+double Binomial::Variance() const {
+  return static_cast<double>(n_) * p_ * (1.0 - p_);
+}
+
+double Binomial::LogPmf(uint64_t k) const {
+  if (k > n_) return -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) {
+    return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  if (p_ == 1.0) {
+    return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  const double kd = static_cast<double>(k);
+  const double nd = static_cast<double>(n_);
+  return LogBinomialCoefficient(n_, k) + kd * std::log(p_) +
+         (nd - kd) * std::log1p(-p_);
+}
+
+double Binomial::Pmf(uint64_t k) const {
+  const double lp = LogPmf(k);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+double Binomial::Cdf(int64_t k) const {
+  if (k < 0) return 0.0;
+  const uint64_t ku = static_cast<uint64_t>(k);
+  if (ku >= n_) return 1.0;
+  if (p_ == 0.0) return 1.0;  // X == 0 <= k for any k >= 0
+  if (p_ == 1.0) return 0.0;  // X == n > k
+  // P(X <= k) = I_{1-p}(n-k, k+1).
+  const double a = static_cast<double>(n_ - ku);
+  const double b = static_cast<double>(ku) + 1.0;
+  return RegularizedIncompleteBeta(a, b, 1.0 - p_);
+}
+
+double Binomial::Survival(int64_t k) const { return 1.0 - Cdf(k); }
+
+uint64_t Binomial::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t lo = 0;
+  uint64_t hi = n_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Cdf(static_cast<int64_t>(mid)) >= q) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double BinomialLowerTailPValue(uint64_t observed, uint64_t n, double p) {
+  return Binomial(n, p).Cdf(static_cast<int64_t>(observed));
+}
+
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,56 @@
+#ifndef AQP_STATS_BINOMIAL_H_
+#define AQP_STATS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace aqp {
+namespace stats {
+
+/// \brief Binomial(n, p) distribution helpers.
+///
+/// The paper's monitor models the observed result size after n steps as
+/// O_n ~ bin(n, p(n)) (§3.2) and flags a statistically significant
+/// shortfall when the lower-tail probability P(X <= observed) drops
+/// below θ_out. Cdf() therefore has to be *exact* and cheap for n up to
+/// the input cardinalities; it is evaluated through the regularized
+/// incomplete beta function rather than by summation.
+class Binomial {
+ public:
+  /// Constructs the distribution; p is clamped to [0, 1].
+  Binomial(uint64_t n, double p);
+
+  uint64_t n() const { return n_; }
+  double p() const { return p_; }
+
+  double Mean() const;
+  double Variance() const;
+
+  /// log P(X = k); -inf when the outcome is impossible.
+  double LogPmf(uint64_t k) const;
+
+  /// P(X = k).
+  double Pmf(uint64_t k) const;
+
+  /// P(X <= k). Uses I_{1-p}(n-k, k+1).
+  double Cdf(int64_t k) const;
+
+  /// P(X > k) = 1 - Cdf(k).
+  double Survival(int64_t k) const;
+
+  /// Smallest k with Cdf(k) >= q, for q in (0, 1]. Binary search over
+  /// the CDF; used to derive detection-latency bounds in tests.
+  uint64_t Quantile(double q) const;
+
+ private:
+  uint64_t n_;
+  double p_;
+};
+
+/// Lower-tail p-value P(X <= observed) for X ~ bin(n, p) — the σ
+/// predicate's test statistic (Eq. 1 in the paper).
+double BinomialLowerTailPValue(uint64_t observed, uint64_t n, double p);
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_BINOMIAL_H_

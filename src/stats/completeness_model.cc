@@ -1,0 +1,71 @@
+#include "stats/completeness_model.h"
+
+#include <algorithm>
+
+#include "stats/binomial.h"
+
+namespace aqp {
+namespace stats {
+
+std::optional<uint64_t> ParentChildBinomialModel::EffectiveParentSize(
+    const JoinProgress& progress) const {
+  if (parent_table_size_ > 0) return parent_table_size_;
+  if (progress.parent_exhausted && progress.parents_scanned > 0) {
+    return progress.parents_scanned;
+  }
+  return std::nullopt;
+}
+
+double ParentChildBinomialModel::ExpectedMatches(
+    const JoinProgress& progress) const {
+  auto size = EffectiveParentSize(progress);
+  if (!size.has_value() || *size == 0) return 0.0;
+  const double p = std::min(
+      1.0, static_cast<double>(progress.parents_scanned) /
+               static_cast<double>(*size));
+  return p * static_cast<double>(progress.children_scanned);
+}
+
+std::optional<double> ParentChildBinomialModel::ShortfallPValue(
+    const JoinProgress& progress) const {
+  auto size = EffectiveParentSize(progress);
+  if (!size.has_value() || *size == 0) return std::nullopt;
+  if (progress.children_scanned == 0) return std::nullopt;
+  const double p = std::min(
+      1.0, static_cast<double>(progress.parents_scanned) /
+               static_cast<double>(*size));
+  return BinomialLowerTailPValue(progress.children_matched,
+                                 progress.children_scanned, p);
+}
+
+FixedRateModel::FixedRateModel(double match_rate, uint64_t parent_table_size)
+    : match_rate_(std::clamp(match_rate, 0.0, 1.0)),
+      parent_table_size_(parent_table_size) {}
+
+double FixedRateModel::ExpectedMatches(const JoinProgress& progress) const {
+  double parent_fraction = 1.0;
+  if (parent_table_size_ > 0) {
+    parent_fraction = std::min(
+        1.0, static_cast<double>(progress.parents_scanned) /
+                 static_cast<double>(parent_table_size_));
+  }
+  return match_rate_ * parent_fraction *
+         static_cast<double>(progress.children_scanned);
+}
+
+std::optional<double> FixedRateModel::ShortfallPValue(
+    const JoinProgress& progress) const {
+  if (progress.children_scanned == 0) return std::nullopt;
+  double parent_fraction = 1.0;
+  if (parent_table_size_ > 0) {
+    parent_fraction = std::min(
+        1.0, static_cast<double>(progress.parents_scanned) /
+                 static_cast<double>(parent_table_size_));
+  }
+  const double p = match_rate_ * parent_fraction;
+  return BinomialLowerTailPValue(progress.children_matched,
+                                 progress.children_scanned, p);
+}
+
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,100 @@
+#ifndef AQP_STATS_COMPLETENESS_MODEL_H_
+#define AQP_STATS_COMPLETENESS_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace aqp {
+namespace stats {
+
+/// \brief Snapshot of join progress the monitor hands to the model.
+struct JoinProgress {
+  /// Tuples scanned so far from the parent (reference) input.
+  uint64_t parents_scanned = 0;
+  /// Tuples scanned so far from the child input.
+  uint64_t children_scanned = 0;
+  /// Distinct child tuples that have found at least one match.
+  uint64_t children_matched = 0;
+  /// True once the parent input is exhausted.
+  bool parent_exhausted = false;
+};
+
+/// \brief Statistical model of the expected join result size.
+///
+/// The assessor asks the model for the lower-tail p-value of the
+/// observed match count; values at or below θ_out constitute the σ
+/// predicate (Eq. 1). Models may answer nullopt when they cannot
+/// assess yet (e.g. unknown parent cardinality).
+class CompletenessModel {
+ public:
+  virtual ~CompletenessModel() = default;
+
+  /// Expected number of matched children at this progress point.
+  virtual double ExpectedMatches(const JoinProgress& progress) const = 0;
+
+  /// P(X <= children_matched) under the model's distribution, or
+  /// nullopt if the model cannot assess at this progress point.
+  virtual std::optional<double> ShortfallPValue(
+      const JoinProgress& progress) const = 0;
+
+  /// Model name for traces.
+  virtual std::string name() const = 0;
+};
+
+/// \brief The paper's parent-child binomial model (§3.2).
+///
+/// Assumes every child tuple matches exactly one parent in a parent
+/// table of known size |R|; after scanning n_R parents and n_S
+/// children, the number of matched children is
+/// Binomial(n_S, min(1, n_R/|R|)).
+class ParentChildBinomialModel : public CompletenessModel {
+ public:
+  /// `parent_table_size` is |R|; pass 0 if unknown, in which case the
+  /// model only assesses once the parent input is exhausted (using the
+  /// observed count as |R|).
+  explicit ParentChildBinomialModel(uint64_t parent_table_size)
+      : parent_table_size_(parent_table_size) {}
+
+  double ExpectedMatches(const JoinProgress& progress) const override;
+  std::optional<double> ShortfallPValue(
+      const JoinProgress& progress) const override;
+  std::string name() const override { return "parent_child_binomial"; }
+
+  uint64_t parent_table_size() const { return parent_table_size_; }
+
+ private:
+  /// Effective |R| at this progress point, or nullopt if unknown.
+  std::optional<uint64_t> EffectiveParentSize(
+      const JoinProgress& progress) const;
+
+  uint64_t parent_table_size_;
+};
+
+/// \brief Model with a fixed expected match *rate* per child tuple.
+///
+/// A simpler alternative when no parent-child relationship holds but a
+/// historical match rate is known (e.g. from a previous integration
+/// run); included to keep the assessor decoupled from the paper's
+/// specific assumption.
+class FixedRateModel : public CompletenessModel {
+ public:
+  /// `match_rate` in [0, 1]: expected fraction of children matched
+  /// once the whole parent input has been scanned.
+  FixedRateModel(double match_rate, uint64_t parent_table_size);
+
+  double ExpectedMatches(const JoinProgress& progress) const override;
+  std::optional<double> ShortfallPValue(
+      const JoinProgress& progress) const override;
+  std::string name() const override { return "fixed_rate"; }
+
+ private:
+  double match_rate_;
+  uint64_t parent_table_size_;
+};
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_COMPLETENESS_MODEL_H_

@@ -1,0 +1,42 @@
+#include "stats/online_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqp {
+namespace stats {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,42 @@
+#ifndef AQP_STATS_ONLINE_STATS_H_
+#define AQP_STATS_ONLINE_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace aqp {
+namespace stats {
+
+/// \brief Streaming mean/variance/min/max (Welford's algorithm).
+///
+/// Used by the weight-calibration benchmark to aggregate per-step
+/// elapsed times per state (§4.3) without storing samples.
+class OnlineStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel aggregation).
+  void Merge(const OnlineStats& other);
+
+  uint64_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 with fewer than two samples).
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_ONLINE_STATS_H_

@@ -1,0 +1,33 @@
+#include "stats/sliding_window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqp {
+namespace stats {
+
+SlidingWindowCounter::SlidingWindowCounter(size_t window)
+    : ring_(std::max<size_t>(1, window), 0) {}
+
+void SlidingWindowCounter::Advance(uint32_t events_at_step) {
+  head_ = (head_ + 1) % ring_.size();
+  sum_ -= ring_[head_];  // retire the slot being overwritten
+  ring_[head_] = events_at_step;
+  sum_ += events_at_step;
+  ++steps_;
+}
+
+void SlidingWindowCounter::AddToCurrent(uint32_t events) {
+  ring_[head_] += events;
+  sum_ += events;
+}
+
+void SlidingWindowCounter::Reset() {
+  std::fill(ring_.begin(), ring_.end(), 0u);
+  head_ = 0;
+  sum_ = 0;
+  steps_ = 0;
+}
+
+}  // namespace stats
+}  // namespace aqp

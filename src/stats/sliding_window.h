@@ -1,0 +1,56 @@
+#ifndef AQP_STATS_SLIDING_WINDOW_H_
+#define AQP_STATS_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aqp {
+namespace stats {
+
+/// \brief Rolling event counter over the most recent W steps.
+///
+/// The monitor (§3.5) counts the number of approximate matches observed
+/// within the interval [t - W, t] per input (A_{t,W}). One Advance()
+/// call per join step pushes that step's event count; Sum() is the
+/// windowed total, maintained in O(1) via a ring buffer.
+class SlidingWindowCounter {
+ public:
+  /// Constructs a counter over a window of `window` steps (>= 1).
+  explicit SlidingWindowCounter(size_t window);
+
+  /// Pushes the event count of the newest step, retiring the oldest.
+  void Advance(uint32_t events_at_step);
+
+  /// Adds events to the *current* newest step (events arriving before
+  /// the step boundary is advanced).
+  void AddToCurrent(uint32_t events);
+
+  /// Total events within the window.
+  uint64_t Sum() const { return sum_; }
+
+  /// Window size W.
+  size_t window() const { return ring_.size(); }
+
+  /// Number of Advance() calls so far.
+  uint64_t steps() const { return steps_; }
+
+  /// A_{t,W} / W, the relative frequency the µ predicate thresholds.
+  double Density() const {
+    return static_cast<double>(sum_) / static_cast<double>(ring_.size());
+  }
+
+  /// Clears all counts.
+  void Reset();
+
+ private:
+  std::vector<uint32_t> ring_;
+  size_t head_ = 0;  // slot holding the newest step
+  uint64_t sum_ = 0;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_SLIDING_WINDOW_H_

@@ -1,0 +1,25 @@
+#ifndef AQP_STATS_SPECIAL_FUNCTIONS_H_
+#define AQP_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace aqp {
+namespace stats {
+
+/// Natural log of the Beta function B(a, b). Requires a, b > 0.
+double LogBeta(double a, double b);
+
+/// Natural log of the binomial coefficient C(n, k). Requires
+/// 0 <= k <= n.
+double LogBinomialCoefficient(unsigned long long n, unsigned long long k);
+
+/// \brief Regularized incomplete beta function I_x(a, b).
+///
+/// Computed with the Lentz continued-fraction expansion (the classic
+/// Numerical Recipes `betacf` scheme), accurate to ~1e-12 over the
+/// parameter ranges the binomial tests use (a, b up to ~1e7).
+/// Requires a, b > 0; x is clamped to [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace stats
+}  // namespace aqp
+
+#endif  // AQP_STATS_SPECIAL_FUNCTIONS_H_

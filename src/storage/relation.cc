@@ -1,0 +1,46 @@
+#include "storage/relation.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/table_printer.h"
+
+namespace aqp {
+namespace storage {
+
+Status Relation::Append(Tuple tuple) {
+  AQP_RETURN_IF_ERROR(tuple.ValidateAgainst(schema_));
+  rows_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+std::vector<std::string> Relation::DistinctStrings(size_t column) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Tuple& t : rows_) {
+    const std::string& s = t.at(column).AsString();
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::vector<std::string> headers;
+  for (const Field& f : schema_.fields()) headers.push_back(f.name);
+  TablePrinter printer(headers);
+  for (size_t i = 0; i < rows_.size() && i < limit; ++i) {
+    std::vector<std::string> cells;
+    for (const Value& v : rows_[i].values()) cells.push_back(v.ToString());
+    printer.AddRow(std::move(cells));
+  }
+  std::ostringstream os;
+  printer.Print(os);
+  if (rows_.size() > limit) {
+    os << "... (" << rows_.size() - limit << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace aqp

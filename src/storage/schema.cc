@@ -1,0 +1,56 @@
+#include "storage/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace aqp {
+namespace storage {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireIndexOf(const std::string& name) const {
+  if (auto idx = IndexOf(name)) return *idx;
+  return Status::NotFound("no column named '" + name + "' in schema " +
+                          ToString());
+}
+
+Schema Schema::ConcatWith(const Schema& other,
+                          const std::string& right_suffix) const {
+  std::unordered_set<std::string> left_names;
+  for (const Field& f : fields_) left_names.insert(f.name);
+  std::vector<Field> fields = fields_;
+  fields.reserve(fields_.size() + other.fields_.size());
+  for (const Field& f : other.fields_) {
+    Field renamed = f;
+    if (left_names.count(renamed.name) > 0) {
+      renamed.name += right_suffix;
+    }
+    fields.push_back(std::move(renamed));
+  }
+  return Schema(std::move(fields));
+}
+
+Schema Schema::WithField(Field field) const {
+  std::vector<Field> fields = fields_;
+  fields.push_back(std::move(field));
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeName(fields_[i].type);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace aqp

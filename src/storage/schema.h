@@ -1,0 +1,67 @@
+#ifndef AQP_STORAGE_SCHEMA_H_
+#define AQP_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace aqp {
+namespace storage {
+
+/// \brief One named, typed column.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// \brief An ordered list of fields describing tuple layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Number of columns.
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Field at position `i` (bounds-checked by assert).
+  const Field& field(size_t i) const { return fields_.at(i); }
+
+  /// All fields in order.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> RequireIndexOf(const std::string& name) const;
+
+  /// Schema for the concatenation of this and `other`; duplicate names
+  /// from the right side are disambiguated with a suffix.
+  Schema ConcatWith(const Schema& other, const std::string& right_suffix) const;
+
+  /// Appends a field and returns the new schema (builder style).
+  Schema WithField(Field field) const;
+
+  /// "name:type, name:type, ...".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace storage
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_SCHEMA_H_

@@ -1,0 +1,47 @@
+#include "storage/tuple.h"
+
+#include <sstream>
+
+namespace aqp {
+namespace storage {
+
+Status Tuple::ValidateAgainst(const Schema& schema) const {
+  if (values_.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values_.size()) +
+        " does not match schema arity " +
+        std::to_string(schema.num_fields()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].is_null()) continue;
+    if (values_[i].type() != schema.field(i).type) {
+      return Status::InvalidArgument(
+          "column '" + schema.field(i).name + "' expects " +
+          ValueTypeName(schema.field(i).type) + " but tuple holds " +
+          ValueTypeName(values_[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,59 @@
+#ifndef AQP_STORAGE_TUPLE_H_
+#define AQP_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace aqp {
+namespace storage {
+
+/// \brief One row: an ordered vector of values.
+///
+/// Tuples are schema-less at runtime (the schema travels with the
+/// operator/relation); ValidateAgainst checks conformance where it
+/// matters (relation inserts, operator boundaries in debug paths).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  /// Number of cells.
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Cell access.
+  const Value& at(size_t i) const { return values_.at(i); }
+  Value& at(size_t i) { return values_.at(i); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Appends a value.
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Checks arity and per-cell type (NULL matches any type).
+  Status ValidateAgainst(const Schema& schema) const;
+
+  /// Concatenation of two tuples (join output construction).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace storage
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_TUPLE_H_

@@ -1,0 +1,34 @@
+#include "storage/tuple_store.h"
+
+#include <numeric>
+
+namespace aqp {
+namespace storage {
+
+TupleId TupleStore::Add(Tuple tuple) {
+  const TupleId id = static_cast<TupleId>(tuples_.size());
+  tuples_.push_back(std::move(tuple));
+  matched_exactly_.push_back(0);
+  matched_any_.push_back(0);
+  return id;
+}
+
+size_t TupleStore::CountMatchedExactly() const {
+  return std::accumulate(matched_exactly_.begin(), matched_exactly_.end(),
+                         size_t{0});
+}
+
+size_t TupleStore::ApproximateMemoryUsage() const {
+  size_t bytes = matched_exactly_.capacity() + matched_any_.capacity();
+  bytes += tuples_.capacity() * sizeof(Tuple);
+  for (const Tuple& t : tuples_) {
+    bytes += t.size() * sizeof(Value);
+    for (const Value& v : t.values()) {
+      if (v.type() == ValueType::kString) bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace storage
+}  // namespace aqp

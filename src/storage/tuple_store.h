@@ -1,0 +1,85 @@
+#ifndef AQP_STORAGE_TUPLE_STORE_H_
+#define AQP_STORAGE_TUPLE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace aqp {
+namespace storage {
+
+/// Dense id of a tuple within one side's TupleStore.
+using TupleId = uint32_t;
+
+/// \brief Append-only store of the tuples one join input has produced
+/// so far.
+///
+/// The paper (§2.3) stores each scanned tuple exactly once per operand;
+/// both the exact hash table and the q-gram index reference tuples by
+/// id. The store also carries the per-tuple "has been matched exactly
+/// at least once" flag that §3.3 uses to attribute variants to one
+/// input.
+class TupleStore {
+ public:
+  /// Constructs a store whose join attribute is at `join_column`.
+  explicit TupleStore(size_t join_column) : join_column_(join_column) {}
+
+  /// Appends a tuple, returning its dense id.
+  TupleId Add(Tuple tuple);
+
+  /// Number of stored tuples.
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Tuple access by id.
+  const Tuple& Get(TupleId id) const { return tuples_[id]; }
+
+  /// Join-attribute value of a stored tuple.
+  const std::string& JoinKey(TupleId id) const {
+    return tuples_[id].at(join_column_).AsString();
+  }
+
+  /// Column holding the join attribute.
+  size_t join_column() const { return join_column_; }
+
+  /// \name Matched-exactly flags (§3.3).
+  /// @{
+  bool MatchedExactly(TupleId id) const { return matched_exactly_[id] != 0; }
+  void SetMatchedExactly(TupleId id) { matched_exactly_[id] = 1; }
+  /// Number of tuples with the flag set.
+  size_t CountMatchedExactly() const;
+  /// @}
+
+  /// \name Matched-at-least-once flags (any kind). The monitor's
+  /// completeness statistic counts distinct matched child tuples.
+  /// @{
+  bool MatchedAny(TupleId id) const { return matched_any_[id] != 0; }
+  /// Sets the flag; returns true iff it was previously clear.
+  bool SetMatchedAny(TupleId id) {
+    const bool first = matched_any_[id] == 0;
+    matched_any_[id] = 1;
+    return first;
+  }
+  /// Number of tuples matched at least once.
+  size_t matched_any_count() const { return matched_any_count_; }
+  void IncrementMatchedAnyCount() { ++matched_any_count_; }
+  /// @}
+
+  /// Rough heap footprint in bytes (tuples + flags), for the §2.3
+  /// space analysis.
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  size_t join_column_;
+  std::vector<Tuple> tuples_;
+  std::vector<uint8_t> matched_exactly_;
+  std::vector<uint8_t> matched_any_;
+  size_t matched_any_count_ = 0;
+};
+
+}  // namespace storage
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_TUPLE_STORE_H_

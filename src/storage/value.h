@@ -1,0 +1,72 @@
+#ifndef AQP_STORAGE_VALUE_H_
+#define AQP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace aqp {
+namespace storage {
+
+/// \brief Supported column types.
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+/// Canonical name of a value type ("int64", ...).
+const char* ValueTypeName(ValueType type);
+
+/// \brief A dynamically typed cell value.
+///
+/// The engine joins on string attributes (record linkage), but tuples
+/// routinely carry numeric payload columns (ids, severities, dates as
+/// int64 epoch days), so Value supports the minimal closed set of types
+/// the experiments need.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+  /// Constructs an int64 value (implicit for terse row literals).
+  Value(int64_t v) : data_(v) {}      // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(int64_t{v}) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs a double value.
+  Value(double v) : data_(v) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs a string value.
+  Value(std::string v)  // NOLINT(google-explicit-constructor)
+      : data_(std::move(v)) {}
+  Value(const char* v)  // NOLINT(google-explicit-constructor)
+      : data_(std::string(v)) {}
+
+  /// The runtime type of the value.
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// \name Typed accessors. Calling the wrong accessor is a programming
+  /// error (asserts in debug builds, undefined otherwise).
+  /// @{
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  std::string_view AsStringView() const {
+    return std::get<std::string>(data_);
+  }
+  /// @}
+
+  /// Human-readable rendering ("NULL", "42", "3.14", "abc").
+  std::string ToString() const;
+
+  /// Total ordering: by type id first, then by value. NULL < everything.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace storage
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_VALUE_H_

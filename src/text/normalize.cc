@@ -1,0 +1,54 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace aqp {
+namespace text {
+
+namespace {
+bool IsStrippablePunct(char c) {
+  switch (c) {
+    case '.':
+    case ',':
+    case ';':
+    case ':':
+    case '\'':
+    case '"':
+    case '-':
+    case '_':
+    case '/':
+    case '(':
+    case ')':
+    case '&':
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+std::string Normalize(std::string_view s, const NormalizeOptions& options) {
+  std::string work(s);
+  if (options.strip_punctuation) {
+    std::string stripped;
+    stripped.reserve(work.size());
+    for (char c : work) {
+      // Replace punctuation with a space so word boundaries survive
+      // ("SANTA-CRISTINA" -> "SANTA CRISTINA").
+      stripped.push_back(IsStrippablePunct(c) ? ' ' : c);
+    }
+    work = std::move(stripped);
+  }
+  if (options.upper_case) {
+    work = ToUpperAscii(work);
+  }
+  if (options.collapse_whitespace) {
+    work = CollapseWhitespace(work);
+  }
+  return work;
+}
+
+}  // namespace text
+}  // namespace aqp

@@ -1,0 +1,33 @@
+#ifndef AQP_TEXT_NORMALIZE_H_
+#define AQP_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace aqp {
+namespace text {
+
+/// \brief Options for canonicalizing join-attribute strings before
+/// matching (record-linkage "data preparation lite": the paper assumes
+/// values are already comparable; these switches make the assumption
+/// explicit and testable).
+struct NormalizeOptions {
+  /// Uppercase ASCII letters.
+  bool upper_case = true;
+  /// Collapse whitespace runs to single spaces and trim ends.
+  bool collapse_whitespace = true;
+  /// Drop ASCII punctuation (.,;:'"-_/()&).
+  bool strip_punctuation = false;
+
+  /// Preset matching the paper's data ("TAA BZ SANTA CRISTINA ..."):
+  /// uppercase + whitespace collapsing, punctuation kept.
+  static NormalizeOptions Paper() { return NormalizeOptions{}; }
+};
+
+/// Applies the normalization pipeline to `s`.
+std::string Normalize(std::string_view s, const NormalizeOptions& options);
+
+}  // namespace text
+}  // namespace aqp
+
+#endif  // AQP_TEXT_NORMALIZE_H_

@@ -1,0 +1,111 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aqp {
+namespace text {
+
+Status QGramOptions::Validate() const {
+  if (q < 1 || q > 8) {
+    return Status::InvalidArgument("q must be in [1, 8], got " +
+                                   std::to_string(q));
+  }
+  if (pad && pad_left == pad_right) {
+    return Status::InvalidArgument(
+        "pad_left and pad_right must differ so left and right padding "
+        "produce distinct grams");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Packs bytes [begin, begin+q) into a big-endian 64-bit key.
+inline GramKey PackWindow(const char* begin, int q) {
+  GramKey key = 0;
+  for (int i = 0; i < q; ++i) {
+    key = (key << 8) | static_cast<unsigned char>(begin[i]);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<GramKey> ExtractGramSequence(std::string_view s,
+                                         const QGramOptions& options) {
+  const int q = options.q;
+  assert(q >= 1 && q <= 8);
+  std::vector<GramKey> out;
+  if (!options.pad) {
+    if (s.size() < static_cast<size_t>(q)) return out;
+    out.reserve(s.size() - q + 1);
+    for (size_t i = 0; i + q <= s.size(); ++i) {
+      out.push_back(PackWindow(s.data() + i, q));
+    }
+    return out;
+  }
+  // Padded: materialize the padded buffer once. Total windows:
+  // |s| + 2(q-1) - q + 1 = |s| + q - 1.
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(static_cast<size_t>(q - 1), options.pad_left);
+  padded.append(s);
+  padded.append(static_cast<size_t>(q - 1), options.pad_right);
+  if (padded.size() < static_cast<size_t>(q)) return out;  // q=1, empty s
+  out.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out.push_back(PackWindow(padded.data() + i, q));
+  }
+  return out;
+}
+
+size_t GramSequenceLength(size_t string_length, const QGramOptions& options) {
+  const size_t q = static_cast<size_t>(options.q);
+  if (options.pad) {
+    const size_t padded = string_length + 2 * (q - 1);
+    return padded >= q ? padded - q + 1 : 0;
+  }
+  return string_length >= q ? string_length - q + 1 : 0;
+}
+
+GramSet GramSet::Of(std::string_view s, const QGramOptions& options) {
+  GramSet set;
+  set.grams_ = ExtractGramSequence(s, options);
+  std::sort(set.grams_.begin(), set.grams_.end());
+  set.grams_.erase(std::unique(set.grams_.begin(), set.grams_.end()),
+                   set.grams_.end());
+  return set;
+}
+
+bool GramSet::Contains(GramKey key) const {
+  return std::binary_search(grams_.begin(), grams_.end(), key);
+}
+
+size_t GramSet::OverlapWith(const GramSet& other) const {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < grams_.size() && j < other.grams_.size()) {
+    if (grams_[i] == other.grams_[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (grams_[i] < other.grams_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+std::string GramKeyToString(GramKey key, int q) {
+  std::string out(static_cast<size_t>(q), '\0');
+  for (int i = q - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<char>(key & 0xff);
+    key >>= 8;
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace aqp

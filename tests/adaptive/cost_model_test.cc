@@ -1,0 +1,81 @@
+#include "adaptive/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace adaptive {
+namespace {
+
+TEST(StateWeightsTest, PaperValues) {
+  const StateWeights w = StateWeights::Paper();
+  EXPECT_DOUBLE_EQ(w.step[StateIndex(ProcessorState::kLexRex)], 1.0);
+  EXPECT_DOUBLE_EQ(w.step[StateIndex(ProcessorState::kLapRex)], 22.14);
+  EXPECT_DOUBLE_EQ(w.step[StateIndex(ProcessorState::kLexRap)], 51.8);
+  EXPECT_DOUBLE_EQ(w.step[StateIndex(ProcessorState::kLapRap)], 70.2);
+  EXPECT_DOUBLE_EQ(w.transition[StateIndex(ProcessorState::kLexRex)], 122.48);
+  EXPECT_DOUBLE_EQ(w.transition[StateIndex(ProcessorState::kLapRex)], 37.96);
+  EXPECT_DOUBLE_EQ(w.transition[StateIndex(ProcessorState::kLexRap)], 84.99);
+  EXPECT_DOUBLE_EQ(w.transition[StateIndex(ProcessorState::kLapRap)], 173.42);
+}
+
+TEST(StateWeightsTest, UniformIsRawStepCounting) {
+  const StateWeights w = StateWeights::Uniform();
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    EXPECT_DOUBLE_EQ(w.step[i], 1.0);
+    EXPECT_DOUBLE_EQ(w.transition[i], 0.0);
+  }
+}
+
+TEST(StateWeightsTest, ToStringMentionsVectors) {
+  const std::string s = StateWeights::Paper().ToString();
+  EXPECT_NE(s.find("22.14"), std::string::npos);
+  EXPECT_NE(s.find("173.42"), std::string::npos);
+}
+
+TEST(CostAccountantTest, CountsStepsAndTransitions) {
+  CostAccountant acc(StateWeights::Paper());
+  acc.AddStep(ProcessorState::kLexRex);
+  acc.AddStep(ProcessorState::kLexRex);
+  acc.AddStep(ProcessorState::kLapRap);
+  acc.AddTransition(ProcessorState::kLapRap);
+  EXPECT_EQ(acc.steps(ProcessorState::kLexRex), 2u);
+  EXPECT_EQ(acc.steps(ProcessorState::kLapRap), 1u);
+  EXPECT_EQ(acc.transitions(ProcessorState::kLapRap), 1u);
+  EXPECT_EQ(acc.total_steps(), 3u);
+  EXPECT_EQ(acc.total_transitions(), 1u);
+}
+
+TEST(CostAccountantTest, PaperWeightedCosts) {
+  CostAccountant acc(StateWeights::Paper());
+  for (int i = 0; i < 10; ++i) acc.AddStep(ProcessorState::kLexRex);
+  for (int i = 0; i < 2; ++i) acc.AddStep(ProcessorState::kLapRap);
+  acc.AddTransition(ProcessorState::kLapRap);
+  EXPECT_DOUBLE_EQ(acc.StateCost(), 10.0 * 1.0 + 2.0 * 70.2);
+  EXPECT_DOUBLE_EQ(acc.TransitionCost(), 173.42);
+  EXPECT_DOUBLE_EQ(acc.TotalCost(), acc.StateCost() + acc.TransitionCost());
+}
+
+TEST(CostAccountantTest, RepriceWithDifferentWeights) {
+  CostAccountant acc(StateWeights::Paper());
+  acc.AddStep(ProcessorState::kLapRap);
+  acc.AddTransition(ProcessorState::kLexRex);
+  EXPECT_DOUBLE_EQ(acc.TotalCostWith(StateWeights::Uniform()), 1.0);
+  EXPECT_DOUBLE_EQ(acc.TotalCostWith(StateWeights::Paper()),
+                   70.2 + 122.48);
+}
+
+TEST(CostAccountantTest, PaperSanityOneApproxStepCosts70Exact) {
+  // "one step in state lap/rap costs about 70 times as much as one
+  // step in state lex/rex" — the weight vector must encode that.
+  const StateWeights w = StateWeights::Paper();
+  EXPECT_NEAR(w.step[StateIndex(ProcessorState::kLapRap)] /
+                  w.step[StateIndex(ProcessorState::kLexRex)],
+              70.0, 1.0);
+  // "transitioning into state lap/rap has a cost ... equivalent to
+  // executing about 173 steps in the baseline state".
+  EXPECT_NEAR(w.transition[StateIndex(ProcessorState::kLapRap)], 173.0, 1.0);
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace aqp

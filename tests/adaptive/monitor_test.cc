@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/mar.h"
+
+namespace aqp {
+namespace adaptive {
+namespace {
+
+using exec::Side;
+using join::HybridJoinCore;
+using join::JoinMatch;
+using join::JoinSpec;
+using join::MatchKind;
+using join::ProbeMode;
+using storage::Tuple;
+using storage::Value;
+
+AdaptiveOptions SmallWindow() {
+  AdaptiveOptions o;
+  o.window = 4;
+  o.parent_side = Side::kRight;
+  o.parent_table_size = 100;
+  return o;
+}
+
+JoinMatch Approx(Side probe_side, storage::TupleId probe,
+                 storage::TupleId stored) {
+  JoinMatch m;
+  m.probe_side = probe_side;
+  m.probe_id = probe;
+  m.stored_id = stored;
+  m.similarity = 0.9;
+  m.kind = MatchKind::kApproximate;
+  return m;
+}
+
+TEST(MonitorTest, CountsSteps) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  monitor.OnStep(Side::kLeft, {}, core, ProcessorState::kLexRex);
+  monitor.OnStep(Side::kRight, {}, core, ProcessorState::kLexRex);
+  EXPECT_EQ(monitor.steps(), 2u);
+}
+
+TEST(MonitorTest, BlamesReaderWhenStoredTupleWasExactlyMatched) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  // Stored left tuple 0 has matched exactly before.
+  core.ProcessTuple(Side::kLeft, Tuple{Value("K")});
+  core.ProcessTuple(Side::kRight, Tuple{Value("K")});  // sets exact flags
+  // A right-read tuple approx-matches stored left tuple 0: blame right.
+  monitor.OnStep(Side::kRight, {Approx(Side::kRight, 5, 0)}, core,
+                 ProcessorState::kLapRap);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 1u);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kLeft), 0u);
+}
+
+TEST(MonitorTest, BlamesStoredSideWhenProbeWasExactlyMatched) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("VARIANTx")});  // never matched
+  core.ProcessTuple(Side::kRight, Tuple{Value("CLEAN")});
+  core.ProcessTuple(Side::kLeft, Tuple{Value("CLEAN")});  // right 0 flagged
+  // Right tuple 0 (exactly matched) approx-matches stored left 0.
+  monitor.OnStep(Side::kRight, {Approx(Side::kRight, 0, 0)}, core,
+                 ProcessorState::kLapRap);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kLeft), 1u);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 0u);
+}
+
+TEST(MonitorTest, BlamesBothWithoutEvidence) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("Ax")});
+  core.ProcessTuple(Side::kRight, Tuple{Value("Ay")});
+  monitor.OnStep(Side::kRight, {Approx(Side::kRight, 0, 0)}, core,
+                 ProcessorState::kLapRap);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kLeft), 1u);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 1u);
+}
+
+TEST(MonitorTest, WindowRetiresOldSteps) {
+  AdaptiveOptions o = SmallWindow();  // W = 4
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("Ax")});
+  core.ProcessTuple(Side::kRight, Tuple{Value("Ay")});
+  monitor.OnStep(Side::kRight, {Approx(Side::kRight, 0, 0)}, core,
+                 ProcessorState::kLapRap);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 1u);
+  for (int i = 0; i < 4; ++i) {
+    monitor.OnStep(Side::kLeft, {}, core, ProcessorState::kLapRap);
+  }
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 0u);
+}
+
+TEST(MonitorTest, ExactMatchesNotCounted) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("K")});
+  JoinMatch exact;
+  exact.probe_side = Side::kRight;
+  exact.kind = MatchKind::kExact;
+  monitor.OnStep(Side::kRight, {exact}, core, ProcessorState::kLexRex);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kLeft), 0u);
+  EXPECT_EQ(monitor.WindowApproxMatches(Side::kRight), 0u);
+}
+
+TEST(MonitorTest, ApproxActiveTracksState) {
+  AdaptiveOptions o = SmallWindow();
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  monitor.OnStep(Side::kLeft, {}, core, ProcessorState::kLexRex);
+  EXPECT_EQ(monitor.WindowApproxActiveSteps(), 0u);
+  monitor.OnStep(Side::kLeft, {}, core, ProcessorState::kLapRex);
+  monitor.OnStep(Side::kLeft, {}, core, ProcessorState::kLapRap);
+  EXPECT_EQ(monitor.WindowApproxActiveSteps(), 2u);
+}
+
+TEST(MonitorTest, ProgressReportsStoreSizesAndMatches) {
+  AdaptiveOptions o = SmallWindow();  // parent = right
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("K")});   // child
+  core.ProcessTuple(Side::kRight, Tuple{Value("K")});  // parent; pair found
+  core.ProcessTuple(Side::kLeft, Tuple{Value("UNMATCHED")});
+  const stats::JoinProgress progress = monitor.Progress(core, false);
+  EXPECT_EQ(progress.parents_scanned, 1u);
+  EXPECT_EQ(progress.children_scanned, 2u);
+  EXPECT_EQ(progress.children_matched, 1u);
+  EXPECT_FALSE(progress.parent_exhausted);
+}
+
+TEST(MonitorTest, PairsStatisticOption) {
+  AdaptiveOptions o = SmallWindow();
+  o.use_pairs_statistic = true;
+  Monitor monitor(o);
+  HybridJoinCore core((JoinSpec()));
+  core.ProcessTuple(Side::kLeft, Tuple{Value("K")});
+  core.ProcessTuple(Side::kRight, Tuple{Value("K")});
+  core.ProcessTuple(Side::kRight, Tuple{Value("K")});  // 2 pairs total
+  const stats::JoinProgress progress = monitor.Progress(core, false);
+  EXPECT_EQ(progress.children_matched, 2u);
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace aqp

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/mar.h"
+
+namespace aqp {
+namespace adaptive {
+namespace {
+
+AdaptiveOptions Options() {
+  AdaptiveOptions o;
+  o.theta_curpert = 2;
+  o.theta_pastpert = 5;
+  return o;
+}
+
+Assessment Make(bool sigma, bool mu_l, bool mu_r, bool pi_l, bool pi_r,
+                bool informative = true) {
+  Assessment a;
+  a.model_assessed = true;
+  a.sigma = sigma;
+  a.mu[0] = mu_l;
+  a.mu[1] = mu_r;
+  a.pi[0] = pi_l;
+  a.pi[1] = pi_r;
+  a.mu_informative[0] = informative;
+  a.mu_informative[1] = informative;
+  return a;
+}
+
+TEST(ResponderTest, Phi0RevertsToExact) {
+  Responder r(Options());
+  const Assessment a = Make(false, true, true, true, true);
+  for (ProcessorState from : {ProcessorState::kLapRex, ProcessorState::kLexRap,
+                              ProcessorState::kLapRap}) {
+    const Decision d = r.Decide(from, a);
+    EXPECT_EQ(d.next, ProcessorState::kLexRex);
+    EXPECT_EQ(d.phi, 0);
+  }
+}
+
+TEST(ResponderTest, Phi0SelfLoopInLexRex) {
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLexRex, Make(false, true, true, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLexRex);
+}
+
+TEST(ResponderTest, NoSigmaButBusyWindowHoldsState) {
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLapRap, Make(false, false, true, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);
+  EXPECT_EQ(d.phi, -1);
+}
+
+TEST(ResponderTest, Phi1BothPerturbed) {
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLexRex, Make(true, false, false, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);
+  EXPECT_EQ(d.phi, 1);
+}
+
+TEST(ResponderTest, Phi1DefaultCaseWithoutEvidence) {
+  // From lex/rex no approximate operator ran: µ is vacuous, σ alone
+  // must still trigger the all-approximate default (§3.3).
+  Responder r(Options());
+  const Decision d = r.Decide(
+      ProcessorState::kLexRex,
+      Make(true, true, true, true, true, /*informative=*/false));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);
+  EXPECT_EQ(d.phi, 1);
+}
+
+TEST(ResponderTest, Phi2LeftPerturbedOnly) {
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLapRap, Make(true, false, true, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLapRex);
+  EXPECT_EQ(d.phi, 2);
+}
+
+TEST(ResponderTest, Phi2BlockedByChronicLeftPerturbation) {
+  Responder r(Options());
+  const Decision d = r.Decide(ProcessorState::kLapRap,
+                              Make(true, false, true, /*pi_l=*/false, true));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);  // stay
+  EXPECT_EQ(d.phi, -1);
+}
+
+TEST(ResponderTest, Phi3RightPerturbedOnly) {
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLapRap, Make(true, true, false, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLexRap);
+  EXPECT_EQ(d.phi, 3);
+}
+
+TEST(ResponderTest, Phi3BlockedByChronicRightPerturbation) {
+  Responder r(Options());
+  const Decision d = r.Decide(ProcessorState::kLapRap,
+                              Make(true, true, false, true, /*pi_r=*/false));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);
+  EXPECT_EQ(d.phi, -1);
+}
+
+TEST(ResponderTest, SigmaQuietInformativeWindowsHold) {
+  // σ with both windows quiet: variants exist but the current region
+  // is calm — the paper defines no transition here.
+  Responder r(Options());
+  const Decision d =
+      r.Decide(ProcessorState::kLapRap, Make(true, true, true, true, true));
+  EXPECT_EQ(d.next, ProcessorState::kLapRap);
+  EXPECT_EQ(d.phi, -1);
+}
+
+TEST(ResponderTest, PolicyNames) {
+  EXPECT_STREQ(AdaptivePolicyName(AdaptivePolicy::kAdaptive), "adaptive");
+  EXPECT_STREQ(AdaptivePolicyName(AdaptivePolicy::kPinned), "pinned");
+  EXPECT_STREQ(AdaptivePolicyName(AdaptivePolicy::kScripted), "scripted");
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace aqp

@@ -1,0 +1,59 @@
+#include "adaptive/state.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace adaptive {
+namespace {
+
+using join::ProbeMode;
+
+TEST(StateTest, ModeDecomposition) {
+  EXPECT_EQ(LeftMode(ProcessorState::kLexRex), ProbeMode::kExact);
+  EXPECT_EQ(RightMode(ProcessorState::kLexRex), ProbeMode::kExact);
+  EXPECT_EQ(LeftMode(ProcessorState::kLapRex), ProbeMode::kApproximate);
+  EXPECT_EQ(RightMode(ProcessorState::kLapRex), ProbeMode::kExact);
+  EXPECT_EQ(LeftMode(ProcessorState::kLexRap), ProbeMode::kExact);
+  EXPECT_EQ(RightMode(ProcessorState::kLexRap), ProbeMode::kApproximate);
+  EXPECT_EQ(LeftMode(ProcessorState::kLapRap), ProbeMode::kApproximate);
+  EXPECT_EQ(RightMode(ProcessorState::kLapRap), ProbeMode::kApproximate);
+}
+
+TEST(StateTest, MakeStateRoundTrips) {
+  for (ProcessorState s : kAllProcessorStates) {
+    EXPECT_EQ(MakeProcessorState(LeftMode(s), RightMode(s)), s);
+  }
+}
+
+TEST(StateTest, ModeOfSelectsSide) {
+  EXPECT_EQ(ModeOf(ProcessorState::kLapRex, exec::Side::kLeft),
+            ProbeMode::kApproximate);
+  EXPECT_EQ(ModeOf(ProcessorState::kLapRex, exec::Side::kRight),
+            ProbeMode::kExact);
+}
+
+TEST(StateTest, NamesMatchPaper) {
+  EXPECT_STREQ(ProcessorStateName(ProcessorState::kLexRex), "lex/rex");
+  EXPECT_STREQ(ProcessorStateName(ProcessorState::kLapRex), "lap/rex");
+  EXPECT_STREQ(ProcessorStateName(ProcessorState::kLexRap), "lex/rap");
+  EXPECT_STREQ(ProcessorStateName(ProcessorState::kLapRap), "lap/rap");
+}
+
+TEST(StateTest, CodesMatchPaperFootnote6) {
+  // "AA denotes the lap/rap state, EE is lex/rex, AE is lap/rex, and
+  // EA is lex/rap."
+  EXPECT_STREQ(ProcessorStateCode(ProcessorState::kLapRap), "AA");
+  EXPECT_STREQ(ProcessorStateCode(ProcessorState::kLexRex), "EE");
+  EXPECT_STREQ(ProcessorStateCode(ProcessorState::kLapRex), "AE");
+  EXPECT_STREQ(ProcessorStateCode(ProcessorState::kLexRap), "EA");
+}
+
+TEST(StateTest, IndexingIsDense) {
+  for (size_t i = 0; i < kNumProcessorStates; ++i) {
+    EXPECT_EQ(StateIndex(kAllProcessorStates[i]), i);
+  }
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace aqp

@@ -1,0 +1,80 @@
+#include "adaptive/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace adaptive {
+namespace {
+
+AssessmentRecord Record(uint64_t step, ProcessorState before,
+                        ProcessorState after, int phi) {
+  AssessmentRecord r;
+  r.assessment.step = step;
+  r.assessment.p_value = 0.01;
+  r.assessment.model_assessed = true;
+  r.state_before = before;
+  r.state_after = after;
+  r.phi = phi;
+  return r;
+}
+
+TEST(TraceTest, CountsTransitions) {
+  AdaptationTrace trace;
+  trace.Record(Record(100, ProcessorState::kLexRex, ProcessorState::kLexRex,
+                      -1));
+  trace.Record(Record(200, ProcessorState::kLexRex, ProcessorState::kLapRap,
+                      1));
+  trace.Record(Record(300, ProcessorState::kLapRap, ProcessorState::kLapRap,
+                      -1));
+  trace.Record(Record(400, ProcessorState::kLapRap, ProcessorState::kLexRex,
+                      0));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.transition_count(), 2u);
+  EXPECT_EQ(trace.first_transition_step(), std::optional<uint64_t>(200));
+}
+
+TEST(TraceTest, EmptyTrace) {
+  AdaptationTrace trace;
+  EXPECT_EQ(trace.transition_count(), 0u);
+  EXPECT_FALSE(trace.first_transition_step().has_value());
+  EXPECT_TRUE(trace.EntriesInto(ProcessorState::kLapRap).empty());
+}
+
+TEST(TraceTest, EntriesIntoState) {
+  AdaptationTrace trace;
+  trace.Record(Record(10, ProcessorState::kLexRex, ProcessorState::kLapRap,
+                      1));
+  trace.Record(Record(20, ProcessorState::kLapRap, ProcessorState::kLexRex,
+                      0));
+  trace.Record(Record(30, ProcessorState::kLexRex, ProcessorState::kLapRap,
+                      1));
+  EXPECT_EQ(trace.EntriesInto(ProcessorState::kLapRap),
+            (std::vector<uint64_t>{10, 30}));
+  EXPECT_EQ(trace.EntriesInto(ProcessorState::kLexRex),
+            (std::vector<uint64_t>{20}));
+}
+
+TEST(TraceTest, ToStringRendersTimeline) {
+  AdaptationTrace trace;
+  trace.Record(Record(100, ProcessorState::kLexRex, ProcessorState::kLapRap,
+                      1));
+  const std::string s = trace.ToString();
+  EXPECT_NE(s.find("100"), std::string::npos);
+  EXPECT_NE(s.find("EE->AA"), std::string::npos);
+  EXPECT_NE(s.find("phi1"), std::string::npos);
+}
+
+TEST(TraceTest, ToStringLimitShowsTail) {
+  AdaptationTrace trace;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    trace.Record(Record(i * 100, ProcessorState::kLexRex,
+                        ProcessorState::kLexRex, -1));
+  }
+  const std::string s = trace.ToString(2);
+  EXPECT_EQ(s.find("| 100 "), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace aqp

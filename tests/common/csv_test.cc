@@ -1,0 +1,77 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aqp {
+namespace {
+
+TEST(CsvTest, WritesSimpleRows) {
+  std::ostringstream os;
+  CsvWriter csv(&os);
+  csv.WriteRow({"a", "b", "c"});
+  csv.WriteRow({"1", "2", "3"});
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(CsvTest, QuotesFieldsWithSpecials) {
+  std::ostringstream os;
+  CsvWriter csv(&os);
+  csv.WriteRow({"a,b", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(os.str(), "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvTest, FieldFormatters) {
+  EXPECT_EQ(CsvWriter::Field(int64_t{-5}), "-5");
+  EXPECT_EQ(CsvWriter::Field(uint64_t{7}), "7");
+  EXPECT_EQ(CsvWriter::Field(0.25), "0.25");
+}
+
+TEST(CsvTest, ParseSimple) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a,b\n1,2\n", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseHandlesQuotesAndEscapes) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("\"a,b\",\"x \"\"y\"\"\"\n", &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "x \"y\""}));
+}
+
+TEST(CsvTest, ParseHandlesCrLfAndMissingFinalNewline) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a,b\r\nc,d", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a,,c\n", &rows).ok());
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_TRUE(ParseCsv("\"abc\n", &rows).IsInvalidArgument());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::ostringstream os;
+  CsvWriter csv(&os);
+  const std::vector<std::string> row = {"plain", "with,comma", "with\"quote",
+                                        ""};
+  csv.WriteRow(row);
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(os.str(), &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], row);
+}
+
+}  // namespace
+}  // namespace aqp

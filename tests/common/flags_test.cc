@@ -1,0 +1,102 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddInt64("count", 10, "an int");
+  flags.AddDouble("rate", 0.5, "a double");
+  flags.AddString("label", "default", "a string");
+  flags.AddBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsWithoutArgs) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetInt64("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_EQ(flags.GetString("label"), "default");
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count=42", "--rate=0.25",
+                        "--label=run1", "--verbose=true"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_EQ(flags.GetString("label"), "run1");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count", "7", "--label", "x"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetInt64("count"), 7);
+  EXPECT_EQ(flags.GetString("label"), "x");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count=-3", "--rate=-1.5"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetInt64("count"), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), -1.5);
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_TRUE(flags.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedIntRejected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_TRUE(flags.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedBoolRejected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_TRUE(flags.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_TRUE(flags.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "input.csv", "--count=1", "output.csv"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("an int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqp

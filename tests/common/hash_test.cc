@@ -1,0 +1,40 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace aqp {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1a64Deterministic) {
+  EXPECT_EQ(Fnv1a64("TAA BZ SANTA"), Fnv1a64("TAA BZ SANTA"));
+  EXPECT_NE(Fnv1a64("TAA BZ SANTA"), Fnv1a64("TAA BZ SANTB"));
+}
+
+TEST(HashTest, Mix64SpreadsSequentialKeys) {
+  std::set<uint64_t> high_bytes;
+  for (uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(Mix64(i) >> 56);
+  }
+  // Sequential inputs should hit many distinct high bytes.
+  EXPECT_GT(high_bytes.size(), 150u);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const uint64_t a = Fnv1a64("a");
+  const uint64_t b = Fnv1a64("b");
+  EXPECT_NE(HashCombine(HashCombine(0, a), b),
+            HashCombine(HashCombine(0, b), a));
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(LoggingTest, GlobalIsSingleton) {
+  EXPECT_EQ(&Logger::Global(), &Logger::Global());
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  Logger& logger = Logger::Global();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kWarning);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kWarning));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kDebug);
+  EXPECT_TRUE(logger.Enabled(LogLevel::kDebug));
+  logger.set_level(saved);
+}
+
+TEST(LoggingTest, StreamMacroDoesNotCrash) {
+  Logger& logger = Logger::Global();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kError);  // silence the output
+  AQP_LOG(kWarning) << "value=" << 42 << " name=" << std::string("x");
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace aqp

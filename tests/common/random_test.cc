@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace aqp {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1 << 30) != b.Uniform(0, 1 << 30)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(11);
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Index(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, RandomStringUsesAlphabet) {
+  Rng rng(23);
+  const std::string s = rng.RandomString(200, "AB");
+  EXPECT_EQ(s.size(), 200u);
+  for (char c : s) EXPECT_TRUE(c == 'A' || c == 'B');
+  EXPECT_NE(s.find('A'), std::string::npos);
+  EXPECT_NE(s.find('B'), std::string::npos);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent's stream.
+  Rng b(31);
+  b.Fork();
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (fork.Uniform(0, 1 << 30) == a.Uniform(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ChoicePicksMembers) {
+  Rng rng(37);
+  std::vector<std::string> items = {"x", "y", "z"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& pick = rng.Choice(items);
+    EXPECT_TRUE(pick == "x" || pick == "y" || pick == "z");
+  }
+}
+
+}  // namespace
+}  // namespace aqp

@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(StringUtilTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("Santa Cristina"), "SANTA CRISTINA");
+  EXPECT_EQ(ToUpperAscii("abc123!"), "ABC123!");
+  EXPECT_EQ(ToUpperAscii(""), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("TAA BZ"), "taa bz");
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  x  "), "x");
+  EXPECT_EQ(TrimAscii("\t\na b\r\n"), "a b");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii(""), "");
+}
+
+TEST(StringUtilTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  a   b \t c  "), "a b c");
+  EXPECT_EQ(CollapseWhitespace("abc"), "abc");
+  EXPECT_EQ(CollapseWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> pieces = {"TAA", "BZ", "SANTA"};
+  EXPECT_EQ(Join(pieces, " "), "TAA BZ SANTA");
+  EXPECT_EQ(Split(Join(pieces, ","), ','), pieces);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("--flag=3", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(EndsWith("test.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(8082), "8,082");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace aqp

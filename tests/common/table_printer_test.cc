@@ -1,0 +1,42 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderWiderThanData) {
+  TablePrinter t({"wide_header"});
+  t.AddRow({"x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| wide_header |"), std::string::npos);
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter t({"a", "b"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter t({"a"});
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace aqp

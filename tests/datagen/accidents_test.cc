@@ -1,0 +1,120 @@
+#include "datagen/accidents.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/atlas.h"
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+storage::Relation SmallAtlas() {
+  AtlasOptions options;
+  options.size = 200;
+  auto atlas = GenerateAtlas(options);
+  EXPECT_TRUE(atlas.ok());
+  return std::move(atlas).ValueOrDie();
+}
+
+TEST(AccidentsTest, GeneratesRowsWithTruth) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 500;
+  auto data = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.size(), 500u);
+  ASSERT_EQ(data->true_parent_row.size(), 500u);
+  for (size_t i = 0; i < data->table.size(); ++i) {
+    const size_t parent = data->true_parent_row[i];
+    ASSERT_LT(parent, atlas.size());
+    EXPECT_EQ(
+        data->table.row(i).at(kAccidentsLocationColumn).AsString(),
+        atlas.row(parent).at(kAtlasLocationColumn).AsString());
+  }
+}
+
+TEST(AccidentsTest, SchemaShape) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 5;
+  auto data = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(data.ok());
+  const storage::Schema& schema = data->table.schema();
+  ASSERT_EQ(schema.num_fields(), 4u);
+  EXPECT_EQ(schema.field(0).name, "accident_id");
+  EXPECT_EQ(schema.field(1).name, "location");
+  EXPECT_EQ(schema.field(2).name, "severity");
+  EXPECT_EQ(schema.field(3).name, "day");
+}
+
+TEST(AccidentsTest, SeveritiesInRange) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 300;
+  auto data = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 0; i < data->table.size(); ++i) {
+    const int64_t severity = data->table.row(i).at(2).AsInt64();
+    EXPECT_GE(severity, 1);
+    EXPECT_LE(severity, 5);
+  }
+}
+
+TEST(AccidentsTest, UniformDrawCoversAtlas) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 5000;
+  auto data = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(data.ok());
+  std::map<size_t, size_t> hits;
+  for (size_t parent : data->true_parent_row) ++hits[parent];
+  // With 5000 draws over 200 parents, expect wide coverage.
+  EXPECT_GT(hits.size(), 190u);
+}
+
+TEST(AccidentsTest, ZipfSkewsTowardLowRanks) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 5000;
+  options.zipf_locations = true;
+  options.zipf_exponent = 1.2;
+  auto data = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(data.ok());
+  size_t top_decile = 0;
+  for (size_t parent : data->true_parent_row) {
+    if (parent < atlas.size() / 10) ++top_decile;
+  }
+  // The first 10% of ranks should receive far more than 10% of draws.
+  EXPECT_GT(top_decile, data->true_parent_row.size() / 4);
+}
+
+TEST(AccidentsTest, DeterministicUnderSeed) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 100;
+  auto a = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  auto b = GenerateAccidents(atlas, kAtlasLocationColumn, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->true_parent_row, b->true_parent_row);
+}
+
+TEST(AccidentsTest, RejectsDegenerateInputs) {
+  const storage::Relation atlas = SmallAtlas();
+  AccidentsOptions options;
+  options.size = 0;
+  EXPECT_TRUE(GenerateAccidents(atlas, kAtlasLocationColumn, options)
+                  .status()
+                  .IsInvalidArgument());
+  storage::Relation empty_atlas(atlas.schema());
+  options.size = 10;
+  EXPECT_TRUE(GenerateAccidents(empty_atlas, kAtlasLocationColumn, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

@@ -1,0 +1,109 @@
+#include "datagen/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+TEST(AtlasTest, GeneratesRequestedSizeWithUniqueLocations) {
+  AtlasOptions options;
+  options.size = 2000;
+  auto atlas = GenerateAtlas(options);
+  ASSERT_TRUE(atlas.ok());
+  EXPECT_EQ(atlas->size(), 2000u);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < atlas->size(); ++i) {
+    EXPECT_TRUE(
+        seen.insert(atlas->row(i).at(kAtlasLocationColumn).AsString()).second);
+  }
+}
+
+TEST(AtlasTest, SchemaShape) {
+  AtlasOptions options;
+  options.size = 10;
+  auto atlas = GenerateAtlas(options);
+  ASSERT_TRUE(atlas.ok());
+  const storage::Schema& schema = atlas->schema();
+  ASSERT_EQ(schema.num_fields(), 4u);
+  EXPECT_EQ(schema.field(0).name, "location");
+  EXPECT_EQ(schema.field(0).type, storage::ValueType::kString);
+  EXPECT_EQ(schema.field(1).name, "municipality_id");
+  EXPECT_EQ(schema.field(2).name, "lat");
+  EXPECT_EQ(schema.field(3).name, "lon");
+}
+
+TEST(AtlasTest, IdsAreSequential) {
+  AtlasOptions options;
+  options.size = 50;
+  auto atlas = GenerateAtlas(options);
+  ASSERT_TRUE(atlas.ok());
+  for (size_t i = 0; i < atlas->size(); ++i) {
+    EXPECT_EQ(atlas->row(i).at(1).AsInt64(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(AtlasTest, CoordinatesWithinItalyBox) {
+  AtlasOptions options;
+  options.size = 100;
+  auto atlas = GenerateAtlas(options);
+  ASSERT_TRUE(atlas.ok());
+  for (size_t i = 0; i < atlas->size(); ++i) {
+    const double lat = atlas->row(i).at(2).AsDouble();
+    const double lon = atlas->row(i).at(3).AsDouble();
+    EXPECT_GE(lat, 36.0);
+    EXPECT_LE(lat, 47.0);
+    EXPECT_GE(lon, 6.6);
+    EXPECT_LE(lon, 18.6);
+  }
+}
+
+TEST(AtlasTest, DeterministicUnderSeed) {
+  AtlasOptions options;
+  options.size = 100;
+  auto a = GenerateAtlas(options);
+  auto b = GenerateAtlas(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->row(i), b->row(i));
+  }
+}
+
+TEST(AtlasTest, DifferentSeedsDiffer) {
+  AtlasOptions a_opt;
+  a_opt.size = 50;
+  a_opt.seed = 1;
+  AtlasOptions b_opt = a_opt;
+  b_opt.seed = 2;
+  auto a = GenerateAtlas(a_opt);
+  auto b = GenerateAtlas(b_opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int differing = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (a->row(i).at(0).AsString() != b->row(i).at(0).AsString()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 45);
+}
+
+TEST(AtlasTest, RejectsZeroSize) {
+  AtlasOptions options;
+  options.size = 0;
+  EXPECT_TRUE(GenerateAtlas(options).status().IsInvalidArgument());
+}
+
+TEST(AtlasTest, PaperScaleGenerationSucceeds) {
+  AtlasOptions options;  // 8082 by default
+  auto atlas = GenerateAtlas(options);
+  ASSERT_TRUE(atlas.ok());
+  EXPECT_EQ(atlas->size(), 8082u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

@@ -1,0 +1,159 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/similarity.h"
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+TestCaseOptions SmallOptions() {
+  TestCaseOptions options;
+  options.atlas.size = 300;
+  options.accidents.size = 600;
+  options.variant_rate = 0.10;
+  options.seed = 99;
+  return options;
+}
+
+TEST(GeneratorTest, ChildVariantRateIsExact) {
+  for (PerturbationPattern pattern : kAllPatterns) {
+    TestCaseOptions options = SmallOptions();
+    options.pattern = pattern;
+    auto tc = GenerateTestCase(options);
+    ASSERT_TRUE(tc.ok()) << tc.status().ToString();
+    EXPECT_EQ(tc->ChildVariantCount(), 60u) << options.Label();
+    EXPECT_EQ(tc->ParentVariantCount(), 0u);
+  }
+}
+
+TEST(GeneratorTest, BothTablesPerturbedWhenRequested) {
+  TestCaseOptions options = SmallOptions();
+  options.perturb_parent = true;
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->ChildVariantCount(), 60u);
+  EXPECT_EQ(tc->ParentVariantCount(), 30u);
+}
+
+TEST(GeneratorTest, VariantsNeverMatchAnyParentExactly) {
+  TestCaseOptions options = SmallOptions();
+  options.perturb_parent = true;
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  std::unordered_set<std::string> parent_locations;
+  for (size_t r = 0; r < tc->parent.size(); ++r) {
+    parent_locations.insert(
+        tc->parent.row(r).at(kAtlasLocationColumn).AsString());
+  }
+  for (size_t i = 0; i < tc->child.size(); ++i) {
+    if (!tc->child_is_variant[i]) continue;
+    const std::string& loc =
+        tc->child.row(i).at(kAccidentsLocationColumn).AsString();
+    EXPECT_EQ(parent_locations.count(loc), 0u) << loc;
+  }
+}
+
+TEST(GeneratorTest, VariantsHaveEditDistanceOneFromTruth) {
+  TestCaseOptions options = SmallOptions();
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  for (size_t i = 0; i < tc->child.size(); ++i) {
+    const std::string& loc =
+        tc->child.row(i).at(kAccidentsLocationColumn).AsString();
+    // Truth string: the (unperturbed, child-only case) parent value.
+    const std::string& truth = tc->parent.row(tc->child_true_parent[i])
+                                   .at(kAtlasLocationColumn)
+                                   .AsString();
+    if (tc->child_is_variant[i]) {
+      EXPECT_EQ(text::Levenshtein(loc, truth), 1u);
+    } else {
+      EXPECT_EQ(loc, truth);
+    }
+  }
+}
+
+TEST(GeneratorTest, VariantsPassPaperSimilarityThreshold) {
+  // θ_sim = 0.85 must accept every injected variant (the paper tunes
+  // θ_sim so the all-approximate run reaches the expected size).
+  TestCaseOptions options = SmallOptions();
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  text::QGramOptions q3;
+  for (size_t i = 0; i < tc->child.size(); ++i) {
+    if (!tc->child_is_variant[i]) continue;
+    const std::string& loc =
+        tc->child.row(i).at(kAccidentsLocationColumn).AsString();
+    const std::string& truth = tc->parent.row(tc->child_true_parent[i])
+                                   .at(kAtlasLocationColumn)
+                                   .AsString();
+    const double sim = text::Jaccard(text::GramSet::Of(loc, q3),
+                                     text::GramSet::Of(truth, q3));
+    EXPECT_GE(sim, 0.85) << loc << " vs " << truth;
+  }
+}
+
+TEST(GeneratorTest, CleanPairCountConsistent) {
+  TestCaseOptions options = SmallOptions();
+  options.perturb_parent = true;
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  size_t clean = 0;
+  for (size_t i = 0; i < tc->child.size(); ++i) {
+    if (!tc->child_is_variant[i] &&
+        !tc->parent_is_variant[tc->child_true_parent[i]]) {
+      ++clean;
+    }
+  }
+  EXPECT_EQ(tc->CleanPairCount(), clean);
+  EXPECT_LT(tc->CleanPairCount(), tc->child.size());
+}
+
+TEST(GeneratorTest, VariantPositionsFollowPattern) {
+  TestCaseOptions options = SmallOptions();
+  options.pattern = PerturbationPattern::kFewHighIntensityRegions;
+  auto tc = GenerateTestCase(options);
+  ASSERT_TRUE(tc.ok());
+  for (size_t i = 0; i < tc->child.size(); ++i) {
+    if (tc->child_is_variant[i]) {
+      EXPECT_GT(tc->child_pattern.IntensityAt(i), 0.0)
+          << "variant outside any perturbation region at row " << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  TestCaseOptions options = SmallOptions();
+  auto a = GenerateTestCase(options);
+  auto b = GenerateTestCase(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->child_is_variant, b->child_is_variant);
+  for (size_t i = 0; i < a->child.size(); ++i) {
+    EXPECT_EQ(a->child.row(i), b->child.row(i));
+  }
+}
+
+TEST(GeneratorTest, PaperTestMatrixHasEightCases) {
+  const auto cases = PaperTestMatrix(SmallOptions());
+  ASSERT_EQ(cases.size(), 8u);
+  std::unordered_set<std::string> labels;
+  for (const TestCaseOptions& c : cases) labels.insert(c.Label());
+  EXPECT_EQ(labels.size(), 8u);
+  EXPECT_EQ(labels.count("uniform/child"), 1u);
+  EXPECT_EQ(labels.count("many_high/both"), 1u);
+}
+
+TEST(GeneratorTest, LabelFormat) {
+  TestCaseOptions options = SmallOptions();
+  options.pattern = PerturbationPattern::kLowIntensityRegions;
+  options.perturb_parent = true;
+  EXPECT_EQ(options.Label(), "low_intensity/both");
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

@@ -1,0 +1,75 @@
+#include "datagen/names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+TEST(NamesTest, RespectsMinimumLength) {
+  Rng rng(1);
+  LocationNameGenerator gen(36);
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = gen.Generate(&rng);
+    EXPECT_GE(name.size(), 36u) << name;
+  }
+}
+
+TEST(NamesTest, StructureIsRegionProvinceName) {
+  Rng rng(2);
+  LocationNameGenerator gen(36);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = gen.Generate(&rng);
+    const auto words = Split(name, ' ');
+    ASSERT_GE(words.size(), 3u) << name;
+    EXPECT_EQ(words[0].size(), 3u) << name;  // region code
+    EXPECT_EQ(words[1].size(), 2u) << name;  // province code
+  }
+}
+
+TEST(NamesTest, UppercaseAsciiAndSpacesOnly) {
+  Rng rng(3);
+  LocationNameGenerator gen(36);
+  for (int i = 0; i < 200; ++i) {
+    for (char c : gen.Generate(&rng)) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || c == ' ') << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(NamesTest, DeterministicUnderSeed) {
+  Rng a(7);
+  Rng b(7);
+  LocationNameGenerator gen(36);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.Generate(&a), gen.Generate(&b));
+  }
+}
+
+TEST(NamesTest, HighDiversity) {
+  Rng rng(11);
+  LocationNameGenerator gen(36);
+  std::set<std::string> names;
+  for (int i = 0; i < 2000; ++i) names.insert(gen.Generate(&rng));
+  // Collisions must be rare — the atlas needs 8082 unique values.
+  EXPECT_GT(names.size(), 1950u);
+}
+
+TEST(NamesTest, NoDoubleSpaces) {
+  Rng rng(13);
+  LocationNameGenerator gen(36);
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = gen.Generate(&rng);
+    EXPECT_EQ(name.find("  "), std::string::npos) << name;
+    EXPECT_FALSE(name.front() == ' ');
+    EXPECT_FALSE(name.back() == ' ');
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

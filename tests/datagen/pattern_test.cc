@@ -1,0 +1,146 @@
+#include "datagen/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+TEST(PatternTest, UniformIsOneFullRegion) {
+  auto spec = MakePattern(PerturbationPattern::kUniform, 1000, 0.1);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->regions.size(), 1u);
+  EXPECT_EQ(spec->regions[0].begin, 0u);
+  EXPECT_EQ(spec->regions[0].end, 1000u);
+  EXPECT_DOUBLE_EQ(spec->regions[0].intensity, 0.1);
+  EXPECT_NEAR(spec->ExpectedOverallRate(), 0.1, 1e-9);
+}
+
+TEST(PatternTest, RegionCountsMatchFig5) {
+  auto low = MakePattern(PerturbationPattern::kLowIntensityRegions, 8000, 0.1);
+  auto few = MakePattern(PerturbationPattern::kFewHighIntensityRegions, 8000,
+                         0.1);
+  auto many = MakePattern(PerturbationPattern::kManyHighIntensityRegions,
+                          8000, 0.1);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_EQ(low->regions.size(), 8u);
+  EXPECT_EQ(few->regions.size(), 3u);
+  EXPECT_EQ(many->regions.size(), 10u);
+  // (d) has more, shorter regions than (c) at the same intensity.
+  EXPECT_LT(many->regions[0].length(), few->regions[0].length());
+  EXPECT_NEAR(many->regions[0].intensity, few->regions[0].intensity, 1e-9);
+  // High-intensity regions are denser than low-intensity ones.
+  EXPECT_GT(few->regions[0].intensity, low->regions[0].intensity);
+}
+
+TEST(PatternTest, OverallRatePreservedAcrossPatterns) {
+  for (PerturbationPattern p : kAllPatterns) {
+    auto spec = MakePattern(p, 10000, 0.1);
+    ASSERT_TRUE(spec.ok()) << PerturbationPatternName(p);
+    EXPECT_NEAR(spec->ExpectedOverallRate(), 0.1, 0.01)
+        << PerturbationPatternName(p);
+  }
+}
+
+TEST(PatternTest, RegionsSortedAndDisjoint) {
+  for (PerturbationPattern p : kAllPatterns) {
+    auto spec = MakePattern(p, 5000, 0.1);
+    ASSERT_TRUE(spec.ok());
+    for (size_t i = 1; i < spec->regions.size(); ++i) {
+      EXPECT_LE(spec->regions[i - 1].end, spec->regions[i].begin);
+    }
+    for (const Region& r : spec->regions) {
+      EXPECT_LT(r.begin, r.end);
+      EXPECT_LE(r.end, 5000u);
+    }
+  }
+}
+
+TEST(PatternTest, IntensityAtLookup) {
+  auto spec =
+      MakePattern(PerturbationPattern::kFewHighIntensityRegions, 3000, 0.1);
+  ASSERT_TRUE(spec.ok());
+  const Region& first = spec->regions[0];
+  EXPECT_DOUBLE_EQ(spec->IntensityAt(first.begin), first.intensity);
+  EXPECT_DOUBLE_EQ(spec->IntensityAt(first.end), 0.0);
+  if (first.begin > 0) {
+    EXPECT_DOUBLE_EQ(spec->IntensityAt(first.begin - 1), 0.0);
+  }
+}
+
+TEST(PatternTest, RejectsDegenerateInputs) {
+  EXPECT_TRUE(MakePattern(PerturbationPattern::kUniform, 0, 0.1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(MakePattern(PerturbationPattern::kUniform, 100, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+  // A rate that would push region intensity over 1.
+  EXPECT_TRUE(MakePattern(PerturbationPattern::kFewHighIntensityRegions, 100,
+                          0.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PatternTest, SampleHitsExactTarget) {
+  Rng rng(5);
+  for (PerturbationPattern p : kAllPatterns) {
+    auto spec = MakePattern(p, 4000, 0.1);
+    ASSERT_TRUE(spec.ok());
+    const auto positions = SampleVariantPositions(*spec, 0.1, &rng);
+    EXPECT_EQ(positions.size(), 400u) << PerturbationPatternName(p);
+  }
+}
+
+TEST(PatternTest, SamplesAreUniqueSortedAndInsideRegions) {
+  Rng rng(6);
+  auto spec =
+      MakePattern(PerturbationPattern::kManyHighIntensityRegions, 4000, 0.1);
+  ASSERT_TRUE(spec.ok());
+  const auto positions = SampleVariantPositions(*spec, 0.1, &rng);
+  std::set<size_t> unique(positions.begin(), positions.end());
+  EXPECT_EQ(unique.size(), positions.size());
+  EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+  for (size_t pos : positions) {
+    EXPECT_GT(spec->IntensityAt(pos), 0.0) << pos;
+  }
+}
+
+TEST(PatternTest, ZeroRateSamplesNothing) {
+  Rng rng(7);
+  auto spec = MakePattern(PerturbationPattern::kUniform, 1000, 0.0);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(SampleVariantPositions(*spec, 0.0, &rng).empty());
+}
+
+TEST(PatternTest, DensityStripVisualizesRegions) {
+  auto uniform = MakePattern(PerturbationPattern::kUniform, 1000, 0.1);
+  auto few =
+      MakePattern(PerturbationPattern::kFewHighIntensityRegions, 1000, 0.1);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(few.ok());
+  const std::string u = uniform->DensityStrip(32);
+  const std::string f = few->DensityStrip(32);
+  EXPECT_EQ(u.size(), 32u);
+  // Uniform: all low-intensity marks; few-high: both clean and dense
+  // buckets appear.
+  EXPECT_EQ(u.find('#'), std::string::npos);
+  EXPECT_NE(f.find('#'), std::string::npos);
+  EXPECT_NE(f.find('.'), std::string::npos);
+}
+
+TEST(PatternTest, PatternNames) {
+  EXPECT_STREQ(PerturbationPatternName(PerturbationPattern::kUniform),
+               "uniform");
+  EXPECT_STREQ(
+      PerturbationPatternName(PerturbationPattern::kManyHighIntensityRegions),
+      "many_high");
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

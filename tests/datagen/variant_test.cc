@@ -1,0 +1,128 @@
+#include "datagen/variant.h"
+
+#include <gtest/gtest.h>
+
+#include "text/similarity.h"
+
+namespace aqp {
+namespace datagen {
+namespace {
+
+TEST(VariantTest, SubstitutionHasEditDistanceOne) {
+  Rng rng(1);
+  VariantOptions options;  // default: substitution only
+  const std::string original = "TAA BZ SANTA CRISTINA VALGARDENA";
+  for (int i = 0; i < 200; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    EXPECT_NE(variant, original);
+    EXPECT_EQ(text::Levenshtein(original, variant), 1u);
+    EXPECT_EQ(variant.size(), original.size());
+  }
+}
+
+TEST(VariantTest, DeleteShrinksByOne) {
+  Rng rng(2);
+  VariantOptions options;
+  options.kinds = {EditKind::kDelete};
+  const std::string original = "SANTA CRISTINA";
+  for (int i = 0; i < 50; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    EXPECT_EQ(variant.size(), original.size() - 1);
+    EXPECT_EQ(text::Levenshtein(original, variant), 1u);
+  }
+}
+
+TEST(VariantTest, InsertGrowsByOne) {
+  Rng rng(3);
+  VariantOptions options;
+  options.kinds = {EditKind::kInsert};
+  const std::string original = "SANTA";
+  for (int i = 0; i < 50; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    EXPECT_EQ(variant.size(), original.size() + 1);
+    EXPECT_EQ(text::Levenshtein(original, variant), 1u);
+  }
+}
+
+TEST(VariantTest, TransposeSwapsAdjacent) {
+  Rng rng(4);
+  VariantOptions options;
+  options.kinds = {EditKind::kTranspose};
+  const std::string original = "SANTA CRISTINA";
+  for (int i = 0; i < 50; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    EXPECT_NE(variant, original);
+    EXPECT_EQ(variant.size(), original.size());
+    EXPECT_LE(text::Levenshtein(original, variant), 2u);
+  }
+}
+
+TEST(VariantTest, SubstitutionsAvoidSpaces) {
+  Rng rng(5);
+  VariantOptions options;
+  const std::string original = "AB CD EF GH IJ KL";
+  for (int i = 0; i < 100; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    // Word count unchanged: spaces were not touched.
+    EXPECT_EQ(std::count(variant.begin(), variant.end(), ' '),
+              std::count(original.begin(), original.end(), ' '));
+  }
+}
+
+TEST(VariantTest, EmptyStringStillProducesVariant) {
+  Rng rng(6);
+  VariantOptions options;
+  const std::string variant = MakeVariant("", options, &rng);
+  EXPECT_FALSE(variant.empty());
+}
+
+TEST(VariantTest, NonCollidingAvoidsForbiddenSet) {
+  Rng rng(7);
+  VariantOptions options;
+  const std::string original = "ABCD";
+  // Forbid a large chunk of the neighbourhood; the generator must find
+  // one of the remaining variants.
+  std::unordered_set<std::string> forbidden;
+  for (char c = 'a'; c <= 'w'; ++c) {
+    for (size_t pos = 0; pos < original.size(); ++pos) {
+      std::string v = original;
+      v[pos] = c;
+      forbidden.insert(v);
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto variant = MakeNonCollidingVariant(original, forbidden, options, &rng);
+    ASSERT_TRUE(variant.ok());
+    EXPECT_EQ(forbidden.count(*variant), 0u);
+    EXPECT_NE(*variant, original);
+  }
+}
+
+TEST(VariantTest, NonCollidingFailsWhenNeighbourhoodExhausted) {
+  Rng rng(8);
+  VariantOptions options;
+  options.alphabet = "ab";  // tiny neighbourhood
+  options.max_attempts = 16;
+  const std::string original = "X";
+  std::unordered_set<std::string> forbidden = {"a", "b"};
+  auto variant = MakeNonCollidingVariant(original, forbidden, options, &rng);
+  EXPECT_FALSE(variant.ok());
+}
+
+TEST(VariantTest, LowercaseEditNeverEqualsUppercaseOriginal) {
+  // The paper's example corrupts CRISTINA to CRISTINx: a lower-case
+  // character in an upper-case string can never collide.
+  Rng rng(9);
+  VariantOptions options;
+  const std::string original = "UPPERCASE ONLY STRING";
+  for (int i = 0; i < 100; ++i) {
+    const std::string variant = MakeVariant(original, options, &rng);
+    bool has_lower = false;
+    for (char c : variant) has_lower |= (c >= 'a' && c <= 'z');
+    EXPECT_TRUE(has_lower);
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace aqp

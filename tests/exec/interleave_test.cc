@@ -1,0 +1,96 @@
+#include "exec/interleave.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace exec {
+namespace {
+
+TEST(InterleaveTest, AlternateStrictlyAlternates) {
+  InterleaveScheduler sched(InterleavePolicy::kAlternate, 0, 0);
+  std::vector<Side> order;
+  for (int i = 0; i < 6; ++i) {
+    auto side = sched.NextSide(false, false);
+    ASSERT_TRUE(side.has_value());
+    sched.OnRead(*side);
+    order.push_back(*side);
+  }
+  EXPECT_EQ(order, (std::vector<Side>{Side::kLeft, Side::kRight, Side::kLeft,
+                                      Side::kRight, Side::kLeft,
+                                      Side::kRight}));
+}
+
+TEST(InterleaveTest, DrainsSurvivorAfterExhaustion) {
+  InterleaveScheduler sched(InterleavePolicy::kAlternate, 0, 0);
+  auto side = sched.NextSide(true, false);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_EQ(*side, Side::kRight);
+  side = sched.NextSide(false, true);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_EQ(*side, Side::kLeft);
+  EXPECT_FALSE(sched.NextSide(true, true).has_value());
+}
+
+TEST(InterleaveTest, ProportionalTracksHints) {
+  // Left is 3x larger: left should be read ~3x as often.
+  InterleaveScheduler sched(InterleavePolicy::kProportional, 300, 100);
+  int left = 0, right = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto side = sched.NextSide(false, false);
+    ASSERT_TRUE(side.has_value());
+    sched.OnRead(*side);
+    (*side == Side::kLeft ? left : right)++;
+  }
+  EXPECT_EQ(left, 300);
+  EXPECT_EQ(right, 100);
+}
+
+TEST(InterleaveTest, ProportionalWithoutHintsFallsBackToAlternate) {
+  InterleaveScheduler sched(InterleavePolicy::kProportional, 0, 0);
+  auto a = sched.NextSide(false, false);
+  ASSERT_TRUE(a.has_value());
+  sched.OnRead(*a);
+  auto b = sched.NextSide(false, false);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(InterleaveTest, LeftFirstExhaustsLeft) {
+  InterleaveScheduler sched(InterleavePolicy::kLeftFirst, 0, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto side = sched.NextSide(false, false);
+    ASSERT_TRUE(side.has_value());
+    EXPECT_EQ(*side, Side::kLeft);
+    sched.OnRead(*side);
+  }
+  auto side = sched.NextSide(true, false);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_EQ(*side, Side::kRight);
+}
+
+TEST(InterleaveTest, RightFirstExhaustsRight) {
+  InterleaveScheduler sched(InterleavePolicy::kRightFirst, 0, 0);
+  auto side = sched.NextSide(false, false);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_EQ(*side, Side::kRight);
+}
+
+TEST(InterleaveTest, ReadCountsTracked) {
+  InterleaveScheduler sched(InterleavePolicy::kAlternate, 0, 0);
+  sched.OnRead(Side::kLeft);
+  sched.OnRead(Side::kLeft);
+  sched.OnRead(Side::kRight);
+  EXPECT_EQ(sched.reads(Side::kLeft), 2u);
+  EXPECT_EQ(sched.reads(Side::kRight), 1u);
+}
+
+TEST(InterleaveTest, PolicyNames) {
+  EXPECT_STREQ(InterleavePolicyName(InterleavePolicy::kAlternate),
+               "alternate");
+  EXPECT_STREQ(InterleavePolicyName(InterleavePolicy::kProportional),
+               "proportional");
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,106 @@
+#include "exec/scan.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace exec {
+namespace {
+
+using storage::Relation;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Relation ThreeRows() {
+  Relation r(Schema({{"s", ValueType::kString}}));
+  EXPECT_TRUE(r.Append(Tuple{Value("a")}).ok());
+  EXPECT_TRUE(r.Append(Tuple{Value("b")}).ok());
+  EXPECT_TRUE(r.Append(Tuple{Value("c")}).ok());
+  return r;
+}
+
+TEST(RelationScanTest, ProducesAllRowsInOrder) {
+  const Relation r = ThreeRows();
+  RelationScan scan(&r);
+  ASSERT_TRUE(scan.Open().ok());
+  std::vector<std::string> seen;
+  while (true) {
+    auto next = scan.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    seen.push_back((**next).at(0).AsString());
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(scan.Close().ok());
+}
+
+TEST(RelationScanTest, NextAfterExhaustionStaysAtEos) {
+  const Relation r = ThreeRows();
+  RelationScan scan(&r);
+  ASSERT_TRUE(scan.Open().ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(scan.Next().ok());
+  for (int i = 0; i < 3; ++i) {
+    auto next = scan.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(next->has_value());
+  }
+}
+
+TEST(RelationScanTest, LifecycleErrors) {
+  const Relation r = ThreeRows();
+  RelationScan scan(&r);
+  EXPECT_TRUE(scan.Next().status().IsFailedPrecondition());
+  EXPECT_TRUE(scan.Close().IsFailedPrecondition());
+  ASSERT_TRUE(scan.Open().ok());
+  EXPECT_TRUE(scan.Open().IsFailedPrecondition());
+  ASSERT_TRUE(scan.Close().ok());
+  EXPECT_TRUE(scan.Close().IsFailedPrecondition());
+}
+
+TEST(RelationScanTest, ReopenRestarts) {
+  const Relation r = ThreeRows();
+  RelationScan scan(&r);
+  ASSERT_TRUE(scan.Open().ok());
+  ASSERT_TRUE(scan.Next().ok());
+  ASSERT_TRUE(scan.Close().ok());
+  ASSERT_TRUE(scan.Open().ok());
+  auto next = scan.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ((**next).at(0).AsString(), "a");
+  ASSERT_TRUE(scan.Close().ok());
+}
+
+TEST(RelationScanTest, AlwaysQuiescent) {
+  const Relation r = ThreeRows();
+  RelationScan scan(&r);
+  EXPECT_TRUE(scan.quiescent());
+}
+
+TEST(VectorScanTest, OwnsItsTuples) {
+  Schema schema({{"s", ValueType::kString}});
+  VectorScan scan(schema, {Tuple{Value("x")}, Tuple{Value("y")}});
+  ASSERT_TRUE(scan.Open().ok());
+  auto a = scan.Next();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((**a).at(0).AsString(), "x");
+  auto b = scan.Next();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((**b).at(0).AsString(), "y");
+  auto end = scan.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+  ASSERT_TRUE(scan.Close().ok());
+}
+
+TEST(VectorScanTest, EmptyVector) {
+  VectorScan scan(Schema({{"s", ValueType::kString}}), {});
+  ASSERT_TRUE(scan.Open().ok());
+  auto next = scan.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aqp

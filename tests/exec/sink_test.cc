@@ -1,0 +1,68 @@
+#include "exec/sink.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/scan.h"
+
+namespace aqp {
+namespace exec {
+namespace {
+
+using storage::Relation;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Relation Numbers(int n) {
+  Relation r(Schema({{"x", ValueType::kInt64}}));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(r.Append(Tuple{Value(i)}).ok());
+  }
+  return r;
+}
+
+TEST(DrainTest, VisitsEveryTuple) {
+  const Relation r = Numbers(5);
+  RelationScan scan(&r);
+  int64_t sum = 0;
+  auto count = Drain(&scan, [&](const Tuple& t) {
+    sum += t.at(0).AsInt64();
+    return true;
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 5u);
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(DrainTest, VisitorCanStopEarly) {
+  const Relation r = Numbers(100);
+  RelationScan scan(&r);
+  auto count = Drain(&scan, [&](const Tuple& t) {
+    return t.at(0).AsInt64() < 2;  // stop after seeing 2
+  });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);  // 0, 1, 2 delivered
+}
+
+TEST(DrainTest, LimitCapsDelivery) {
+  const Relation r = Numbers(100);
+  RelationScan scan(&r);
+  DrainOptions options;
+  options.limit = 10;
+  auto count = Drain(&scan, [](const Tuple&) { return true; }, options);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);
+}
+
+TEST(DrainTest, EmptyInput) {
+  const Relation r = Numbers(0);
+  RelationScan scan(&r);
+  auto count = Drain(&scan, [](const Tuple&) { return true; });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,93 @@
+#include "exec/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace exec {
+namespace {
+
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Schema OneCol() { return Schema({{"s", ValueType::kString}}); }
+
+TEST(PushSourceTest, PushThenPull) {
+  PushSource src(OneCol());
+  ASSERT_TRUE(src.Open().ok());
+  ASSERT_TRUE(src.Push(Tuple{Value("a")}).ok());
+  ASSERT_TRUE(src.Push(Tuple{Value("b")}).ok());
+  auto a = src.Next();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((**a).at(0).AsString(), "a");
+  EXPECT_FALSE(src.blocked());
+  EXPECT_EQ(src.queued(), 1u);
+}
+
+TEST(PushSourceTest, BlockedVersusFinished) {
+  PushSource src(OneCol());
+  ASSERT_TRUE(src.Open().ok());
+  auto next = src.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_TRUE(src.blocked());  // live stream, just empty
+  ASSERT_TRUE(src.Finish().ok());
+  next = src.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_FALSE(src.blocked());  // now a real end-of-stream
+}
+
+TEST(PushSourceTest, DrainAfterFinish) {
+  PushSource src(OneCol());
+  ASSERT_TRUE(src.Open().ok());
+  ASSERT_TRUE(src.Push(Tuple{Value("x")}).ok());
+  ASSERT_TRUE(src.Finish().ok());
+  auto a = src.Next();
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->has_value());
+  auto end = src.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(PushSourceTest, PushAfterFinishRejected) {
+  PushSource src(OneCol());
+  ASSERT_TRUE(src.Finish().ok());
+  EXPECT_TRUE(src.Push(Tuple{Value("x")}).IsFailedPrecondition());
+  EXPECT_TRUE(src.Finish().IsFailedPrecondition());
+}
+
+TEST(GeneratorSourceTest, ProducesUntilNullopt) {
+  int counter = 0;
+  GeneratorSource src(OneCol(), [&]() -> std::optional<Tuple> {
+    if (counter >= 3) return std::nullopt;
+    return Tuple{Value("t" + std::to_string(counter++))};
+  });
+  ASSERT_TRUE(src.Open().ok());
+  int produced = 0;
+  while (true) {
+    auto next = src.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    ++produced;
+  }
+  EXPECT_EQ(produced, 3);
+  // Stays at EOS even if the generator could produce again.
+  counter = 0;
+  auto next = src.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(GeneratorSourceTest, LifecycleErrors) {
+  GeneratorSource src(OneCol(), []() { return std::nullopt; });
+  EXPECT_TRUE(src.Next().status().IsFailedPrecondition());
+  ASSERT_TRUE(src.Open().ok());
+  EXPECT_TRUE(src.Open().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aqp

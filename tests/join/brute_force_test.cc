@@ -1,0 +1,88 @@
+#include "join/brute_force.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace join {
+namespace {
+
+using storage::Relation;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Relation Strings(const std::vector<std::string>& values) {
+  Relation r(Schema({{"s", ValueType::kString}}));
+  for (const auto& v : values) {
+    EXPECT_TRUE(r.Append(Tuple{Value(v)}).ok());
+  }
+  return r;
+}
+
+JoinSpec Spec(double threshold) {
+  JoinSpec spec;
+  spec.sim_threshold = threshold;
+  return spec;
+}
+
+TEST(BruteForceExactTest, FindsAllEqualPairs) {
+  const Relation left = Strings({"A", "B", "A"});
+  const Relation right = Strings({"A", "C"});
+  const auto pairs = BruteForceExactJoin(left, right, Spec(0.8));
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (BrutePair{0, 0, 1.0}));
+  EXPECT_EQ(pairs[1], (BrutePair{2, 0, 1.0}));
+}
+
+TEST(BruteForceExactTest, EmptyInputs) {
+  const Relation left = Strings({});
+  const Relation right = Strings({"A"});
+  EXPECT_TRUE(BruteForceExactJoin(left, right, Spec(0.8)).empty());
+  EXPECT_TRUE(BruteForceExactJoin(right, left, Spec(0.8)).empty());
+}
+
+TEST(BruteForceSimilarityTest, SupersetOfExact) {
+  const Relation left =
+      Strings({"SANTA CRISTINA VALGARDENA", "MONTE BIANCO TERME"});
+  const Relation right =
+      Strings({"SANTA CRISTINA VALGARDENA", "SANTA CRISTINx VALGARDENA"});
+  const auto exact = BruteForceExactJoin(left, right, Spec(0.8));
+  const auto similar = BruteForceSimilarityJoin(left, right, Spec(0.8));
+  EXPECT_EQ(exact.size(), 1u);
+  EXPECT_GE(similar.size(), 2u);  // equal pair + the variant pair
+  for (const BrutePair& p : exact) {
+    EXPECT_NE(std::find(similar.begin(), similar.end(), p), similar.end());
+  }
+}
+
+TEST(BruteForceSimilarityTest, ThresholdOneKeepsIdenticalGramSetsOnly) {
+  const Relation left = Strings({"ABCDEF"});
+  const Relation right = Strings({"ABCDEF", "ABCDEG"});
+  const auto pairs = BruteForceSimilarityJoin(left, right, Spec(1.0));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].right_row, 0u);
+}
+
+TEST(BruteForceSimilarityTest, ThresholdZeroMatchesEverythingNonDisjoint) {
+  const Relation left = Strings({"AAA"});
+  const Relation right = Strings({"BBB"});
+  // Even at threshold 0 the pairs are produced (sim >= 0 trivially).
+  const auto pairs = BruteForceSimilarityJoin(left, right, Spec(0.0));
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(BruteForceSimilarityTest, GramlessStringsMatchByEquality) {
+  JoinSpec spec = Spec(0.5);
+  spec.qgram.pad = false;  // "AB" has no grams at q=3
+  const Relation left = Strings({"AB"});
+  const Relation right = Strings({"AB", "XY"});
+  const auto pairs = BruteForceSimilarityJoin(left, right, spec);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].right_row, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aqp

@@ -1,0 +1,84 @@
+#include "join/exact_index.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tuple_store.h"
+
+namespace aqp {
+namespace join {
+namespace {
+
+using storage::Tuple;
+using storage::TupleStore;
+using storage::Value;
+
+TEST(ExactIndexTest, CatchUpIndexesEverything) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("A")});
+  store.Add(Tuple{Value("B")});
+  store.Add(Tuple{Value("A")});
+  ExactIndex index;
+  EXPECT_EQ(index.CatchUpWith(store), 3u);
+  EXPECT_EQ(index.watermark(), 3u);
+  const auto* bucket = index.Probe("A");
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(*bucket, (std::vector<storage::TupleId>{0, 2}));
+}
+
+TEST(ExactIndexTest, ProbeMissReturnsNull) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("A")});
+  ExactIndex index;
+  index.CatchUpWith(store);
+  EXPECT_EQ(index.Probe("ZZZ"), nullptr);
+}
+
+TEST(ExactIndexTest, IncrementalCatchUp) {
+  TupleStore store(0);
+  ExactIndex index;
+  store.Add(Tuple{Value("A")});
+  EXPECT_EQ(index.CatchUpWith(store), 1u);
+  EXPECT_EQ(index.CatchUpWith(store), 0u);  // nothing new
+  store.Add(Tuple{Value("B")});
+  store.Add(Tuple{Value("C")});
+  EXPECT_EQ(index.CatchUpWith(store), 2u);
+  EXPECT_EQ(index.watermark(), 3u);
+  EXPECT_NE(index.Probe("C"), nullptr);
+}
+
+TEST(ExactIndexTest, LaggingIndexSeesNothingNew) {
+  TupleStore store(0);
+  ExactIndex index;
+  store.Add(Tuple{Value("A")});
+  index.CatchUpWith(store);
+  store.Add(Tuple{Value("B")});
+  // Not caught up: B invisible.
+  EXPECT_EQ(index.Probe("B"), nullptr);
+  EXPECT_EQ(index.watermark(), 1u);
+}
+
+TEST(ExactIndexTest, DistinctKeysAndBucketLength) {
+  TupleStore store(0);
+  ExactIndex index;
+  for (int i = 0; i < 6; ++i) {
+    store.Add(Tuple{Value(i % 2 == 0 ? "EVEN" : "ODD")});
+  }
+  index.CatchUpWith(store);
+  EXPECT_EQ(index.distinct_keys(), 2u);
+  EXPECT_DOUBLE_EQ(index.AverageBucketLength(), 3.0);
+}
+
+TEST(ExactIndexTest, MemoryUsageGrows) {
+  TupleStore store(0);
+  ExactIndex index;
+  EXPECT_EQ(index.ApproximateMemoryUsage(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    store.Add(Tuple{Value("key-" + std::to_string(i))});
+  }
+  index.CatchUpWith(store);
+  EXPECT_GT(index.ApproximateMemoryUsage(), 50u * sizeof(storage::TupleId));
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aqp

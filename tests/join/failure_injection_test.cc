@@ -1,0 +1,173 @@
+// Failure injection: child operators that error or misbehave must not
+// corrupt join state, leak opens, or mask the original error.
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_join.h"
+#include "exec/scan.h"
+#include "join/shjoin.h"
+#include "join/sshjoin.h"
+
+namespace aqp {
+namespace join {
+namespace {
+
+using storage::Relation;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Schema OneCol() { return Schema({{"s", ValueType::kString}}); }
+
+Relation Strings(const std::vector<std::string>& values) {
+  Relation r(OneCol());
+  for (const auto& v : values) {
+    EXPECT_TRUE(r.Append(Tuple{Value(v)}).ok());
+  }
+  return r;
+}
+
+/// Operator that yields `good` tuples, then fails with an IO error.
+class FlakyOperator : public exec::Operator {
+ public:
+  FlakyOperator(Schema schema, int good)
+      : schema_(std::move(schema)), good_(good) {}
+  Status Open() override {
+    ++opens_;
+    return Status::OK();
+  }
+  Result<std::optional<Tuple>> Next() override {
+    if (produced_ >= good_) return Status::IOError("stream dropped");
+    ++produced_;
+    return std::optional<Tuple>(
+        Tuple{Value("VALUE " + std::to_string(produced_))});
+  }
+  Status Close() override {
+    ++closes_;
+    return Status::OK();
+  }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "FlakyOperator"; }
+  int opens() const { return opens_; }
+  int closes() const { return closes_; }
+
+ private:
+  Schema schema_;
+  int good_;
+  int produced_ = 0;
+  int opens_ = 0;
+  int closes_ = 0;
+};
+
+/// Operator whose Open() fails.
+class UnopenableOperator : public exec::Operator {
+ public:
+  explicit UnopenableOperator(Schema schema) : schema_(std::move(schema)) {}
+  Status Open() override { return Status::IOError("cannot connect"); }
+  Result<std::optional<Tuple>> Next() override {
+    return Status::Internal("Next after failed Open");
+  }
+  Status Close() override { return Status::OK(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "UnopenableOperator"; }
+
+ private:
+  Schema schema_;
+};
+
+TEST(FailureInjectionTest, ChildErrorSurfacesThroughJoin) {
+  const Relation right = Strings({"A", "B", "C", "D"});
+  FlakyOperator left(OneCol(), 2);
+  exec::RelationScan right_scan(&right);
+  SHJoin join(&left, &right_scan, SymmetricJoinOptions{});
+  ASSERT_TRUE(join.Open().ok());
+  Status seen = Status::OK();
+  while (true) {
+    auto next = join.Next();
+    if (!next.ok()) {
+      seen = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+  }
+  EXPECT_TRUE(seen.IsIOError()) << seen;
+}
+
+TEST(FailureInjectionTest, FailedChildOpenPropagates) {
+  const Relation right = Strings({"A"});
+  UnopenableOperator left(OneCol());
+  exec::RelationScan right_scan(&right);
+  SHJoin join(&left, &right_scan, SymmetricJoinOptions{});
+  EXPECT_TRUE(join.Open().IsIOError());
+}
+
+TEST(FailureInjectionTest, JoinLifecycleErrors) {
+  const Relation data = Strings({"A"});
+  exec::RelationScan l(&data);
+  exec::RelationScan r(&data);
+  SHJoin join(&l, &r, SymmetricJoinOptions{});
+  EXPECT_TRUE(join.Next().status().IsFailedPrecondition());
+  EXPECT_TRUE(join.Close().IsFailedPrecondition());
+  ASSERT_TRUE(join.Open().ok());
+  EXPECT_TRUE(join.Open().IsFailedPrecondition());
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FailureInjectionTest, BothInputsEmpty) {
+  const Relation empty = Strings({});
+  exec::RelationScan l(&empty);
+  exec::RelationScan r(&empty);
+  SSHJoin join(&l, &r, SymmetricJoinOptions{});
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  EXPECT_EQ(join.steps(), 0u);
+}
+
+TEST(FailureInjectionTest, AdaptiveJoinWithEmptyParent) {
+  const Relation child = Strings({"A", "B"});
+  const Relation parent = Strings({});
+  exec::RelationScan l(&child);
+  exec::RelationScan r(&parent);
+  adaptive::AdaptiveJoinOptions options;
+  options.adaptive.parent_table_size = 0;
+  adaptive::AdaptiveJoin join(&l, &r, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST(FailureInjectionTest, ErrorDuringDrainAfterOneSideDone) {
+  // Left exhausts cleanly; right fails during the drain phase.
+  const Relation left_data = Strings({"A"});
+  exec::RelationScan left(&left_data);
+  FlakyOperator right(OneCol(), 3);
+  SHJoin join(&left, &right, SymmetricJoinOptions{});
+  ASSERT_TRUE(join.Open().ok());
+  Status seen = Status::OK();
+  while (true) {
+    auto next = join.Next();
+    if (!next.ok()) {
+      seen = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+  }
+  EXPECT_TRUE(seen.IsIOError());
+}
+
+TEST(FailureInjectionTest, MismatchedSchemaRejectedBeforeChildrenOpen) {
+  Relation numbers(Schema({{"n", ValueType::kInt64}}));
+  ASSERT_TRUE(numbers.Append(Tuple{Value(1)}).ok());
+  const Relation strings = Strings({"A"});
+  FlakyOperator never_opened(Schema({{"n", ValueType::kInt64}}), 1);
+  exec::RelationScan number_scan(&numbers);
+  exec::RelationScan string_scan(&strings);
+  SHJoin join(&number_scan, &string_scan, SymmetricJoinOptions{});
+  EXPECT_TRUE(join.Open().IsInvalidArgument());  // int column as key
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aqp

@@ -1,0 +1,196 @@
+#include "join/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace aqp {
+namespace join {
+namespace {
+
+using storage::Tuple;
+using storage::TupleId;
+using storage::TupleStore;
+using storage::Value;
+
+JoinSpec Spec(double threshold = 0.8) {
+  JoinSpec spec;
+  spec.left_column = 0;
+  spec.right_column = 0;
+  spec.sim_threshold = threshold;
+  return spec;
+}
+
+struct Fixture {
+  TupleStore store{0};
+  ExactIndex exact;
+  QGramIndex qgrams{text::QGramOptions{}};
+
+  void Add(const std::string& s) {
+    store.Add(Tuple{Value(s)});
+    exact.CatchUpWith(store);
+    qgrams.CatchUpWith(store);
+  }
+};
+
+TEST(ProbeExactTest, FindsEqualStrings) {
+  Fixture f;
+  f.Add("SANTA CRISTINA VALGARDENA IN COLLE");
+  f.Add("MONTE BIANCO SUPERIORE DEL FRIULI");
+  f.Add("SANTA CRISTINA VALGARDENA IN COLLE");
+  const auto matches = ProbeExact(
+      f.exact, "SANTA CRISTINA VALGARDENA IN COLLE", exec::Side::kLeft, 99);
+  ASSERT_EQ(matches.size(), 2u);
+  for (const JoinMatch& m : matches) {
+    EXPECT_EQ(m.kind, MatchKind::kExact);
+    EXPECT_DOUBLE_EQ(m.similarity, 1.0);
+    EXPECT_EQ(m.probe_id, 99u);
+    EXPECT_EQ(m.probe_side, exec::Side::kLeft);
+  }
+}
+
+TEST(ProbeExactTest, MissYieldsEmpty) {
+  Fixture f;
+  f.Add("SOMETHING");
+  EXPECT_TRUE(ProbeExact(f.exact, "ELSE", exec::Side::kRight, 0).empty());
+}
+
+TEST(ProbeApproximateTest, FindsVariantAboveThreshold) {
+  Fixture f;
+  const std::string original = "TAA BZ SANTA CRISTINA VALGARDENA TERME";
+  f.Add(original);
+  std::string variant = original;
+  variant[12] = 'x';
+  ApproxProbeStats stats;
+  const auto matches =
+      ProbeApproximate(f.qgrams, f.store, variant, Spec(0.8),
+                       exec::Side::kLeft, 7, ApproxProbeOptions{}, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].stored_id, 0u);
+  EXPECT_EQ(matches[0].kind, MatchKind::kApproximate);
+  EXPECT_GE(matches[0].similarity, 0.8);
+  EXPECT_LT(matches[0].similarity, 1.0);
+  EXPECT_GT(stats.grams, 0u);
+  EXPECT_GE(stats.candidates, 1u);
+  EXPECT_EQ(stats.matches, 1u);
+}
+
+TEST(ProbeApproximateTest, EqualStringFlaggedExact) {
+  Fixture f;
+  const std::string s = "MONTE ROSA SUPERIORE DEGLI ULIVI";
+  f.Add(s);
+  const auto matches =
+      ProbeApproximate(f.qgrams, f.store, s, Spec(0.8), exec::Side::kRight,
+                       3, ApproxProbeOptions{}, nullptr);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].kind, MatchKind::kExact);
+  EXPECT_DOUBLE_EQ(matches[0].similarity, 1.0);
+}
+
+TEST(ProbeApproximateTest, DissimilarStringRejected) {
+  Fixture f;
+  f.Add("TAA BZ SANTA CRISTINA VALGARDENA");
+  const auto matches = ProbeApproximate(
+      f.qgrams, f.store, "PUG BA COMPLETELY DIFFERENT PLACE", Spec(0.8),
+      exec::Side::kLeft, 0, ApproxProbeOptions{}, nullptr);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(ProbeApproximateTest, ThresholdIsInclusiveBoundary) {
+  Fixture f;
+  f.Add("ABCD");
+  // q(ABCD) vs q(ABCE), padded q=3: sets of 6 grams each, overlap 4
+  // (\1\1A, \1AB, ABC + one of the distinct tails...). Compute the true
+  // Jaccard and assert behaviour exactly at it.
+  const text::GramSet a =
+      text::GramSet::Of("ABCD", text::QGramOptions{});
+  const text::GramSet b =
+      text::GramSet::Of("ABCE", text::QGramOptions{});
+  const double sim = text::Jaccard(a, b);
+  auto at = ProbeApproximate(f.qgrams, f.store, "ABCE", Spec(sim),
+                             exec::Side::kLeft, 0, ApproxProbeOptions{},
+                             nullptr);
+  EXPECT_EQ(at.size(), 1u);
+  auto above = ProbeApproximate(f.qgrams, f.store, "ABCE", Spec(sim + 1e-9),
+                                exec::Side::kLeft, 0, ApproxProbeOptions{},
+                                nullptr);
+  EXPECT_TRUE(above.empty());
+}
+
+TEST(ProbeApproximateTest, OptimizationOnAndOffAgree) {
+  Fixture f;
+  const std::vector<std::string> pool = {
+      "TAA BZ SANTA CRISTINA VALGARDENA", "TAA BZ SANTA CRISTINx VALGARDENA",
+      "LOM MI VILLA BORGHESE SUL NAVIGLIO", "VEN VE CASTEL NUOVO DEL MONTE",
+      "TAA BZ SANTA CRISTINA VALGARDENo", "PIE TO MONTE VERDE SUPERIORE"};
+  for (const auto& s : pool) f.Add(s);
+  for (double threshold : {0.5, 0.7, 0.85, 0.95}) {
+    for (const auto& probe : pool) {
+      ApproxProbeOptions with;
+      ApproxProbeOptions without;
+      without.insert_phase_optimization = false;
+      without.rare_grams_first = false;
+      auto a = ProbeApproximate(f.qgrams, f.store, probe, Spec(threshold),
+                                exec::Side::kLeft, 0, with, nullptr);
+      auto b = ProbeApproximate(f.qgrams, f.store, probe, Spec(threshold),
+                                exec::Side::kLeft, 0, without, nullptr);
+      ASSERT_EQ(a.size(), b.size()) << probe << " @ " << threshold;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].stored_id, b[i].stored_id);
+        EXPECT_DOUBLE_EQ(a[i].similarity, b[i].similarity);
+      }
+    }
+  }
+}
+
+TEST(ProbeApproximateTest, EmptyProbeMatchesOnlyEmptyStored) {
+  text::QGramOptions unpadded;
+  unpadded.pad = false;
+  JoinSpec spec = Spec(0.8);
+  spec.qgram = unpadded;
+  TupleStore store(0);
+  QGramIndex index(unpadded);
+  store.Add(Tuple{Value("AB")});  // gram-less
+  store.Add(Tuple{Value("ABCDEF")});
+  index.CatchUpWith(store);
+  auto matches = ProbeApproximate(index, store, "AB", spec, exec::Side::kLeft,
+                                  9, ApproxProbeOptions{}, nullptr);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].stored_id, 0u);
+  EXPECT_EQ(matches[0].kind, MatchKind::kExact);
+  auto misses = ProbeApproximate(index, store, "XY", spec, exec::Side::kLeft,
+                                 9, ApproxProbeOptions{}, nullptr);
+  EXPECT_TRUE(misses.empty());
+}
+
+TEST(ProbeApproximateTest, ResultsSortedByStoredId) {
+  Fixture f;
+  f.Add("SANTA CRISTINA VALGARDENA AAA");
+  f.Add("SANTA CRISTINA VALGARDENA BBB");
+  f.Add("SANTA CRISTINA VALGARDENA CCC");
+  auto matches = ProbeApproximate(
+      f.qgrams, f.store, "SANTA CRISTINA VALGARDENA ABC", Spec(0.6),
+      exec::Side::kLeft, 0, ApproxProbeOptions{}, nullptr);
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(matches.begin(), matches.end(),
+                             [](const JoinMatch& a, const JoinMatch& b) {
+                               return a.stored_id < b.stored_id;
+                             }));
+}
+
+TEST(ProbeStatsTest, MergeAccumulates) {
+  ApproxProbeStats a;
+  a.grams = 5;
+  a.matches = 1;
+  ApproxProbeStats b;
+  b.grams = 7;
+  b.candidates = 3;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.grams, 12u);
+  EXPECT_EQ(a.candidates, 3u);
+  EXPECT_EQ(a.matches, 1u);
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aqp

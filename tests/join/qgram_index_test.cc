@@ -1,0 +1,126 @@
+#include "join/qgram_index.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tuple_store.h"
+
+namespace aqp {
+namespace join {
+namespace {
+
+using storage::Tuple;
+using storage::TupleStore;
+using storage::Value;
+
+text::QGramOptions Q3() {
+  text::QGramOptions o;
+  o.q = 3;
+  return o;
+}
+
+TEST(QGramIndexTest, PostingsContainInsertingTuples) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("SANTA")});
+  store.Add(Tuple{Value("SANTO")});
+  QGramIndex index(Q3());
+  EXPECT_EQ(index.CatchUpWith(store), 2u);
+
+  // Shared gram "SAN" should list both tuples.
+  const auto grams = text::ExtractGramSequence("SANTA", Q3());
+  const auto* postings = index.Postings(grams[2]);  // "SAN"
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ(postings->size(), 2u);
+  EXPECT_EQ(index.Frequency(grams[2]), 2u);
+}
+
+TEST(QGramIndexTest, PostingsAreDeduplicatedPerTuple) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("AAAAAA")});  // "AAA" occurs many times
+  QGramIndex index(Q3());
+  index.CatchUpWith(store);
+  const auto set = text::GramSet::Of("AAAAAA", Q3());
+  for (text::GramKey key : set.grams()) {
+    const auto* postings = index.Postings(key);
+    ASSERT_NE(postings, nullptr);
+    EXPECT_EQ(postings->size(), 1u) << "gram duplicated in posting list";
+  }
+}
+
+TEST(QGramIndexTest, GramSetSizesStored) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("SANTA")});
+  QGramIndex index(Q3());
+  index.CatchUpWith(store);
+  const auto set = text::GramSet::Of("SANTA", Q3());
+  EXPECT_EQ(index.GramSetSize(0), set.size());
+  EXPECT_EQ(index.GramSetOf(0), set);
+}
+
+TEST(QGramIndexTest, UnknownGramHasZeroFrequency) {
+  QGramIndex index(Q3());
+  EXPECT_EQ(index.Frequency(0xFFFFFFFFull), 0u);
+  EXPECT_EQ(index.Postings(0xFFFFFFFFull), nullptr);
+}
+
+TEST(QGramIndexTest, IncrementalCatchUpMatchesFreshBuild) {
+  TupleStore store(0);
+  const std::vector<std::string> values = {"SANTA CRISTINA", "MONTE BIANCO",
+                                           "VILLA ROSSA", "SANTA LUCIA",
+                                           "BORGO SAN LORENZO"};
+  QGramIndex incremental(Q3());
+  for (const std::string& v : values) {
+    store.Add(Tuple{Value(v)});
+    incremental.CatchUpWith(store);  // catch up one at a time
+  }
+  QGramIndex fresh(Q3());
+  fresh.CatchUpWith(store);  // all at once
+
+  EXPECT_EQ(incremental.watermark(), fresh.watermark());
+  EXPECT_EQ(incremental.distinct_grams(), fresh.distinct_grams());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto id = static_cast<storage::TupleId>(i);
+    EXPECT_EQ(incremental.GramSetOf(id), fresh.GramSetOf(id));
+    for (text::GramKey key : fresh.GramSetOf(id).grams()) {
+      ASSERT_NE(incremental.Postings(key), nullptr);
+      EXPECT_EQ(*incremental.Postings(key), *fresh.Postings(key));
+    }
+  }
+}
+
+TEST(QGramIndexTest, EmptyGramTuplesTracked) {
+  text::QGramOptions unpadded = Q3();
+  unpadded.pad = false;
+  TupleStore store(0);
+  store.Add(Tuple{Value("AB")});  // shorter than q: no grams
+  store.Add(Tuple{Value("ABCDEF")});
+  QGramIndex index(unpadded);
+  index.CatchUpWith(store);
+  ASSERT_EQ(index.empty_gram_tuples().size(), 1u);
+  EXPECT_EQ(index.empty_gram_tuples()[0], 0u);
+}
+
+TEST(QGramIndexTest, AveragePostingLength) {
+  TupleStore store(0);
+  store.Add(Tuple{Value("ABC")});
+  QGramIndex index(Q3());
+  index.CatchUpWith(store);
+  // One tuple: every posting list has length 1.
+  EXPECT_DOUBLE_EQ(index.AveragePostingLength(), 1.0);
+}
+
+TEST(QGramIndexTest, SpaceGrowsWithGramCount) {
+  // §2.3: q-gram index space is ~(|jA|+q-1) pointers per tuple versus
+  // one for the exact table.
+  TupleStore store(0);
+  for (int i = 0; i < 20; ++i) {
+    store.Add(Tuple{Value("LOCATION STRING NUMBER " + std::to_string(i))});
+  }
+  QGramIndex index(Q3());
+  index.CatchUpWith(store);
+  EXPECT_GT(index.ApproximateMemoryUsage(),
+            20u * 20u * sizeof(storage::TupleId));
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aqp

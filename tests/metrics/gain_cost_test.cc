@@ -1,0 +1,79 @@
+#include "metrics/gain_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace metrics {
+namespace {
+
+GainCost Typical() {
+  GainCost gc;
+  gc.r = 9000;    // all-exact result
+  gc.R = 10000;   // all-approximate result
+  gc.r_abs = 9800;
+  gc.c = 18000;   // all-exact cost (steps)
+  gc.C = 1263600; // all-approximate cost (steps * 70.2)
+  gc.c_abs = 400000;
+  return gc;
+}
+
+TEST(GainCostTest, RelativeGainIsGapFraction) {
+  const GainCost gc = Typical();
+  EXPECT_NEAR(gc.RelativeGain(), 0.8, 1e-12);
+}
+
+TEST(GainCostTest, FullRecoveryIsOne) {
+  GainCost gc = Typical();
+  gc.r_abs = gc.R;
+  EXPECT_DOUBLE_EQ(gc.RelativeGain(), 1.0);
+}
+
+TEST(GainCostTest, NoRecoveryIsZero) {
+  GainCost gc = Typical();
+  gc.r_abs = gc.r;
+  EXPECT_DOUBLE_EQ(gc.RelativeGain(), 0.0);
+}
+
+TEST(GainCostTest, EmptyGapDefinesGainOne) {
+  GainCost gc = Typical();
+  gc.R = gc.r;
+  gc.r_abs = gc.r;
+  EXPECT_DOUBLE_EQ(gc.RelativeGain(), 1.0);
+}
+
+TEST(GainCostTest, RelativeCostUsesPaperFormula) {
+  const GainCost gc = Typical();
+  // §4.3: c_rel = c_abs / (C - c), not (c_abs - c)/(C - c).
+  EXPECT_NEAR(gc.RelativeCost(), 400000.0 / (1263600.0 - 18000.0), 1e-12);
+}
+
+TEST(GainCostTest, GapNormalizedCostVariant) {
+  const GainCost gc = Typical();
+  EXPECT_NEAR(gc.RelativeCostGap(),
+              (400000.0 - 18000.0) / (1263600.0 - 18000.0), 1e-12);
+  EXPECT_LT(gc.RelativeCostGap(), gc.RelativeCost());
+}
+
+TEST(GainCostTest, EfficiencyIsGainOverCost) {
+  const GainCost gc = Typical();
+  EXPECT_NEAR(gc.Efficiency(), gc.RelativeGain() / gc.RelativeCost(), 1e-12);
+  EXPECT_GT(gc.Efficiency(), 1.0);  // the paper's desirable regime
+}
+
+TEST(GainCostTest, DegenerateCostGap) {
+  GainCost gc = Typical();
+  gc.C = gc.c;
+  EXPECT_DOUBLE_EQ(gc.RelativeCost(), 1.0);
+  EXPECT_DOUBLE_EQ(gc.RelativeCostGap(), 0.0);
+}
+
+TEST(GainCostTest, ToStringIncludesMetrics) {
+  const std::string s = Typical().ToString();
+  EXPECT_NE(s.find("gain="), std::string::npos);
+  EXPECT_NE(s.find("cost="), std::string::npos);
+  EXPECT_NE(s.find("e="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace aqp

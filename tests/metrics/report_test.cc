@@ -1,0 +1,75 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace aqp {
+namespace metrics {
+namespace {
+
+ExperimentResult FakeResult(const std::string& label) {
+  ExperimentResult r;
+  r.label = label;
+  r.adaptive.total_steps = 1000;
+  r.adaptive.steps_per_state = {300, 100, 100, 500};
+  r.adaptive.transitions_into = {2, 1, 1, 2};
+  r.adaptive.total_transitions = 6;
+  r.weighted.r = 900;
+  r.weighted.R = 1000;
+  r.weighted.r_abs = 980;
+  r.weighted.c = 1000;
+  r.weighted.C = 70200;
+  r.weighted.c_abs = 20000;
+  r.adaptive_completeness = 0.98;
+  r.exact_completeness = 0.9;
+  r.approx_completeness = 1.0;
+  return r;
+}
+
+TEST(ReportTest, Fig6TableContainsMetrics) {
+  std::ostringstream os;
+  PrintFig6GainCost({FakeResult("uniform/child"), FakeResult("few_high/both")},
+                    os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. 6"), std::string::npos);
+  EXPECT_NE(out.find("uniform/child"), std::string::npos);
+  EXPECT_NE(out.find("few_high/both"), std::string::npos);
+  EXPECT_NE(out.find("g_rel"), std::string::npos);
+  EXPECT_NE(out.find("0.800"), std::string::npos);  // gain of the fake
+}
+
+TEST(ReportTest, Fig7SharesSumToHundred) {
+  std::ostringstream os;
+  PrintFig7TimeBreakdown({FakeResult("uniform/child")}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("30.0"), std::string::npos);  // EE share
+  EXPECT_NE(out.find("50.0"), std::string::npos);  // AA share
+  EXPECT_NE(out.find("| 6"), std::string::npos);   // transitions column
+}
+
+TEST(ReportTest, Fig8UsesWeights) {
+  std::ostringstream os;
+  PrintFig8CostBreakdown({FakeResult("uniform/child")},
+                         adaptive::StateWeights::Paper(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. 8"), std::string::npos);
+  EXPECT_NE(out.find("transition %"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRoundTrips) {
+  std::ostringstream os;
+  WriteResultsCsv({FakeResult("uniform/child")}, os);
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(os.str(), &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);           // header + one row
+  EXPECT_EQ(rows[0][0], "test_case");
+  EXPECT_EQ(rows[1][0], "uniform/child");
+  EXPECT_EQ(rows[0].size(), rows[1].size());
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace aqp

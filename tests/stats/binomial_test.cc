@@ -1,0 +1,133 @@
+#include "stats/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqp {
+namespace stats {
+namespace {
+
+/// Direct-summation CDF for cross-checking (only viable for small n).
+double NaiveCdf(uint64_t n, double p, int64_t k) {
+  if (k < 0) return 0.0;
+  Binomial b(n, p);
+  double sum = 0.0;
+  for (uint64_t i = 0; i <= std::min<uint64_t>(static_cast<uint64_t>(k), n);
+       ++i) {
+    sum += b.Pmf(i);
+  }
+  return std::min(sum, 1.0);
+}
+
+TEST(BinomialTest, MeanAndVariance) {
+  Binomial b(100, 0.3);
+  EXPECT_DOUBLE_EQ(b.Mean(), 30.0);
+  EXPECT_DOUBLE_EQ(b.Variance(), 21.0);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  Binomial b(50, 0.37);
+  double sum = 0.0;
+  for (uint64_t k = 0; k <= 50; ++k) sum += b.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(BinomialTest, PmfKnownValues) {
+  // P(X=2), X~bin(4, 0.5) = 6/16.
+  EXPECT_NEAR(Binomial(4, 0.5).Pmf(2), 0.375, 1e-12);
+  // P(X=0), X~bin(10, 0.1) = 0.9^10.
+  EXPECT_NEAR(Binomial(10, 0.1).Pmf(0), std::pow(0.9, 10), 1e-12);
+}
+
+TEST(BinomialTest, PmfImpossibleOutcomes) {
+  EXPECT_DOUBLE_EQ(Binomial(5, 0.5).Pmf(6), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 0.0).Pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 0.0).Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 1.0).Pmf(5), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 1.0).Pmf(4), 0.0);
+}
+
+TEST(BinomialTest, CdfMatchesDirectSummation) {
+  for (uint64_t n : {1u, 7u, 25u, 100u, 400u}) {
+    for (double p : {0.01, 0.2, 0.5, 0.85, 0.99}) {
+      Binomial b(n, p);
+      for (int64_t k = -1; k <= static_cast<int64_t>(n);
+           k += std::max<int64_t>(1, static_cast<int64_t>(n) / 7)) {
+        EXPECT_NEAR(b.Cdf(k), NaiveCdf(n, p, k), 1e-9)
+            << "n=" << n << " p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BinomialTest, CdfBoundaries) {
+  Binomial b(10, 0.4);
+  EXPECT_DOUBLE_EQ(b.Cdf(-1), 0.0);
+  EXPECT_DOUBLE_EQ(b.Cdf(10), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cdf(1000), 1.0);
+}
+
+TEST(BinomialTest, CdfDegenerateP) {
+  EXPECT_DOUBLE_EQ(Binomial(10, 0.0).Cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 1.0).Cdf(9), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 1.0).Cdf(10), 1.0);
+}
+
+TEST(BinomialTest, CdfMonotoneInK) {
+  Binomial b(200, 0.35);
+  double prev = -1.0;
+  for (int64_t k = 0; k <= 200; k += 5) {
+    const double v = b.Cdf(k);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(BinomialTest, ComplementIdentity) {
+  // P(X <= k; n, p) = P(Y >= n-k; n, 1-p) = 1 - P(Y <= n-k-1; n, 1-p).
+  Binomial b(120, 0.3);
+  Binomial mirror(120, 0.7);
+  for (int64_t k = 0; k <= 120; k += 13) {
+    EXPECT_NEAR(b.Cdf(k), 1.0 - mirror.Cdf(120 - k - 1), 1e-9) << k;
+  }
+}
+
+TEST(BinomialTest, LargeNStable) {
+  // ~N(np, npq): CDF at the mean ~0.5, three sigmas out ~0.999.
+  const uint64_t n = 1000000;
+  const double p = 0.1;
+  Binomial b(n, p);
+  const double mean = b.Mean();
+  const double sd = std::sqrt(b.Variance());
+  EXPECT_NEAR(b.Cdf(static_cast<int64_t>(mean)), 0.5, 0.01);
+  EXPECT_GT(b.Cdf(static_cast<int64_t>(mean + 3 * sd)), 0.995);
+  EXPECT_LT(b.Cdf(static_cast<int64_t>(mean - 3 * sd)), 0.005);
+}
+
+TEST(BinomialTest, QuantileInvertsCdf) {
+  Binomial b(500, 0.25);
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    const uint64_t k = b.Quantile(q);
+    EXPECT_GE(b.Cdf(static_cast<int64_t>(k)), q);
+    if (k > 0) {
+      EXPECT_LT(b.Cdf(static_cast<int64_t>(k) - 1), q);
+    }
+  }
+}
+
+TEST(BinomialTest, LowerTailPValueDetectsShortfall) {
+  // Expect ~500 matches; observing 400 should be a glaring outlier.
+  const double p_ok = BinomialLowerTailPValue(495, 1000, 0.5);
+  const double p_bad = BinomialLowerTailPValue(400, 1000, 0.5);
+  EXPECT_GT(p_ok, 0.05);
+  EXPECT_LT(p_bad, 1e-6);
+}
+
+TEST(BinomialTest, LowerTailPValueAtFullCount) {
+  EXPECT_DOUBLE_EQ(BinomialLowerTailPValue(1000, 1000, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,91 @@
+#include "stats/completeness_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace stats {
+namespace {
+
+JoinProgress MakeProgress(uint64_t parents, uint64_t children,
+                          uint64_t matched, bool exhausted = false) {
+  JoinProgress p;
+  p.parents_scanned = parents;
+  p.children_scanned = children;
+  p.children_matched = matched;
+  p.parent_exhausted = exhausted;
+  return p;
+}
+
+TEST(ParentChildModelTest, ExpectedMatchesScalesWithProgress) {
+  ParentChildBinomialModel model(1000);
+  // Half the parents scanned: each child has p=0.5 of having matched.
+  EXPECT_DOUBLE_EQ(model.ExpectedMatches(MakeProgress(500, 200, 0)), 100.0);
+  // All parents scanned: every clean child should have matched.
+  EXPECT_DOUBLE_EQ(model.ExpectedMatches(MakeProgress(1000, 200, 0)), 200.0);
+}
+
+TEST(ParentChildModelTest, ParentFractionClamped) {
+  ParentChildBinomialModel model(100);
+  // More parents scanned than |R| claims (duplicates): p clamps to 1.
+  EXPECT_DOUBLE_EQ(model.ExpectedMatches(MakeProgress(150, 80, 0)), 80.0);
+}
+
+TEST(ParentChildModelTest, HealthyRunIsNotSignificant) {
+  ParentChildBinomialModel model(1000);
+  const auto p = model.ShortfallPValue(MakeProgress(500, 400, 200));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(*p, 0.05);
+}
+
+TEST(ParentChildModelTest, ShortfallIsSignificant) {
+  ParentChildBinomialModel model(1000);
+  // Expected 200, observed 140: a massive lower-tail outlier.
+  const auto p = model.ShortfallPValue(MakeProgress(500, 400, 140));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_LT(*p, 1e-6);
+}
+
+TEST(ParentChildModelTest, CannotAssessWithoutParentSize) {
+  ParentChildBinomialModel model(0);
+  EXPECT_FALSE(model.ShortfallPValue(MakeProgress(500, 400, 140)).has_value());
+}
+
+TEST(ParentChildModelTest, LearnsSizeAtParentExhaustion) {
+  ParentChildBinomialModel model(0);
+  const auto p =
+      model.ShortfallPValue(MakeProgress(800, 400, 140, /*exhausted=*/true));
+  ASSERT_TRUE(p.has_value());
+  // Parent fully scanned: p(match) = 1, so 140/400 is catastrophic.
+  EXPECT_LT(*p, 1e-9);
+}
+
+TEST(ParentChildModelTest, NoChildrenNoAssessment) {
+  ParentChildBinomialModel model(100);
+  EXPECT_FALSE(model.ShortfallPValue(MakeProgress(50, 0, 0)).has_value());
+}
+
+TEST(FixedRateModelTest, ExpectedMatches) {
+  FixedRateModel model(0.8, 0);
+  EXPECT_DOUBLE_EQ(model.ExpectedMatches(MakeProgress(0, 100, 0)), 80.0);
+  FixedRateModel scaled(0.8, 200);
+  EXPECT_DOUBLE_EQ(scaled.ExpectedMatches(MakeProgress(100, 100, 0)), 40.0);
+}
+
+TEST(FixedRateModelTest, DetectsShortfall) {
+  FixedRateModel model(0.9, 0);
+  const auto healthy = model.ShortfallPValue(MakeProgress(0, 1000, 895));
+  const auto broken = model.ShortfallPValue(MakeProgress(0, 1000, 700));
+  ASSERT_TRUE(healthy.has_value());
+  ASSERT_TRUE(broken.has_value());
+  EXPECT_GT(*healthy, 0.05);
+  EXPECT_LT(*broken, 1e-9);
+}
+
+TEST(ModelNamesAreStable, Names) {
+  EXPECT_EQ(ParentChildBinomialModel(10).name(), "parent_child_binomial");
+  EXPECT_EQ(FixedRateModel(0.5, 0).name(), "fixed_rate");
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,94 @@
+#include "stats/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.h"
+
+namespace aqp {
+namespace stats {
+namespace {
+
+TEST(SlidingWindowTest, SumWithinWindow) {
+  SlidingWindowCounter w(3);
+  w.Advance(1);
+  EXPECT_EQ(w.Sum(), 1u);
+  w.Advance(2);
+  EXPECT_EQ(w.Sum(), 3u);
+  w.Advance(3);
+  EXPECT_EQ(w.Sum(), 6u);
+}
+
+TEST(SlidingWindowTest, OldStepsRetire) {
+  SlidingWindowCounter w(3);
+  w.Advance(10);
+  w.Advance(0);
+  w.Advance(0);
+  EXPECT_EQ(w.Sum(), 10u);
+  w.Advance(0);  // the 10 falls out
+  EXPECT_EQ(w.Sum(), 0u);
+}
+
+TEST(SlidingWindowTest, AddToCurrentAccumulates) {
+  SlidingWindowCounter w(2);
+  w.Advance(1);
+  w.AddToCurrent(4);
+  EXPECT_EQ(w.Sum(), 5u);
+  w.Advance(0);
+  EXPECT_EQ(w.Sum(), 5u);  // (1+4) still inside a window of 2
+  w.Advance(0);
+  EXPECT_EQ(w.Sum(), 0u);
+}
+
+TEST(SlidingWindowTest, DensityDividesByWindow) {
+  SlidingWindowCounter w(100);
+  for (int i = 0; i < 10; ++i) w.Advance(1);
+  EXPECT_DOUBLE_EQ(w.Density(), 0.1);
+}
+
+TEST(SlidingWindowTest, WindowOfOne) {
+  SlidingWindowCounter w(1);
+  w.Advance(5);
+  EXPECT_EQ(w.Sum(), 5u);
+  w.Advance(2);
+  EXPECT_EQ(w.Sum(), 2u);
+}
+
+TEST(SlidingWindowTest, ZeroWindowClampedToOne) {
+  SlidingWindowCounter w(0);
+  EXPECT_EQ(w.window(), 1u);
+}
+
+TEST(SlidingWindowTest, ResetClears) {
+  SlidingWindowCounter w(4);
+  w.Advance(3);
+  w.Advance(4);
+  w.Reset();
+  EXPECT_EQ(w.Sum(), 0u);
+  EXPECT_EQ(w.steps(), 0u);
+  w.Advance(1);
+  EXPECT_EQ(w.Sum(), 1u);
+}
+
+TEST(SlidingWindowTest, MatchesBruteForceRecount) {
+  // Property check against a deque-based reference implementation.
+  Rng rng(99);
+  for (size_t window : {1u, 5u, 17u, 100u}) {
+    SlidingWindowCounter w(window);
+    std::deque<uint32_t> reference;
+    for (int step = 0; step < 500; ++step) {
+      const uint32_t events = static_cast<uint32_t>(rng.Uniform(0, 3));
+      w.Advance(events);
+      reference.push_back(events);
+      if (reference.size() > window) reference.pop_front();
+      uint64_t expected = 0;
+      for (uint32_t e : reference) expected += e;
+      ASSERT_EQ(w.Sum(), expected) << "window=" << window << " step=" << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

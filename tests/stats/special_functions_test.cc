@@ -1,0 +1,77 @@
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqp {
+namespace stats {
+namespace {
+
+TEST(LogBetaTest, KnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+  EXPECT_NEAR(LogBeta(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2, 3), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(LogBetaTest, Symmetric) {
+  EXPECT_NEAR(LogBeta(3.5, 7.25), LogBeta(7.25, 3.5), 1e-12);
+}
+
+TEST(LogBinomialCoefficientTest, SmallValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(52, 5), std::log(2598960.0), 1e-9);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.5), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, PowerSpecialCase) {
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(RegularizedIncompleteBeta(3, 1, 0.5), 0.125, 1e-12);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 3, 0.5), 1.0 - 0.125, 1e-12);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.05, 0.3, 0.62, 0.98}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(4.5, 2.25, x),
+                1.0 - RegularizedIncompleteBeta(2.25, 4.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(6, 9, x);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(IncompleteBetaTest, LargeParametersStable) {
+  // Median region of a big symmetric beta should be ~0.5.
+  const double v = RegularizedIncompleteBeta(5e5, 5e5, 0.5);
+  EXPECT_NEAR(v, 0.5, 1e-3);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace aqp

@@ -1,0 +1,58 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+Relation People() {
+  Relation r(Schema({{"id", ValueType::kInt64},
+                     {"city", ValueType::kString}}));
+  EXPECT_TRUE(r.Append(Tuple{Value(1), Value("ROMA")}).ok());
+  EXPECT_TRUE(r.Append(Tuple{Value(2), Value("MILANO")}).ok());
+  EXPECT_TRUE(r.Append(Tuple{Value(3), Value("ROMA")}).ok());
+  return r;
+}
+
+TEST(RelationTest, AppendValidates) {
+  Relation r(Schema({{"id", ValueType::kInt64}}));
+  EXPECT_TRUE(r.Append(Tuple{Value(1)}).ok());
+  EXPECT_TRUE(r.Append(Tuple{Value("bad")}).IsInvalidArgument());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, RowAccess) {
+  const Relation r = People();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.row(1).at(1).AsString(), "MILANO");
+}
+
+TEST(RelationTest, MutableRow) {
+  Relation r = People();
+  r.mutable_row(0)->at(1) = Value("TORINO");
+  EXPECT_EQ(r.row(0).at(1).AsString(), "TORINO");
+}
+
+TEST(RelationTest, DistinctStringsFirstSeenOrder) {
+  const Relation r = People();
+  EXPECT_EQ(r.DistinctStrings(1),
+            (std::vector<std::string>{"ROMA", "MILANO"}));
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  const Relation r = People();
+  const std::string s = r.ToString(2);
+  EXPECT_NE(s.find("ROMA"), std::string::npos);
+  EXPECT_NE(s.find("(1 more rows)"), std::string::npos);
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation r(Schema({{"x", ValueType::kString}}));
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.DistinctStrings(0).empty());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,62 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+Schema Accidents() {
+  return Schema({{"accident_id", ValueType::kInt64},
+                 {"location", ValueType::kString},
+                 {"severity", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, FieldAccess) {
+  const Schema s = Accidents();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(1).name, "location");
+  EXPECT_EQ(s.field(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = Accidents();
+  EXPECT_EQ(s.IndexOf("location"), std::optional<size_t>(1));
+  EXPECT_EQ(s.IndexOf("bogus"), std::nullopt);
+}
+
+TEST(SchemaTest, RequireIndexOf) {
+  const Schema s = Accidents();
+  auto ok = s.RequireIndexOf("severity");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2u);
+  EXPECT_TRUE(s.RequireIndexOf("bogus").status().IsNotFound());
+}
+
+TEST(SchemaTest, ConcatRenamesDuplicates) {
+  const Schema left = Accidents();
+  const Schema right({{"location", ValueType::kString},
+                      {"lat", ValueType::kDouble}});
+  const Schema joined = left.ConcatWith(right, "_r");
+  EXPECT_EQ(joined.num_fields(), 5u);
+  EXPECT_EQ(joined.field(3).name, "location_r");
+  EXPECT_EQ(joined.field(4).name, "lat");
+}
+
+TEST(SchemaTest, WithFieldAppends) {
+  const Schema s = Accidents().WithField({"sim", ValueType::kDouble});
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.field(3).name, "sim");
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_EQ(Accidents(), Accidents());
+  EXPECT_NE(Accidents(), Schema());
+  EXPECT_EQ(Schema().ToString(), "[]");
+  EXPECT_NE(Accidents().ToString().find("location:string"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,58 @@
+#include "storage/tuple_store.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+TEST(TupleStoreTest, AddAssignsDenseIds) {
+  TupleStore store(/*join_column=*/0);
+  EXPECT_EQ(store.Add(Tuple{Value("a")}), 0u);
+  EXPECT_EQ(store.Add(Tuple{Value("b")}), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(1).at(0).AsString(), "b");
+}
+
+TEST(TupleStoreTest, JoinKeyUsesConfiguredColumn) {
+  TupleStore store(/*join_column=*/1);
+  const TupleId id = store.Add(Tuple{Value(7), Value("LOC")});
+  EXPECT_EQ(store.JoinKey(id), "LOC");
+  EXPECT_EQ(store.join_column(), 1u);
+}
+
+TEST(TupleStoreTest, MatchedExactlyFlags) {
+  TupleStore store(0);
+  const TupleId a = store.Add(Tuple{Value("a")});
+  const TupleId b = store.Add(Tuple{Value("b")});
+  EXPECT_FALSE(store.MatchedExactly(a));
+  store.SetMatchedExactly(a);
+  EXPECT_TRUE(store.MatchedExactly(a));
+  EXPECT_FALSE(store.MatchedExactly(b));
+  EXPECT_EQ(store.CountMatchedExactly(), 1u);
+  store.SetMatchedExactly(a);  // idempotent
+  EXPECT_EQ(store.CountMatchedExactly(), 1u);
+}
+
+TEST(TupleStoreTest, MatchedAnyFirstTimeDetection) {
+  TupleStore store(0);
+  const TupleId a = store.Add(Tuple{Value("a")});
+  EXPECT_FALSE(store.MatchedAny(a));
+  EXPECT_TRUE(store.SetMatchedAny(a));   // first set
+  EXPECT_FALSE(store.SetMatchedAny(a));  // already set
+  store.IncrementMatchedAnyCount();
+  EXPECT_EQ(store.matched_any_count(), 1u);
+}
+
+TEST(TupleStoreTest, MemoryUsageGrows) {
+  TupleStore store(0);
+  const size_t empty = store.ApproximateMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    store.Add(Tuple{Value("some location string of decent length")});
+  }
+  EXPECT_GT(store.ApproximateMemoryUsage(), empty + 100 * 30);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,77 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+Schema TwoCol() {
+  return Schema({{"id", ValueType::kInt64}, {"name", ValueType::kString}});
+}
+
+TEST(TupleTest, InitializerList) {
+  Tuple t{Value(1), Value("x")};
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0).AsInt64(), 1);
+  EXPECT_EQ(t.at(1).AsString(), "x");
+}
+
+TEST(TupleTest, ValidateAcceptsConforming) {
+  Tuple t{Value(1), Value("x")};
+  EXPECT_TRUE(t.ValidateAgainst(TwoCol()).ok());
+}
+
+TEST(TupleTest, ValidateAcceptsNulls) {
+  Tuple t{Value(), Value()};
+  EXPECT_TRUE(t.ValidateAgainst(TwoCol()).ok());
+}
+
+TEST(TupleTest, ValidateRejectsArityMismatch) {
+  Tuple t{Value(1)};
+  EXPECT_TRUE(t.ValidateAgainst(TwoCol()).IsInvalidArgument());
+}
+
+TEST(TupleTest, ValidateRejectsTypeMismatch) {
+  Tuple t{Value("oops"), Value("x")};
+  EXPECT_TRUE(t.ValidateAgainst(TwoCol()).IsInvalidArgument());
+}
+
+TEST(TupleTest, Concat) {
+  Tuple l{Value(1), Value("a")};
+  Tuple r{Value(2.0)};
+  Tuple joined = Tuple::Concat(l, r);
+  ASSERT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined.at(0).AsInt64(), 1);
+  EXPECT_EQ(joined.at(1).AsString(), "a");
+  EXPECT_DOUBLE_EQ(joined.at(2).AsDouble(), 2.0);
+}
+
+TEST(TupleTest, ConcatWithEmpty) {
+  Tuple l{Value(1)};
+  Tuple empty;
+  EXPECT_EQ(Tuple::Concat(l, empty), l);
+  EXPECT_EQ(Tuple::Concat(empty, l), l);
+}
+
+TEST(TupleTest, AppendGrows) {
+  Tuple t;
+  t.Append(Value("x"));
+  t.Append(Value(3));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(1).AsInt64(), 3);
+}
+
+TEST(TupleTest, EqualityAndToString) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  Tuple c{Value(1), Value("y")};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.ToString(), "(1, x)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,73 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  Value v(int64_t{42});
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntLiteralPromotesToInt64) {
+  Value v(7);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(2.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v("TAA BZ");
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "TAA BZ");
+  EXPECT_EQ(v.AsStringView(), "TAA BZ");
+  EXPECT_EQ(v.ToString(), "TAA BZ");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, EqualityAcrossTypes) {
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_NE(Value(), Value(0));
+}
+
+TEST(ValueTest, OrderingNullFirstThenByType) {
+  EXPECT_LT(Value(), Value(0));
+  EXPECT_LT(Value(int64_t{5}), Value(1.0));  // int64 index < double index
+  EXPECT_LT(Value(1.0), Value("a"));
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -1,0 +1,48 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace aqp {
+namespace text {
+namespace {
+
+TEST(NormalizeTest, PaperPresetUppercasesAndCollapses) {
+  const NormalizeOptions o = NormalizeOptions::Paper();
+  EXPECT_EQ(Normalize("  taa  bz   Santa Cristina ", o),
+            "TAA BZ SANTA CRISTINA");
+}
+
+TEST(NormalizeTest, AllOff) {
+  NormalizeOptions o;
+  o.upper_case = false;
+  o.collapse_whitespace = false;
+  o.strip_punctuation = false;
+  EXPECT_EQ(Normalize("  mIxEd  CaSe ", o), "  mIxEd  CaSe ");
+}
+
+TEST(NormalizeTest, PunctuationBecomesWordBoundary) {
+  NormalizeOptions o;
+  o.strip_punctuation = true;
+  EXPECT_EQ(Normalize("SANTA-CRISTINA", o), "SANTA CRISTINA");
+  EXPECT_EQ(Normalize("ST. JOHN'S", o), "ST JOHN S");
+}
+
+TEST(NormalizeTest, PunctuationKeptByDefault) {
+  const NormalizeOptions o = NormalizeOptions::Paper();
+  EXPECT_EQ(Normalize("SANTA-CRISTINA", o), "SANTA-CRISTINA");
+}
+
+TEST(NormalizeTest, EmptyString) {
+  EXPECT_EQ(Normalize("", NormalizeOptions::Paper()), "");
+  EXPECT_EQ(Normalize("   ", NormalizeOptions::Paper()), "");
+}
+
+TEST(NormalizeTest, Idempotent) {
+  const NormalizeOptions o = NormalizeOptions::Paper();
+  const std::string once = Normalize(" a  B\tc ", o);
+  EXPECT_EQ(Normalize(once, o), once);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace aqp

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/qgram.h"
+#include "text/similarity.h"
+
+namespace aqp {
+namespace text {
+namespace {
+
+/// Property sweep over random string pairs: similarity coefficients
+/// must stay in [0, 1], be symmetric, score identity as 1, and the
+/// candidate-count bound k = MinOverlapForThreshold must never exclude
+/// a true match.
+class SimilarityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomWordString(Rng* rng) {
+  const size_t words = 1 + rng->Index(5);
+  std::string s;
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) s += ' ';
+    s += rng->RandomString(1 + rng->Index(10), "ABCDEFGH");
+  }
+  return s;
+}
+
+TEST_P(SimilarityPropertyTest, CoefficientInvariants) {
+  Rng rng(GetParam());
+  QGramOptions o;
+  o.q = 3;
+  for (int i = 0; i < 200; ++i) {
+    const std::string s1 = RandomWordString(&rng);
+    const std::string s2 = RandomWordString(&rng);
+    const GramSet a = GramSet::Of(s1, o);
+    const GramSet b = GramSet::Of(s2, o);
+    for (auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                   SimilarityMeasure::kCosine, SimilarityMeasure::kOverlap}) {
+      const double ab = SetSimilarity(m, a, b);
+      const double ba = SetSimilarity(m, b, a);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      EXPECT_DOUBLE_EQ(ab, ba);
+      EXPECT_DOUBLE_EQ(SetSimilarity(m, a, a), 1.0);
+    }
+    // Jaccard <= Cosine <= Dice ... actually standard ordering is
+    // Jaccard <= Dice; verify that relation.
+    EXPECT_LE(SetSimilarity(SimilarityMeasure::kJaccard, a, b),
+              SetSimilarity(SimilarityMeasure::kDice, a, b) + 1e-12);
+  }
+}
+
+TEST_P(SimilarityPropertyTest, MinOverlapBoundIsSound) {
+  Rng rng(GetParam() ^ 0x9e3779b9);
+  QGramOptions o;
+  o.q = 3;
+  const double thresholds[] = {0.5, 0.7, 0.85, 0.95};
+  for (int i = 0; i < 200; ++i) {
+    const std::string s1 = RandomWordString(&rng);
+    const std::string s2 = RandomWordString(&rng);
+    const GramSet a = GramSet::Of(s1, o);
+    const GramSet b = GramSet::Of(s2, o);
+    if (a.empty() || b.empty()) continue;
+    const size_t overlap = a.OverlapWith(b);
+    for (double t : thresholds) {
+      for (auto m :
+           {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+            SimilarityMeasure::kCosine, SimilarityMeasure::kOverlap}) {
+        const double sim = SetSimilarity(m, a, b);
+        if (sim >= t) {
+          // The bound uses |q(s1)| as the probe: a true match must
+          // reach it.
+          EXPECT_GE(overlap, MinOverlapForThreshold(m, a.size(), t))
+              << SimilarityMeasureName(m) << " t=" << t << " s1=" << s1
+              << " s2=" << s2;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimilarityPropertyTest, LevenshteinTriangleInequality) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 100; ++i) {
+    const std::string a = RandomWordString(&rng);
+    const std::string b = RandomWordString(&rng);
+    const std::string c = RandomWordString(&rng);
+    EXPECT_LE(Levenshtein(a, c), Levenshtein(a, b) + Levenshtein(b, c));
+  }
+}
+
+TEST_P(SimilarityPropertyTest, BoundedLevenshteinAgreesWithExact) {
+  Rng rng(GetParam() ^ 0x555555);
+  for (int i = 0; i < 100; ++i) {
+    const std::string a = RandomWordString(&rng);
+    const std::string b = RandomWordString(&rng);
+    const size_t exact = Levenshtein(a, b);
+    for (size_t bound : {size_t{0}, size_t{1}, size_t{3}, size_t{10}}) {
+      const size_t bounded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " / " << b;
+      } else {
+        EXPECT_EQ(bounded, bound + 1) << a << " / " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace text
+}  // namespace aqp

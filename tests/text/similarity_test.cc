@@ -1,0 +1,152 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aqp {
+namespace text {
+namespace {
+
+QGramOptions Q3() {
+  QGramOptions o;
+  o.q = 3;
+  return o;
+}
+
+TEST(JaccardTest, IdenticalStringsScoreOne) {
+  const GramSet a = GramSet::Of("SANTA CRISTINA", Q3());
+  EXPECT_DOUBLE_EQ(Jaccard(a, a), 1.0);
+}
+
+TEST(JaccardTest, BothEmptyScoreOne) {
+  GramSet a, b;
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 1.0);
+}
+
+TEST(JaccardTest, OneEmptyScoresZero) {
+  QGramOptions o = Q3();
+  o.pad = false;
+  const GramSet a = GramSet::Of("ABCDEF", o);
+  GramSet empty;
+  EXPECT_DOUBLE_EQ(Jaccard(a, empty), 0.0);
+}
+
+TEST(JaccardTest, HandComputedExample) {
+  QGramOptions o = Q3();
+  o.pad = false;
+  // q(ABCD) = {ABC, BCD}; q(ABCE) = {ABC, BCE}. J = 1/3.
+  const GramSet a = GramSet::Of("ABCD", o);
+  const GramSet b = GramSet::Of("ABCE", o);
+  EXPECT_NEAR(Jaccard(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, FromOverlapAgreesWithSets) {
+  const GramSet a = GramSet::Of("SANTA CRISTINA VALGARDENA", Q3());
+  const GramSet b = GramSet::Of("SANTA CRISTINx VALGARDENA", Q3());
+  const size_t overlap = a.OverlapWith(b);
+  EXPECT_DOUBLE_EQ(Jaccard(a, b),
+                   JaccardFromOverlap(a.size(), b.size(), overlap));
+}
+
+TEST(DiceTest, HandComputedExample) {
+  QGramOptions o = Q3();
+  o.pad = false;
+  const GramSet a = GramSet::Of("ABCD", o);  // 2 grams
+  const GramSet b = GramSet::Of("ABCE", o);  // 2 grams, overlap 1
+  EXPECT_NEAR(Dice(a, b), 2.0 * 1.0 / 4.0, 1e-12);
+}
+
+TEST(CosineTest, HandComputedExample) {
+  QGramOptions o = Q3();
+  o.pad = false;
+  const GramSet a = GramSet::Of("ABCD", o);
+  const GramSet b = GramSet::Of("ABCE", o);
+  EXPECT_NEAR(Cosine(a, b), 1.0 / std::sqrt(4.0), 1e-12);
+}
+
+TEST(OverlapCoefficientTest, SubsetScoresOne) {
+  QGramOptions o = Q3();
+  o.pad = false;
+  const GramSet a = GramSet::Of("ABCDE", o);  // ABC BCD CDE
+  const GramSet b = GramSet::Of("ABCD", o);   // ABC BCD (subset)
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(a, b), 1.0);
+}
+
+TEST(SetSimilarityTest, DispatchesAllMeasures) {
+  const GramSet a = GramSet::Of("SANTA", Q3());
+  const GramSet b = GramSet::Of("SANTO", Q3());
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kJaccard, a, b),
+                   Jaccard(a, b));
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kDice, a, b), Dice(a, b));
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kCosine, a, b),
+                   Cosine(a, b));
+  EXPECT_DOUBLE_EQ(SetSimilarity(SimilarityMeasure::kOverlap, a, b),
+                   OverlapCoefficient(a, b));
+}
+
+TEST(SetSimilarityFromOverlapTest, AgreesWithDirectComputation) {
+  const GramSet a = GramSet::Of("SANTA CRISTINA", Q3());
+  const GramSet b = GramSet::Of("SANTO CRISTONE", Q3());
+  const size_t o = a.OverlapWith(b);
+  for (auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                 SimilarityMeasure::kCosine, SimilarityMeasure::kOverlap}) {
+    EXPECT_DOUBLE_EQ(SetSimilarityFromOverlap(m, a.size(), b.size(), o),
+                     SetSimilarity(m, a, b))
+        << SimilarityMeasureName(m);
+  }
+}
+
+TEST(MinOverlapTest, JaccardBoundIsSoundAndUseful) {
+  // For any candidate c with J(p, c) >= t, overlap >= ceil(t * |p|).
+  const size_t g = 30;
+  const double t = 0.85;
+  const size_t k = MinOverlapForThreshold(SimilarityMeasure::kJaccard, g, t);
+  EXPECT_EQ(k, 26u);  // ceil(0.85 * 30) = 26
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, g);
+}
+
+TEST(MinOverlapTest, AlwaysAtLeastOne) {
+  for (auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kDice,
+                 SimilarityMeasure::kCosine, SimilarityMeasure::kOverlap}) {
+    EXPECT_GE(MinOverlapForThreshold(m, 10, 0.0), 1u);
+    EXPECT_GE(MinOverlapForThreshold(m, 0, 0.9), 1u);
+  }
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("SANTA CRISTINA", "SANTA CRISTINx"), 1u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(BoundedLevenshteinTest, AgreesWithinBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedLevenshtein("abc", "abc", 0), 0u);
+  EXPECT_EQ(BoundedLevenshtein("SANTA", "SANTo", 1), 1u);
+}
+
+TEST(BoundedLevenshteinTest, SaturatesBeyondBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 2), 3u);  // bound+1
+  EXPECT_EQ(BoundedLevenshtein("aaaa", "bbbb", 1), 2u);
+  EXPECT_EQ(BoundedLevenshtein("short", "muchlongerstring", 3), 4u);
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("abcd", "abcx"), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace aqp
