@@ -48,7 +48,10 @@ void BM_SHJoin_EndToEnd(benchmark::State& state) {
     exec::RelationScan parent(&tc.parent);
     join::SHJoin join(&child, &parent, JoinOptions());
     auto count = exec::CountAll(&join);
-    if (!count.ok()) state.SkipWithError("join failed");
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
     benchmark::DoNotOptimize(*count);
   }
   state.SetItemsProcessed(
@@ -65,7 +68,10 @@ void BM_SSHJoin_EndToEnd(benchmark::State& state) {
     exec::RelationScan parent(&tc.parent);
     join::SSHJoin join(&child, &parent, JoinOptions());
     auto count = exec::CountAll(&join);
-    if (!count.ok()) state.SkipWithError("join failed");
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
     benchmark::DoNotOptimize(*count);
   }
   state.SetItemsProcessed(
@@ -86,7 +92,10 @@ void BM_AdaptiveJoin_EndToEnd(benchmark::State& state) {
     options.adaptive.parent_table_size = tc.parent.size();
     adaptive::AdaptiveJoin join(&child, &parent, options);
     auto count = exec::CountAll(&join);
-    if (!count.ok()) state.SkipWithError("join failed");
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
     benchmark::DoNotOptimize(*count);
   }
   state.SetItemsProcessed(
@@ -94,6 +103,110 @@ void BM_AdaptiveJoin_EndToEnd(benchmark::State& state) {
       static_cast<int64_t>(tc.child.size() + tc.parent.size()));
 }
 BENCHMARK(BM_AdaptiveJoin_EndToEnd)->Arg(1000)->Arg(4000);
+
+/// The legacy iterator protocol on the same workload: one virtual
+/// Next() with Result<optional<Tuple>> packaging per output row, and
+/// per-tuple child pulls (batch_size = 1). This is what every drain
+/// paid before the vectorized NextBatch path existed.
+void BM_SHJoin_LegacyNextProtocol(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SymmetricJoinOptions options = JoinOptions();
+    options.batch_size = 1;
+    join::SHJoin join(&child, &parent, options);
+    if (!join.Open().ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    size_t count = 0;
+    while (true) {
+      auto next = join.Next();
+      if (!next.ok()) {
+        state.SkipWithError("join failed");
+        return;
+      }
+      if (!next->has_value()) break;
+      ++count;
+    }
+    (void)join.Close();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SHJoin_LegacyNextProtocol);
+
+/// Batch-size sweep over the vectorized execution path: the same exact
+/// SHJoin workload with both the operator's internal step batching and
+/// the drain batching set to the swept size. batch_size = 1 degenerates
+/// to tuple-at-a-time execution (results and traces are identical for
+/// every size — see tests/integration/batch_parity_test.cc — so this
+/// measures pure engine overhead).
+void BM_SHJoin_BatchSweep(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  const auto batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SymmetricJoinOptions options = JoinOptions();
+    options.batch_size = batch;
+    join::SHJoin join(&child, &parent, options);
+    exec::ExecOptions drain;
+    drain.batch_size = batch;
+    auto count = exec::CountAll(&join, drain);
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SHJoin_BatchSweep)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
+
+/// The same sweep on the full adaptive operator (MAR loop at batch-
+/// aligned quiescent points).
+void BM_AdaptiveJoin_BatchSweep(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  const auto batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    adaptive::AdaptiveJoinOptions options;
+    options.join = JoinOptions();
+    options.join.batch_size = batch;
+    options.adaptive.parent_side = exec::Side::kRight;
+    options.adaptive.parent_table_size = tc.parent.size();
+    adaptive::AdaptiveJoin join(&child, &parent, options);
+    exec::ExecOptions drain;
+    drain.batch_size = batch;
+    auto count = exec::CountAll(&join, drain);
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_AdaptiveJoin_BatchSweep)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096);
 
 /// Interleave-policy ablation on the adaptive operator.
 void BM_AdaptiveJoin_InterleavePolicy(benchmark::State& state) {
@@ -111,7 +224,10 @@ void BM_AdaptiveJoin_InterleavePolicy(benchmark::State& state) {
     options.adaptive.parent_table_size = tc.parent.size();
     adaptive::AdaptiveJoin join(&child, &parent, options);
     auto count = exec::CountAll(&join);
-    if (!count.ok()) state.SkipWithError("join failed");
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
     benchmark::DoNotOptimize(*count);
   }
   state.SetLabel(exec::InterleavePolicyName(policy));

@@ -27,12 +27,29 @@ Status AdaptiveJoin::Open() {
   return SymmetricJoin::Open();
 }
 
-void AdaptiveJoin::OnStepCompleted(exec::Side side,
-                                   const std::vector<join::JoinMatch>& matches,
-                                   int64_t elapsed_ns) {
-  cost_.AddStep(state_);
-  state_time_ns_[StateIndex(state_)] += elapsed_ns;
-  monitor_.OnStep(side, matches, core(), state_);
+void AdaptiveJoin::OnBatchCompleted(const join::StepBatchStats& batch) {
+  cost_.AddSteps(state_, batch.steps.size());
+  state_time_ns_[StateIndex(state_)] += batch.elapsed_ns;
+  monitor_.OnBatch(batch.steps, state_);
+}
+
+uint64_t AdaptiveJoin::StepsUntilControlPoint() const {
+  switch (options_.adaptive.policy) {
+    case AdaptivePolicy::kPinned:
+      return kNoControlPoint;
+    case AdaptivePolicy::kScripted: {
+      const auto& script = options_.adaptive.script;
+      if (script_position_ >= script.size()) return kNoControlPoint;
+      const uint64_t at = script[script_position_].at_step;
+      return at > steps() ? at - steps() : 1;
+    }
+    case AdaptivePolicy::kAdaptive: {
+      const uint64_t boundary =
+          last_assessment_step_ + options_.adaptive.delta_adapt;
+      return boundary > steps() ? boundary - steps() : 1;
+    }
+  }
+  return kNoControlPoint;
 }
 
 Status AdaptiveJoin::OnQuiescentPoint() {

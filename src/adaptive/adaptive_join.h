@@ -79,9 +79,14 @@ class AdaptiveJoin : public join::SymmetricJoin {
 
  protected:
   Status OnQuiescentPoint() override;
-  void OnStepCompleted(exec::Side side,
-                       const std::vector<join::JoinMatch>& matches,
-                       int64_t elapsed_ns) override;
+  /// Feeds the monitor and the cost accountant with a whole step
+  /// batch's aggregated observables.
+  void OnBatchCompleted(const join::StepBatchStats& batch) override;
+  /// Clamps step batches so control-loop activations land at the same
+  /// step counts as under tuple-at-a-time execution: the next δ_adapt
+  /// boundary (adaptive), the next scripted at_step (scripted), or
+  /// never (pinned).
+  uint64_t StepsUntilControlPoint() const override;
 
  private:
   /// Runs one control-loop activation (assess + respond).

@@ -41,6 +41,10 @@ class CostAccountant {
   /// Records one step executed in state `s`.
   void AddStep(ProcessorState s) { ++steps_[StateIndex(s)]; }
 
+  /// Records `n` steps executed in state `s` (batched accounting: all
+  /// steps of a batch share one state, so the counts aggregate).
+  void AddSteps(ProcessorState s, uint64_t n) { steps_[StateIndex(s)] += n; }
+
   /// Records one transition into state `s`.
   void AddTransition(ProcessorState s) { ++transitions_[StateIndex(s)]; }
 

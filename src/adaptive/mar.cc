@@ -48,35 +48,37 @@ Monitor::Monitor(const AdaptiveOptions& options)
                      stats::SlidingWindowCounter(options.window)},
       approx_active_(options.window) {}
 
+void Monitor::AdvanceOneStep(const uint32_t attributed[2],
+                             bool approx_active) {
+  approx_window_[0].Advance(attributed[0]);
+  approx_window_[1].Advance(attributed[1]);
+  approx_active_.Advance(approx_active ? 1u : 0u);
+  ++steps_;
+}
+
 void Monitor::OnStep(exec::Side read_side,
                      const std::vector<join::JoinMatch>& matches,
                      const join::HybridJoinCore& core, ProcessorState state) {
+  // §3.3 attribution lives in the core (it owns the matched-exactly
+  // flags); see HybridJoinCore::AttributeApproxMatches.
   uint32_t attributed[2] = {0, 0};
-  const exec::Side stored_side = exec::OtherSide(read_side);
-  for (const join::JoinMatch& m : matches) {
-    if (m.kind != join::MatchKind::kApproximate) continue;
-    // §3.3: if the stored tuple was previously matched exactly, the
-    // newly read tuple must be the variant — blame the reading input.
-    // Symmetrically (the paper's inference applied in reverse), if the
-    // *probing* tuple has matched exactly, the stored tuple is the
-    // variant — blame the stored input. With no evidence either way,
-    // assume the default case (variants in both inputs).
-    if (core.store(stored_side).MatchedExactly(m.stored_id)) {
-      ++attributed[static_cast<size_t>(read_side)];
-    } else if (core.store(read_side).MatchedExactly(m.probe_id)) {
-      ++attributed[static_cast<size_t>(stored_side)];
-    } else {
-      ++attributed[static_cast<size_t>(read_side)];
-      ++attributed[static_cast<size_t>(stored_side)];
-    }
-  }
-  approx_window_[0].Advance(attributed[0]);
-  approx_window_[1].Advance(attributed[1]);
+  core.AttributeApproxMatches(read_side, matches, attributed);
   const bool approx_active =
       LeftMode(state) == join::ProbeMode::kApproximate ||
       RightMode(state) == join::ProbeMode::kApproximate;
-  approx_active_.Advance(approx_active ? 1u : 0u);
-  ++steps_;
+  AdvanceOneStep(attributed, approx_active);
+}
+
+void Monitor::OnBatch(const std::vector<join::StepObservables>& steps,
+                      ProcessorState state) {
+  // The whole batch ran in one state (transitions only happen at batch
+  // boundaries), so approximate-activity is uniform across it.
+  const bool approx_active =
+      LeftMode(state) == join::ProbeMode::kApproximate ||
+      RightMode(state) == join::ProbeMode::kApproximate;
+  for (const join::StepObservables& step : steps) {
+    AdvanceOneStep(step.approx_attributed, approx_active);
+  }
 }
 
 stats::JoinProgress Monitor::Progress(const join::HybridJoinCore& core,

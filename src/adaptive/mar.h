@@ -104,10 +104,18 @@ class Monitor {
  public:
   explicit Monitor(const AdaptiveOptions& options);
 
-  /// Ingests one completed step.
+  /// Ingests one completed step (tuple-at-a-time callers and tests);
+  /// attribution is computed against the core's current flags.
   void OnStep(exec::Side read_side,
               const std::vector<join::JoinMatch>& matches,
               const join::HybridJoinCore& core, ProcessorState state);
+
+  /// Ingests a whole step batch whose per-step observables were
+  /// captured at step time by the batched engine. Equivalent to one
+  /// OnStep per entry — the windows advance step-wise, so µ semantics
+  /// do not change with batching.
+  void OnBatch(const std::vector<join::StepObservables>& steps,
+               ProcessorState state);
 
   /// Steps observed so far (t).
   uint64_t steps() const { return steps_; }
@@ -130,6 +138,9 @@ class Monitor {
   }
 
  private:
+  /// Advances all windows by one step with the given attribution.
+  void AdvanceOneStep(const uint32_t attributed[2], bool approx_active);
+
   AdaptiveOptions options_;
   stats::SlidingWindowCounter approx_window_[2];
   stats::SlidingWindowCounter approx_active_;
@@ -160,6 +171,26 @@ struct Assessment {
   /// Deficit written off by past futility reverts (0 when the
   /// extension is off); σ tests the shortfall beyond this baseline.
   uint64_t conceded_deficit = 0;
+
+  /// Field-wise equality (batch-size parity tests compare traces).
+  friend bool operator==(const Assessment& a, const Assessment& b) {
+    return a.step == b.step && a.model_assessed == b.model_assessed &&
+           a.p_value == b.p_value &&
+           a.expected_matches == b.expected_matches &&
+           a.observed_matches == b.observed_matches && a.sigma == b.sigma &&
+           a.mu[0] == b.mu[0] && a.mu[1] == b.mu[1] &&
+           a.mu_informative[0] == b.mu_informative[0] &&
+           a.mu_informative[1] == b.mu_informative[1] &&
+           a.window_approx[0] == b.window_approx[0] &&
+           a.window_approx[1] == b.window_approx[1] &&
+           a.past_perturbed[0] == b.past_perturbed[0] &&
+           a.past_perturbed[1] == b.past_perturbed[1] &&
+           a.pi[0] == b.pi[0] && a.pi[1] == b.pi[1] &&
+           a.conceded_deficit == b.conceded_deficit;
+  }
+  friend bool operator!=(const Assessment& a, const Assessment& b) {
+    return !(a == b);
+  }
 };
 
 /// \brief The assessor: evaluates the σ/µ/π predicates of Table 2.

@@ -24,6 +24,20 @@ struct AssessmentRecord {
   uint64_t catchup_right = 0;
 
   bool transitioned() const { return state_before != state_after; }
+
+  /// Field-wise equality (batch-size parity tests compare traces).
+  friend bool operator==(const AssessmentRecord& a,
+                         const AssessmentRecord& b) {
+    return a.assessment == b.assessment &&
+           a.state_before == b.state_before &&
+           a.state_after == b.state_after && a.phi == b.phi &&
+           a.catchup_left == b.catchup_left &&
+           a.catchup_right == b.catchup_right;
+  }
+  friend bool operator!=(const AssessmentRecord& a,
+                         const AssessmentRecord& b) {
+    return !(a == b);
+  }
 };
 
 /// \brief Timeline of the MAR loop over one join execution.

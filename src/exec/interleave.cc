@@ -22,46 +22,5 @@ InterleaveScheduler::InterleaveScheduler(InterleavePolicy policy,
                                          uint64_t right_hint)
     : policy_(policy), left_hint_(left_hint), right_hint_(right_hint) {}
 
-Side InterleaveScheduler::Preferred() const {
-  switch (policy_) {
-    case InterleavePolicy::kAlternate:
-      return OtherSide(last_);
-    case InterleavePolicy::kProportional: {
-      if (left_hint_ == 0 || right_hint_ == 0) return OtherSide(last_);
-      // Pick the side that is furthest behind its proportional share.
-      // Compare left_reads/left_hint vs right_reads/right_hint without
-      // division.
-      const unsigned __int128 lhs =
-          static_cast<unsigned __int128>(left_reads_) * right_hint_;
-      const unsigned __int128 rhs =
-          static_cast<unsigned __int128>(right_reads_) * left_hint_;
-      if (lhs == rhs) return OtherSide(last_);
-      return lhs < rhs ? Side::kLeft : Side::kRight;
-    }
-    case InterleavePolicy::kLeftFirst:
-      return Side::kLeft;
-    case InterleavePolicy::kRightFirst:
-      return Side::kRight;
-  }
-  return Side::kLeft;
-}
-
-std::optional<Side> InterleaveScheduler::NextSide(bool left_exhausted,
-                                                  bool right_exhausted) {
-  if (left_exhausted && right_exhausted) return std::nullopt;
-  if (left_exhausted) return Side::kRight;
-  if (right_exhausted) return Side::kLeft;
-  return Preferred();
-}
-
-void InterleaveScheduler::OnRead(Side side) {
-  last_ = side;
-  if (side == Side::kLeft) {
-    ++left_reads_;
-  } else {
-    ++right_reads_;
-  }
-}
-
 }  // namespace exec
 }  // namespace aqp

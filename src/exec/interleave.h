@@ -40,11 +40,24 @@ class InterleaveScheduler {
                       uint64_t right_hint);
 
   /// Picks the side to read next given which inputs are exhausted;
-  /// nullopt when both are.
-  std::optional<Side> NextSide(bool left_exhausted, bool right_exhausted);
+  /// nullopt when both are. Inline: the batched engine calls this once
+  /// per tuple, so an out-of-line call would tax every step.
+  std::optional<Side> NextSide(bool left_exhausted, bool right_exhausted) {
+    if (left_exhausted && right_exhausted) return std::nullopt;
+    if (left_exhausted) return Side::kRight;
+    if (right_exhausted) return Side::kLeft;
+    return Preferred();
+  }
 
   /// Informs the scheduler that one tuple was read from `side`.
-  void OnRead(Side side);
+  void OnRead(Side side) {
+    last_ = side;
+    if (side == Side::kLeft) {
+      ++left_reads_;
+    } else {
+      ++right_reads_;
+    }
+  }
 
   /// Tuples read so far from `side`.
   uint64_t reads(Side side) const {
@@ -52,7 +65,29 @@ class InterleaveScheduler {
   }
 
  private:
-  Side Preferred() const;
+  Side Preferred() const {
+    switch (policy_) {
+      case InterleavePolicy::kAlternate:
+        return OtherSide(last_);
+      case InterleavePolicy::kProportional: {
+        if (left_hint_ == 0 || right_hint_ == 0) return OtherSide(last_);
+        // Pick the side that is furthest behind its proportional share.
+        // Compare left_reads/left_hint vs right_reads/right_hint
+        // without division.
+        const unsigned __int128 lhs =
+            static_cast<unsigned __int128>(left_reads_) * right_hint_;
+        const unsigned __int128 rhs =
+            static_cast<unsigned __int128>(right_reads_) * left_hint_;
+        if (lhs == rhs) return OtherSide(last_);
+        return lhs < rhs ? Side::kLeft : Side::kRight;
+      }
+      case InterleavePolicy::kLeftFirst:
+        return Side::kLeft;
+      case InterleavePolicy::kRightFirst:
+        return Side::kRight;
+    }
+    return Side::kLeft;
+  }
 
   InterleavePolicy policy_;
   uint64_t left_hint_;

@@ -9,34 +9,50 @@ const char* SideName(Side side) {
   return side == Side::kLeft ? "left" : "right";
 }
 
-Result<storage::Relation> CollectAll(Operator* op) {
-  AQP_RETURN_IF_ERROR(op->Open());
-  storage::Relation out(op->output_schema());
-  while (true) {
-    auto next = op->Next();
+Status Operator::NextBatch(storage::TupleBatch* out) {
+  out->Reset(&output_schema());
+  while (!out->full()) {
+    auto next = Next();
     if (!next.ok()) {
-      // Best-effort close; the original error wins.
-      (void)op->Close();
+      out->Clear();
       return next.status();
     }
     if (!next->has_value()) break;
-    out.AppendUnchecked(std::move(**next));
+    out->Append(std::move(**next));
+  }
+  return Status::OK();
+}
+
+Result<storage::Relation> CollectAll(Operator* op, const ExecOptions& options) {
+  AQP_RETURN_IF_ERROR(op->Open());
+  storage::Relation out(op->output_schema());
+  storage::TupleBatch batch(&op->output_schema(), options.batch_size);
+  while (true) {
+    Status s = op->NextBatch(&batch);
+    if (!s.ok()) {
+      // Best-effort close; the original error wins.
+      (void)op->Close();
+      return s;
+    }
+    if (batch.empty()) break;
+    out.AppendBatchUnchecked(&batch);
   }
   AQP_RETURN_IF_ERROR(op->Close());
   return out;
 }
 
-Result<size_t> CountAll(Operator* op) {
+Result<size_t> CountAll(Operator* op, const ExecOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   size_t count = 0;
+  storage::TupleBatch batch(&op->output_schema(), options.batch_size);
   while (true) {
-    auto next = op->Next();
-    if (!next.ok()) {
+    Status s = op->NextBatch(&batch);
+    if (!s.ok()) {
       (void)op->Close();
-      return next.status();
+      return s;
     }
-    if (!next->has_value()) break;
-    ++count;
+    if (batch.empty()) break;
+    count += batch.size();
   }
   AQP_RETURN_IF_ERROR(op->Close());
   return count;

@@ -9,6 +9,7 @@
 #include "storage/relation.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
+#include "storage/tuple_batch.h"
 
 namespace aqp {
 namespace exec {
@@ -24,7 +25,8 @@ inline Side OtherSide(Side side) {
 /// "left" / "right".
 const char* SideName(Side side);
 
-/// \brief Pipelined iterator-model operator (OPEN/NEXT/CLOSE, Graefe).
+/// \brief Pipelined iterator-model operator (OPEN/NEXT/CLOSE, Graefe),
+/// with a vectorized batch protocol layered on top.
 ///
 /// The adaptive framework (after Eurviriyanukul et al., cited as [11]
 /// in the paper) replaces physical operators only at *quiescent*
@@ -39,6 +41,17 @@ const char* SideName(Side side);
 ///
 /// Next() returns an engaged optional with the next output tuple, an
 /// empty optional at end-of-stream, or a non-OK status on error.
+///
+/// NextBatch() is the vectorized counterpart: it refills a caller-owned
+/// TupleBatch with up to `capacity()` tuples per call, amortizing the
+/// per-tuple virtual dispatch and Result/optional packaging across the
+/// whole batch. Batch boundaries are quiescent by construction — every
+/// tuple the operator consumed to produce the batch has been fully
+/// processed, and all of its output is materialized in the batch (or an
+/// internal spill buffer), so adaptation may safely fire between
+/// batches. The default implementation adapts Next(), which keeps every
+/// operator working during the tuple-at-a-time → vectorized migration;
+/// hot-path operators override it natively.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -48,6 +61,16 @@ class Operator {
 
   /// Produces the next output tuple, or nullopt at end-of-stream.
   virtual Result<std::optional<storage::Tuple>> Next() = 0;
+
+  /// Refills `out` (cleared and schema-stamped first) with up to
+  /// out->capacity() output tuples. An empty batch after an OK return
+  /// signals end-of-stream. On error the partial batch is discarded and
+  /// the error returned, exactly as a failing Next() would surface it.
+  ///
+  /// Base-class behavior adapts Next(); overriding operators must keep
+  /// the same contract, including producing tuples in the same order
+  /// that repeated Next() calls would.
+  virtual Status NextBatch(storage::TupleBatch* out);
 
   /// Releases resources; no Next() may follow.
   virtual Status Close() = 0;
@@ -62,11 +85,18 @@ class Operator {
   virtual std::string name() const = 0;
 };
 
-/// Drains `op` (Open/Next*/Close) into a materialized relation.
-Result<storage::Relation> CollectAll(Operator* op);
+/// \brief Knobs of the batched drain helpers.
+struct ExecOptions {
+  /// Rows pulled per NextBatch() call.
+  size_t batch_size = storage::TupleBatch::kDefaultCapacity;
+};
+
+/// Drains `op` (Open/NextBatch*/Close) into a materialized relation.
+Result<storage::Relation> CollectAll(Operator* op,
+                                     const ExecOptions& options = {});
 
 /// Drains `op`, returning only the number of tuples produced.
-Result<size_t> CountAll(Operator* op);
+Result<size_t> CountAll(Operator* op, const ExecOptions& options = {});
 
 }  // namespace exec
 }  // namespace aqp

@@ -1,5 +1,7 @@
 #include "exec/scan.h"
 
+#include <algorithm>
+
 namespace aqp {
 namespace exec {
 
@@ -16,6 +18,17 @@ Result<std::optional<storage::Tuple>> RelationScan::Next() {
     return std::optional<storage::Tuple>();
   }
   return std::optional<storage::Tuple>(relation_->row(position_++));
+}
+
+Status RelationScan::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition("RelationScan not open");
+  out->Reset(&relation_->schema());
+  const size_t end =
+      std::min(relation_->size(), position_ + out->capacity());
+  for (; position_ < end; ++position_) {
+    out->Append(relation_->row(position_));
+  }
+  return Status::OK();
 }
 
 Status RelationScan::Close() {
@@ -37,6 +50,17 @@ Result<std::optional<storage::Tuple>> VectorScan::Next() {
     return std::optional<storage::Tuple>();
   }
   return std::optional<storage::Tuple>(tuples_[position_++]);
+}
+
+Status VectorScan::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition("VectorScan not open");
+  out->Reset(&schema_);
+  const size_t end = std::min(tuples_.size(), position_ + out->capacity());
+  // Copies, not moves: the scan stays re-openable.
+  for (; position_ < end; ++position_) {
+    out->Append(tuples_[position_]);
+  }
+  return Status::OK();
 }
 
 Status VectorScan::Close() {

@@ -22,6 +22,7 @@ class RelationScan : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override {
     return relation_->schema();
@@ -48,6 +49,7 @@ class VectorScan : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "VectorScan"; }

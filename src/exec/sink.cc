@@ -10,17 +10,27 @@ Result<size_t> Drain(Operator* op,
                      const DrainOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   size_t delivered = 0;
-  while (true) {
-    auto next = op->Next();
-    if (!next.ok()) {
+  storage::TupleBatch batch(&op->output_schema(),
+                            options.batch_size == 0 ? 64 : options.batch_size);
+  bool stop = false;
+  while (!stop) {
+    Status s = op->NextBatch(&batch);
+    if (!s.ok()) {
       (void)op->Close();
-      return next.status();
+      return s;
     }
-    if (!next->has_value()) break;
-    ++delivered;
-    const bool keep_going = visitor(**next);
-    if (!keep_going) break;
-    if (options.limit != 0 && delivered >= options.limit) break;
+    if (batch.empty()) break;
+    for (const storage::Tuple& tuple : batch) {
+      ++delivered;
+      if (!visitor(tuple)) {
+        stop = true;
+        break;
+      }
+      if (options.limit != 0 && delivered >= options.limit) {
+        stop = true;
+        break;
+      }
+    }
   }
   AQP_RETURN_IF_ERROR(op->Close());
   return delivered;

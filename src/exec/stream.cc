@@ -44,6 +44,19 @@ Result<std::optional<storage::Tuple>> PushSource::Next() {
   return std::optional<storage::Tuple>();
 }
 
+Status PushSource::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition("PushSource not open");
+  out->Reset(&schema_);
+  while (!out->full() && !queue_.empty()) {
+    out->Append(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  // Same contract as Next(): an empty result before Finish() means
+  // "no tuple yet", flagged through blocked().
+  blocked_ = out->empty() && !finished_;
+  return Status::OK();
+}
+
 Status PushSource::Close() {
   if (!open_) return Status::FailedPrecondition("PushSource not open");
   open_ = false;
@@ -63,6 +76,20 @@ Result<std::optional<storage::Tuple>> GeneratorSource::Next() {
   std::optional<storage::Tuple> t = generator_();
   if (!t.has_value()) done_ = true;
   return t;
+}
+
+Status GeneratorSource::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition("GeneratorSource not open");
+  out->Reset(&schema_);
+  while (!out->full() && !done_) {
+    std::optional<storage::Tuple> t = generator_();
+    if (!t.has_value()) {
+      done_ = true;
+      break;
+    }
+    out->Append(std::move(*t));
+  }
+  return Status::OK();
 }
 
 Status GeneratorSource::Close() {

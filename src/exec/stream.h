@@ -36,6 +36,7 @@ class PushSource : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "PushSource"; }
@@ -61,6 +62,7 @@ class GeneratorSource : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "GeneratorSource"; }

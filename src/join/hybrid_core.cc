@@ -29,23 +29,25 @@ void HybridJoinCore::MaintainLiveIndex(Side side) {
   }
 }
 
-std::vector<JoinMatch> HybridJoinCore::ProcessTuple(Side side,
-                                                    storage::Tuple tuple) {
+size_t HybridJoinCore::ProcessTupleInto(Side side, storage::Tuple tuple,
+                                        std::vector<JoinMatch>* out) {
   const size_t s = Idx(side);
   const size_t o = Idx(OtherSide(side));
   const storage::TupleId id = stores_[s].Add(std::move(tuple));
   MaintainLiveIndex(side);
 
   const std::string& key = stores_[s].JoinKey(id);
-  std::vector<JoinMatch> matches;
+  const size_t out_begin = out->size();
+  size_t appended = 0;
   if (mode_[s] == ProbeMode::kExact) {
-    matches = ProbeExact(exact_[o], key, side, id);
+    appended = ProbeExactInto(exact_[o], key, side, id, out);
   } else {
-    matches = ProbeApproximate(qgram_[o], stores_[o], key, spec_, side, id,
-                               approx_options_, &approx_stats_);
+    appended = ProbeApproximateInto(qgram_[o], stores_[o], key, spec_, side,
+                                    id, approx_options_, &approx_stats_, out);
   }
 
-  for (const JoinMatch& m : matches) {
+  for (size_t i = out_begin; i < out->size(); ++i) {
+    const JoinMatch& m = (*out)[i];
     if (m.kind == MatchKind::kExact) {
       stores_[s].SetMatchedExactly(id);
       stores_[o].SetMatchedExactly(m.stored_id);
@@ -60,8 +62,27 @@ std::vector<JoinMatch> HybridJoinCore::ProcessTuple(Side side,
       stores_[o].IncrementMatchedAnyCount();
     }
   }
-  pairs_emitted_ += matches.size();
-  return matches;
+  pairs_emitted_ += appended;
+  return appended;
+}
+
+void HybridJoinCore::AttributeApproxMatches(
+    Side read_side, const std::vector<JoinMatch>& matches,
+    uint32_t out[2]) const {
+  out[0] = 0;
+  out[1] = 0;
+  const Side stored_side = exec::OtherSide(read_side);
+  for (const JoinMatch& m : matches) {
+    if (m.kind != MatchKind::kApproximate) continue;
+    if (stores_[Idx(stored_side)].MatchedExactly(m.stored_id)) {
+      ++out[Idx(read_side)];
+    } else if (stores_[Idx(read_side)].MatchedExactly(m.probe_id)) {
+      ++out[Idx(stored_side)];
+    } else {
+      ++out[Idx(read_side)];
+      ++out[Idx(stored_side)];
+    }
+  }
 }
 
 size_t HybridJoinCore::SetProbeMode(Side side, ProbeMode mode) {

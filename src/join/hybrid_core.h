@@ -24,6 +24,20 @@ enum class ProbeMode { kExact, kApproximate };
 /// "exact" / "approximate".
 const char* ProbeModeName(ProbeMode mode);
 
+/// \brief Per-step observables captured at step time by the batched
+/// execution path.
+///
+/// The matched-exactly flags of both stores evolve as later steps
+/// process, so the §3.3 variant attribution cannot be recomputed after
+/// a whole batch has gone through the core — the engine snapshots it
+/// right after each step and hands the monitor complete batches.
+struct StepObservables {
+  /// The input the step's tuple was read from.
+  exec::Side read_side = exec::Side::kLeft;
+  /// Approximate matches attributed to each input (indexed by Side).
+  uint32_t approx_attributed[2] = {0, 0};
+};
+
 /// \brief The switchable symmetric join engine shared by SHJoin,
 /// SSHJoin, and the adaptive operator.
 ///
@@ -47,11 +61,31 @@ class HybridJoinCore {
 
   /// Ingests one tuple read from `side`: appends it to the side's
   /// store, maintains the side's live index, and probes the opposite
-  /// side according to `probe_mode(side)`. Returns all matches for the
+  /// side according to `probe_mode(side)`. Appends all matches for the
   /// tuple (the step's complete output — afterwards the operator is
-  /// quiescent again). Matched-exactly flags (§3.3) and distinct-match
-  /// counters are updated.
-  std::vector<JoinMatch> ProcessTuple(Side side, storage::Tuple tuple);
+  /// quiescent again) to `*out` and returns how many were appended.
+  /// Matched-exactly flags (§3.3) and distinct-match counters are
+  /// updated. The append-style interface lets the batched executor
+  /// reuse one scratch buffer for a whole batch of steps.
+  size_t ProcessTupleInto(Side side, storage::Tuple tuple,
+                          std::vector<JoinMatch>* out);
+
+  /// Convenience wrapper returning a fresh vector per step (tests,
+  /// tuple-at-a-time callers).
+  std::vector<JoinMatch> ProcessTuple(Side side, storage::Tuple tuple) {
+    std::vector<JoinMatch> out;
+    ProcessTupleInto(side, std::move(tuple), &out);
+    return out;
+  }
+
+  /// §3.3 variant attribution for one step's matches, evaluated
+  /// against the *current* matched-exactly flags: if the stored tuple
+  /// of an approximate pair has matched exactly before, the reading
+  /// input is blamed; if the probing tuple has, the stored input is;
+  /// with no evidence either way, both are. `out` is indexed by Side.
+  void AttributeApproxMatches(Side read_side,
+                              const std::vector<JoinMatch>& matches,
+                              uint32_t out[2]) const;
 
   /// Current probe mode of tuples read from `side`.
   ProbeMode probe_mode(Side side) const { return mode_[Idx(side)]; }

@@ -16,28 +16,39 @@ void ApproxProbeStats::MergeFrom(const ApproxProbeStats& other) {
   matches += other.matches;
 }
 
+size_t ProbeExactInto(const ExactIndex& index, const std::string& key,
+                      Side probe_side, storage::TupleId probe_id,
+                      std::vector<JoinMatch>* out) {
+  const size_t out_begin = out->size();
+  // The chain yields newest-first; reverse the appended region so
+  // matches come out oldest-first (insertion order), as the bucket
+  // enumeration always has.
+  for (storage::TupleId stored = index.ChainHead(key);
+       stored != ExactIndex::kNone; stored = index.ChainPrev(stored)) {
+    out->push_back(
+        JoinMatch{probe_side, probe_id, stored, 1.0, MatchKind::kExact});
+  }
+  std::reverse(out->begin() + static_cast<ptrdiff_t>(out_begin), out->end());
+  return out->size() - out_begin;
+}
+
 std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
                                   const std::string& key, Side probe_side,
                                   storage::TupleId probe_id) {
   std::vector<JoinMatch> out;
-  const std::vector<storage::TupleId>* bucket = index.Probe(key);
-  if (bucket == nullptr) return out;
-  out.reserve(bucket->size());
-  for (storage::TupleId stored : *bucket) {
-    out.push_back(JoinMatch{probe_side, probe_id, stored, 1.0,
-                            MatchKind::kExact});
-  }
+  ProbeExactInto(index, key, probe_side, probe_id, &out);
   return out;
 }
 
-std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
-                                        const storage::TupleStore& store,
-                                        const std::string& probe_key,
-                                        const JoinSpec& spec, Side probe_side,
-                                        storage::TupleId probe_id,
-                                        const ApproxProbeOptions& options,
-                                        ApproxProbeStats* stats) {
-  std::vector<JoinMatch> out;
+size_t ProbeApproximateInto(const QGramIndex& index,
+                            const storage::TupleStore& store,
+                            const std::string& probe_key,
+                            const JoinSpec& spec, Side probe_side,
+                            storage::TupleId probe_id,
+                            const ApproxProbeOptions& options,
+                            ApproxProbeStats* stats,
+                            std::vector<JoinMatch>* out) {
+  const size_t out_begin = out->size();
   const text::GramSet probe_grams =
       text::GramSet::Of(probe_key, spec.qgram);
   if (stats != nullptr) stats->grams += probe_grams.size();
@@ -47,12 +58,12 @@ std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
     // match stored tuples that are also gram-less, by string equality.
     for (storage::TupleId stored : index.empty_gram_tuples()) {
       if (store.JoinKey(stored) == probe_key) {
-        out.push_back(JoinMatch{probe_side, probe_id, stored, 1.0,
-                                MatchKind::kExact});
+        out->push_back(JoinMatch{probe_side, probe_id, stored, 1.0,
+                                 MatchKind::kExact});
         if (stats != nullptr) ++stats->matches;
       }
     }
-    return out;
+    return out->size() - out_begin;
   }
 
   const size_t g = probe_grams.size();
@@ -106,17 +117,31 @@ std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
     // flag (§3.3) requires bytewise equality.
     const bool equal =
         sim >= 1.0 && store.JoinKey(candidate) == probe_key;
-    out.push_back(JoinMatch{probe_side, probe_id, candidate,
-                            equal ? 1.0 : sim,
-                            equal ? MatchKind::kExact
-                                  : MatchKind::kApproximate});
+    out->push_back(JoinMatch{probe_side, probe_id, candidate,
+                             equal ? 1.0 : sim,
+                             equal ? MatchKind::kExact
+                                   : MatchKind::kApproximate});
     if (stats != nullptr) ++stats->matches;
   }
-  // Deterministic output order (unordered_map iteration is not).
-  std::sort(out.begin(), out.end(),
+  // Deterministic output order (unordered_map iteration is not); only
+  // the region this probe appended is reordered.
+  std::sort(out->begin() + static_cast<ptrdiff_t>(out_begin), out->end(),
             [](const JoinMatch& a, const JoinMatch& b) {
               return a.stored_id < b.stored_id;
             });
+  return out->size() - out_begin;
+}
+
+std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
+                                        const storage::TupleStore& store,
+                                        const std::string& probe_key,
+                                        const JoinSpec& spec, Side probe_side,
+                                        storage::TupleId probe_id,
+                                        const ApproxProbeOptions& options,
+                                        ApproxProbeStats* stats) {
+  std::vector<JoinMatch> out;
+  ProbeApproximateInto(index, store, probe_key, spec, probe_side, probe_id,
+                       options, stats, &out);
   return out;
 }
 

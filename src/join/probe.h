@@ -42,8 +42,15 @@ struct ApproxProbeStats {
 
 /// \brief Probes the exact index with a join-attribute value.
 ///
-/// Returns one JoinMatch (kind kExact, similarity 1.0) per stored tuple
-/// whose attribute equals `key`.
+/// Appends one JoinMatch (kind kExact, similarity 1.0) per stored tuple
+/// whose attribute equals `key` to `*out`; returns the number appended.
+/// The append-style interface lets the batched executor reuse one match
+/// buffer across a whole batch instead of allocating per probe.
+size_t ProbeExactInto(const ExactIndex& index, const std::string& key,
+                      Side probe_side, storage::TupleId probe_id,
+                      std::vector<JoinMatch>* out);
+
+/// Convenience wrapper returning a fresh vector (tests, one-off code).
 std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
                                   const std::string& key, Side probe_side,
                                   storage::TupleId probe_id);
@@ -60,7 +67,18 @@ std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
 /// kApproximate.
 ///
 /// `store` supplies candidate strings for the equality check; `stats`
-/// may be null.
+/// may be null. Matches are appended to `*out` (sorted by stored id
+/// within the appended region); returns the number appended.
+size_t ProbeApproximateInto(const QGramIndex& index,
+                            const storage::TupleStore& store,
+                            const std::string& probe_key,
+                            const JoinSpec& spec, Side probe_side,
+                            storage::TupleId probe_id,
+                            const ApproxProbeOptions& options,
+                            ApproxProbeStats* stats,
+                            std::vector<JoinMatch>* out);
+
+/// Convenience wrapper returning a fresh vector (tests, one-off code).
 std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
                                         const storage::TupleStore& store,
                                         const std::string& probe_key,

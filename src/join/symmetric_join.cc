@@ -1,5 +1,7 @@
 #include "join/symmetric_join.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/timer.h"
 
@@ -18,6 +20,7 @@ SymmetricJoin::SymmetricJoin(exec::Operator* left, exec::Operator* right,
       scheduler_(options_.interleave, options_.left_size_hint,
                  options_.right_size_hint),
       output_schema_() {
+  if (options_.batch_size == 0) options_.batch_size = 1;
   core_.SetProbeMode(exec::Side::kLeft, initial_left_mode);
   core_.SetProbeMode(exec::Side::kRight, initial_right_mode);
 }
@@ -34,18 +37,115 @@ Status SymmetricJoin::Open() {
   open_ = true;
   left_done_ = false;
   right_done_ = false;
+  pending_.clear();
+  for (size_t i = 0; i < 2; ++i) {
+    input_batch_[i].Reset(nullptr, options_.batch_size);
+    input_pos_[i] = 0;
+  }
   return Status::OK();
 }
 
-storage::Tuple SymmetricJoin::BuildOutput(const JoinMatch& match) const {
-  const storage::Tuple& l = core_.store(exec::Side::kLeft).Get(match.left_id());
+void SymmetricJoin::AppendOutput(const JoinMatch& match,
+                                 storage::TupleBatch* out) {
+  const storage::Tuple& l =
+      core_.store(exec::Side::kLeft).Get(match.left_id());
   const storage::Tuple& r =
       core_.store(exec::Side::kRight).Get(match.right_id());
-  storage::Tuple out = storage::Tuple::Concat(l, r);
+  std::vector<storage::Value> values;
+  values.reserve(l.size() + r.size() + (options_.emit_similarity ? 1 : 0));
+  values.insert(values.end(), l.values().begin(), l.values().end());
+  values.insert(values.end(), r.values().begin(), r.values().end());
   if (options_.emit_similarity) {
-    out.Append(storage::Value(match.similarity));
+    values.emplace_back(match.similarity);
   }
-  return out;
+  storage::Tuple row(std::move(values));
+  if (out != nullptr && !out->full()) {
+    out->Append(std::move(row));
+  } else {
+    pending_.push_back(std::move(row));
+  }
+}
+
+Status SymmetricJoin::RefillInput(exec::Side side) {
+  const size_t i = static_cast<size_t>(side);
+  exec::Operator* input = side == exec::Side::kLeft ? left_ : right_;
+  input_batch_[i].Reset(&input->output_schema(), options_.batch_size);
+  input_pos_[i] = 0;
+  return input->NextBatch(&input_batch_[i]);
+}
+
+Result<bool> SymmetricJoin::PullNextInput(exec::Side* side,
+                                          storage::Tuple* tuple) {
+  while (true) {
+    auto next_side = scheduler_.NextSide(left_done_, right_done_);
+    if (!next_side.has_value()) return false;
+    const size_t i = static_cast<size_t>(*next_side);
+    if (input_pos_[i] >= input_batch_[i].size()) {
+      AQP_RETURN_IF_ERROR(RefillInput(*next_side));
+      if (input_batch_[i].empty()) {
+        // The child's empty batch is end-of-stream, discovered at the
+        // same read index as under tuple-at-a-time execution (the
+        // buffer drains exactly when the old path would have read the
+        // tuple after the last).
+        if (*next_side == exec::Side::kLeft) {
+          left_done_ = true;
+        } else {
+          right_done_ = true;
+        }
+        continue;
+      }
+    }
+    *side = *next_side;
+    *tuple = std::move(input_batch_[i][input_pos_[i]++]);
+    return true;
+  }
+}
+
+Result<bool> SymmetricJoin::StepOnce(storage::TupleBatch* out) {
+  exec::Side side = exec::Side::kLeft;
+  storage::Tuple tuple;
+  auto pulled = PullNextInput(&side, &tuple);
+  if (!pulled.ok()) return pulled.status();
+  if (!*pulled) return false;
+  scheduler_.OnRead(side);
+  // Timed from here: the step's core work only. Input pulls stay
+  // outside so state_time_ns-derived weight calibration measures the
+  // join, not the children.
+  Timer timer;
+  match_scratch_.clear();
+  core_.ProcessTupleInto(side, std::move(tuple), &match_scratch_);
+  ++steps_;
+  StepObservables obs;
+  obs.read_side = side;
+  // §3.3 attribution snapshots the matched-exactly flags now; by the
+  // end of the batch later steps will have mutated them.
+  core_.AttributeApproxMatches(side, match_scratch_, obs.approx_attributed);
+  batch_stats_.steps.push_back(obs);
+  for (const JoinMatch& m : match_scratch_) {
+    AppendOutput(m, out);
+  }
+  batch_stats_.elapsed_ns += timer.ElapsedNanos();
+  return true;
+}
+
+Status SymmetricJoin::RunStepBatch(storage::TupleBatch* out,
+                                   uint64_t max_steps, bool* exhausted) {
+  batch_stats_.Clear();
+  uint64_t executed = 0;
+  while (executed < max_steps) {
+    if (out != nullptr && out->full()) break;
+    auto stepped = StepOnce(out);
+    if (!stepped.ok()) return stepped.status();
+    if (!*stepped) {
+      *exhausted = true;
+      break;
+    }
+    ++executed;
+  }
+  if (executed > 0) {
+    OnBatchCompleted(batch_stats_);
+  }
+  return Status::OK();
 }
 
 Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
@@ -53,34 +153,39 @@ Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
   while (pending_.empty()) {
     // Quiescent: the previous tuple's matches are fully enumerated.
     AQP_RETURN_IF_ERROR(OnQuiescentPoint());
-    auto side = scheduler_.NextSide(left_done_, right_done_);
-    if (!side.has_value()) return std::optional<storage::Tuple>();
-    exec::Operator* input =
-        (*side == exec::Side::kLeft) ? left_ : right_;
-    auto next = input->Next();
-    if (!next.ok()) return next.status();
-    if (!next->has_value()) {
-      if (*side == exec::Side::kLeft) {
-        left_done_ = true;
-      } else {
-        right_done_ = true;
-      }
-      continue;
-    }
-    scheduler_.OnRead(*side);
-    Timer timer;
-    std::vector<JoinMatch> matches =
-        core_.ProcessTuple(*side, std::move(**next));
-    const int64_t elapsed_ns = timer.ElapsedNanos();
-    ++steps_;
-    for (const JoinMatch& m : matches) {
-      pending_.push_back(BuildOutput(m));
-    }
-    OnStepCompleted(*side, matches, elapsed_ns);
+    bool exhausted = false;
+    // One-step batches keep the tuple-at-a-time contract (a quiescent
+    // point before every step) on the shared batched machinery.
+    AQP_RETURN_IF_ERROR(RunStepBatch(nullptr, 1, &exhausted));
+    if (exhausted) return std::optional<storage::Tuple>();
   }
   storage::Tuple out = std::move(pending_.front());
   pending_.pop_front();
   return std::optional<storage::Tuple>(std::move(out));
+}
+
+Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition(name_ + " not open");
+  out->Reset(&output_schema_);
+  // Outputs spilled by a previous over-producing step go out first.
+  while (!pending_.empty() && !out->full()) {
+    out->Append(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  bool exhausted = false;
+  while (!out->full() && !exhausted) {
+    // Batch boundary: quiescent by construction.
+    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
+    // Round the batch edge to the subclass's next control point, so
+    // the control loop activates at the same step counts as under
+    // tuple-at-a-time execution regardless of batch_size.
+    const uint64_t bound = StepsUntilControlPoint();
+    const uint64_t max_steps =
+        std::min<uint64_t>(bound, options_.batch_size);
+    AQP_RETURN_IF_ERROR(
+        RunStepBatch(out, std::max<uint64_t>(1, max_steps), &exhausted));
+  }
+  return Status::OK();
 }
 
 Status SymmetricJoin::Close() {

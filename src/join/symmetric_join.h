@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "exec/interleave.h"
 #include "exec/operator.h"
@@ -28,21 +30,55 @@ struct SymmetricJoinOptions {
   bool emit_similarity = false;
   /// Approximate-probe knobs (ablation switches).
   ApproxProbeOptions approx;
+  /// Rows per input batch pulled from the children, and the step-batch
+  /// granularity of the vectorized execution path. 1 degenerates to
+  /// tuple-at-a-time execution; results and adaptation traces are
+  /// identical for every value (see NextBatch()).
+  size_t batch_size = storage::TupleBatch::kDefaultCapacity;
+};
+
+/// \brief Observables of one step batch: the steps executed between two
+/// consecutive quiescent control points of the batched execution path.
+struct StepBatchStats {
+  /// Per-step observables, in execution order.
+  std::vector<StepObservables> steps;
+  /// Accumulated wall time of the batch's core step work — store,
+  /// index, probe, and output construction, excluding child input
+  /// pulls — in nanoseconds. This is the quantity the §4.3 weight
+  /// calibration divides by step counts, so scan/copy time must not
+  /// pollute it.
+  int64_t elapsed_ns = 0;
+
+  void Clear() {
+    steps.clear();
+    elapsed_ns = 0;
+  }
 };
 
 /// \brief Pipelined symmetric join driver: pulls from two child
 /// operators, feeds a HybridJoinCore, and enumerates result tuples.
 ///
-/// This is the iterator of Fig. 2: Next() either returns an outstanding
-/// match of the current probe tuple (non-quiescent states) or advances
-/// the join by whole steps until output appears (each step ends in a
-/// quiescent state, §2.1). Subclasses hook into the step loop:
+/// This is the iterator of Fig. 2, vectorized. Execution advances in
+/// *steps* (one input tuple fully joined per step, §2.1); the engine
+/// runs steps in batches of up to `options.batch_size`, pulling child
+/// input through TupleBatch refills and emitting match batches. Between
+/// step batches the operator is quiescent by construction — every
+/// consumed tuple's matches are fully enumerated and materialized — so
+/// these boundaries are the only points where subclasses adapt:
 ///
-/// - OnStepCompleted() fires right after each step with its matches and
-///   elapsed time (monitor feed);
-/// - OnQuiescentPoint() fires between steps while no output is pending
-///   — the only moments where probe modes may be switched safely
-///   (assess/respond).
+/// - OnQuiescentPoint() fires before each step batch (and once more at
+///   end-of-stream) — the only moments where probe modes may be
+///   switched safely (assess/respond);
+/// - StepsUntilControlPoint() lets a subclass clamp the next batch so a
+///   boundary lands exactly where its control loop must fire (δ_adapt
+///   is expressed in steps; the engine rounds batch edges to it, which
+///   makes traces independent of batch_size);
+/// - OnBatchCompleted() fires after each step batch with the per-step
+///   observables aggregated over the batch (monitor feed).
+///
+/// The tuple-at-a-time Next() remains fully supported (it runs
+/// one-step batches through the same machinery), and both paths may be
+/// mixed on one operator instance.
 ///
 /// SHJoin pins both modes to exact, SSHJoin to approximate; the
 /// adaptive operator drives them through the MAR controller.
@@ -55,11 +91,13 @@ class SymmetricJoin : public exec::Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override {
     return output_schema_;
   }
-  /// Quiescent iff no matches of the last probe tuple remain pending.
+  /// Quiescent iff no produced-but-undelivered output remains buffered;
+  /// every consumed input tuple is fully joined at all times.
   bool quiescent() const override { return pending_.empty(); }
   std::string name() const override { return name_; }
 
@@ -76,25 +114,49 @@ class SymmetricJoin : public exec::Operator {
   /// @}
 
  protected:
-  /// Called between steps whenever the operator is quiescent; the only
-  /// safe point for SetProbeMode(). Default: no adaptation.
+  /// Marker for "no control point scheduled" (StepsUntilControlPoint).
+  static constexpr uint64_t kNoControlPoint =
+      std::numeric_limits<uint64_t>::max();
+
+  /// Called at batch-aligned quiescent points (before each step batch
+  /// and at end-of-stream); the only safe place for SetProbeMode().
+  /// Default: no adaptation.
   virtual Status OnQuiescentPoint() { return Status::OK(); }
 
-  /// Called after each step with the side read, the step's matches,
-  /// and the elapsed wall time of the core work.
-  virtual void OnStepCompleted(exec::Side side,
-                               const std::vector<JoinMatch>& matches,
-                               int64_t elapsed_ns) {
-    (void)side;
-    (void)matches;
-    (void)elapsed_ns;
-  }
+  /// Steps the engine may execute before the next quiescent control
+  /// point is required. The engine never runs a step batch past this
+  /// bound, so a subclass returning "steps to my next δ_adapt boundary"
+  /// gets its control loop activated at exactly the same step counts as
+  /// under tuple-at-a-time execution. Default: unbounded.
+  virtual uint64_t StepsUntilControlPoint() const { return kNoControlPoint; }
+
+  /// Called after each step batch with its aggregated observables.
+  virtual void OnBatchCompleted(const StepBatchStats& batch) { (void)batch; }
 
   /// Mutable core access for subclasses (responder switches).
   HybridJoinCore* mutable_core() { return &core_; }
 
  private:
-  storage::Tuple BuildOutput(const JoinMatch& match) const;
+  /// Refills `side`'s input buffer with the child's next batch.
+  Status RefillInput(exec::Side side);
+
+  /// Pulls the next scheduler-ordered input tuple into *side/*tuple.
+  /// Returns false when both inputs are exhausted.
+  Result<bool> PullNextInput(exec::Side* side, storage::Tuple* tuple);
+
+  /// Executes one step: consume one input tuple, probe, and append the
+  /// step's outputs (to `out` while it has room, spilling the rest to
+  /// pending_). Records the step's observables into batch_stats_.
+  /// Returns false (without stepping) at end-of-stream.
+  Result<bool> StepOnce(storage::TupleBatch* out);
+
+  /// Runs one step batch of at most `max_steps` steps, firing
+  /// OnBatchCompleted if any step executed. Sets *exhausted when input
+  /// ran out.
+  Status RunStepBatch(storage::TupleBatch* out, uint64_t max_steps,
+                      bool* exhausted);
+
+  void AppendOutput(const JoinMatch& match, storage::TupleBatch* out);
 
   exec::Operator* left_;
   exec::Operator* right_;
@@ -103,7 +165,15 @@ class SymmetricJoin : public exec::Operator {
   HybridJoinCore core_;
   exec::InterleaveScheduler scheduler_;
   storage::Schema output_schema_;
+  /// Produced-but-undelivered outputs: filled by Next()'s one-step
+  /// batches and by step outputs overflowing a NextBatch() target.
   std::deque<storage::Tuple> pending_;
+  /// Read-ahead buffers over the children, one per side.
+  storage::TupleBatch input_batch_[2];
+  size_t input_pos_[2] = {0, 0};
+  /// Scratch reused across steps (cleared per step, capacity kept).
+  std::vector<JoinMatch> match_scratch_;
+  StepBatchStats batch_stats_;
   uint64_t steps_ = 0;
   bool left_done_ = false;
   bool right_done_ = false;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
+#include "storage/tuple_batch.h"
 
 namespace aqp {
 namespace storage {
@@ -41,6 +42,16 @@ class Relation {
   /// Appends without validation (hot generator path; caller guarantees
   /// conformance).
   void AppendUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
+
+  /// Splices a batch's rows onto the relation without validation,
+  /// leaving the batch empty (batched CollectAll hot path).
+  void AppendBatchUnchecked(TupleBatch* batch) {
+    rows_.reserve(rows_.size() + batch->size());
+    for (Tuple& tuple : *batch) {
+      rows_.push_back(std::move(tuple));
+    }
+    batch->Clear();
+  }
 
   /// Reserves row capacity.
   void Reserve(size_t n) { rows_.reserve(n); }

@@ -20,6 +20,7 @@ struct Field {
   friend bool operator==(const Field& a, const Field& b) {
     return a.name == b.name && a.type == b.type;
   }
+  friend bool operator!=(const Field& a, const Field& b) { return !(a == b); }
 };
 
 /// \brief An ordered list of fields describing tuple layout.
@@ -55,6 +56,9 @@ class Schema {
 
   friend bool operator==(const Schema& a, const Schema& b) {
     return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
   }
 
  private:

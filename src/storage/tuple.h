@@ -23,6 +23,13 @@ class Tuple {
   explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
   Tuple(std::initializer_list<Value> values) : values_(values) {}
 
+  /// Moves are noexcept so batch/relation vector growth relocates rows
+  /// by move (see Value for the rationale).
+  Tuple(const Tuple&) = default;
+  Tuple(Tuple&&) noexcept = default;
+  Tuple& operator=(const Tuple&) = default;
+  Tuple& operator=(Tuple&&) noexcept = default;
+
   /// Number of cells.
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

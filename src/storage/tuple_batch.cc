@@ -1,0 +1,36 @@
+#include "storage/tuple_batch.h"
+
+#include <sstream>
+
+namespace aqp {
+namespace storage {
+
+Status TupleBatch::ValidateRows() const {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("TupleBatch has no schema");
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Status s = rows_[i].ValidateAgainst(*schema_);
+    if (!s.ok()) {
+      return Status::InvalidArgument("row " + std::to_string(i) + ": " +
+                                     s.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::string TupleBatch::ToString(size_t limit) const {
+  std::ostringstream os;
+  os << "TupleBatch(" << rows_.size() << "/" << capacity_ << ")";
+  const size_t shown = limit == 0 ? rows_.size() : std::min(limit, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    os << "\n  " << rows_[i].ToString();
+  }
+  if (shown < rows_.size()) {
+    os << "\n  ... " << (rows_.size() - shown) << " more";
+  }
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace aqp

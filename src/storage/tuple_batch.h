@@ -1,0 +1,110 @@
+#ifndef AQP_STORAGE_TUPLE_BATCH_H_
+#define AQP_STORAGE_TUPLE_BATCH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace aqp {
+namespace storage {
+
+/// \brief A fixed-capacity, schema-stamped batch of rows — the unit of
+/// exchange of the vectorized operator protocol (exec::Operator::
+/// NextBatch).
+///
+/// A batch borrows its schema from the producing operator (the schema
+/// must outlive the batch, which holds in the pull model: the producer
+/// outlives every batch it fills). Capacity is a soft contract: Append
+/// asserts in debug builds but the vector grows if violated, so a
+/// misbehaving producer degrades to slow instead of corrupt.
+///
+/// Batches are move-friendly by design: moving one transfers the row
+/// vector without copying tuples, and `TakeRows()` hands the rows to a
+/// consumer that wants to own them (e.g. CollectAll splicing batches
+/// into a Relation).
+class TupleBatch {
+ public:
+  /// Default number of rows per batch; chosen so a batch of typical
+  /// linkage tuples stays comfortably inside the L2 cache.
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  TupleBatch() = default;
+  explicit TupleBatch(const Schema* schema,
+                      size_t capacity = kDefaultCapacity) {
+    Reset(schema, capacity);
+  }
+
+  TupleBatch(const TupleBatch&) = default;
+  TupleBatch& operator=(const TupleBatch&) = default;
+  TupleBatch(TupleBatch&&) noexcept = default;
+  TupleBatch& operator=(TupleBatch&&) noexcept = default;
+
+  /// Clears the rows, stamps the schema, and (re)reserves capacity.
+  /// A capacity of 0 keeps the previous one (or kDefaultCapacity).
+  void Reset(const Schema* schema, size_t capacity = 0) {
+    schema_ = schema;
+    rows_.clear();
+    if (capacity > 0) capacity_ = capacity;
+    rows_.reserve(capacity_);
+  }
+
+  /// Schema of the rows (may be null for a default-constructed batch).
+  const Schema* schema() const { return schema_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  bool full() const { return rows_.size() >= capacity_; }
+
+  /// Appends a row. The caller is responsible for respecting capacity
+  /// (checked by assert; see class comment).
+  void Append(Tuple tuple) {
+    assert(!full() && "TupleBatch::Append beyond capacity");
+    rows_.push_back(std::move(tuple));
+  }
+
+  Tuple& operator[](size_t i) { return rows_[i]; }
+  const Tuple& operator[](size_t i) const { return rows_[i]; }
+
+  /// Drops all rows, keeping schema and capacity.
+  void Clear() { rows_.clear(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Moves the rows out, leaving the batch empty (schema/capacity
+  /// survive; the internal vector is reset so a later Append does not
+  /// touch moved-from storage).
+  std::vector<Tuple> TakeRows() {
+    std::vector<Tuple> out = std::move(rows_);
+    rows_ = {};
+    rows_.reserve(capacity_);
+    return out;
+  }
+
+  /// Checks every row against the stamped schema (debug paths; the hot
+  /// path trusts the producer). A null schema fails.
+  Status ValidateRows() const;
+
+  /// "TupleBatch(size/capacity)" plus the first rows (debugging).
+  std::string ToString(size_t limit = 5) const;
+
+  std::vector<Tuple>::iterator begin() { return rows_.begin(); }
+  std::vector<Tuple>::iterator end() { return rows_.end(); }
+  std::vector<Tuple>::const_iterator begin() const { return rows_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return rows_.end(); }
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<Tuple> rows_;
+  size_t capacity_ = kDefaultCapacity;
+};
+
+}  // namespace storage
+}  // namespace aqp
+
+#endif  // AQP_STORAGE_TUPLE_BATCH_H_

@@ -36,6 +36,14 @@ class Value {
   Value(const char* v)  // NOLINT(google-explicit-constructor)
       : data_(std::string(v)) {}
 
+  /// Moves are noexcept so vector growth in the hot batch paths moves
+  /// values instead of copying them (std::vector falls back to copies
+  /// when the move constructor may throw).
+  Value(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(const Value&) = default;
+  Value& operator=(Value&&) noexcept = default;
+
   /// The runtime type of the value.
   ValueType type() const;
 

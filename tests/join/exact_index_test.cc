@@ -20,17 +20,19 @@ TEST(ExactIndexTest, CatchUpIndexesEverything) {
   ExactIndex index;
   EXPECT_EQ(index.CatchUpWith(store), 3u);
   EXPECT_EQ(index.watermark(), 3u);
-  const auto* bucket = index.Probe("A");
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(*bucket, (std::vector<storage::TupleId>{0, 2}));
+  EXPECT_EQ(index.Lookup("A"), (std::vector<storage::TupleId>{0, 2}));
+  EXPECT_EQ(index.ChainHead("A"), 2u);
+  EXPECT_EQ(index.ChainPrev(2), 0u);
+  EXPECT_EQ(index.ChainPrev(0), ExactIndex::kNone);
 }
 
-TEST(ExactIndexTest, ProbeMissReturnsNull) {
+TEST(ExactIndexTest, ProbeMissReturnsEmpty) {
   TupleStore store(0);
   store.Add(Tuple{Value("A")});
   ExactIndex index;
   index.CatchUpWith(store);
-  EXPECT_EQ(index.Probe("ZZZ"), nullptr);
+  EXPECT_EQ(index.ChainHead("ZZZ"), ExactIndex::kNone);
+  EXPECT_TRUE(index.Lookup("ZZZ").empty());
 }
 
 TEST(ExactIndexTest, IncrementalCatchUp) {
@@ -43,7 +45,7 @@ TEST(ExactIndexTest, IncrementalCatchUp) {
   store.Add(Tuple{Value("C")});
   EXPECT_EQ(index.CatchUpWith(store), 2u);
   EXPECT_EQ(index.watermark(), 3u);
-  EXPECT_NE(index.Probe("C"), nullptr);
+  EXPECT_NE(index.ChainHead("C"), ExactIndex::kNone);
 }
 
 TEST(ExactIndexTest, LaggingIndexSeesNothingNew) {
@@ -53,7 +55,7 @@ TEST(ExactIndexTest, LaggingIndexSeesNothingNew) {
   index.CatchUpWith(store);
   store.Add(Tuple{Value("B")});
   // Not caught up: B invisible.
-  EXPECT_EQ(index.Probe("B"), nullptr);
+  EXPECT_EQ(index.ChainHead("B"), ExactIndex::kNone);
   EXPECT_EQ(index.watermark(), 1u);
 }
 

@@ -64,11 +64,10 @@ TEST_P(SwitchSafetyTest, CaughtUpIndexEqualsFreshIndex) {
     for (size_t i = 0; i < store.size(); ++i) {
       const auto id = static_cast<TupleId>(i);
       // Exact buckets identical.
-      const auto* a = core.exact_index(side).Probe(store.JoinKey(id));
-      const auto* b = fresh_exact.Probe(store.JoinKey(id));
-      ASSERT_NE(a, nullptr);
-      ASSERT_NE(b, nullptr);
-      EXPECT_EQ(*a, *b);
+      const auto a = core.exact_index(side).Lookup(store.JoinKey(id));
+      const auto b = fresh_exact.Lookup(store.JoinKey(id));
+      ASSERT_FALSE(a.empty());
+      EXPECT_EQ(a, b);
       // Gram sets identical.
       EXPECT_EQ(core.qgram_index(side).GramSetOf(id),
                 fresh_qgrams.GramSetOf(id));

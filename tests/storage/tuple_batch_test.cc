@@ -1,0 +1,113 @@
+#include "storage/tuple_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace aqp {
+namespace storage {
+namespace {
+
+// The batch protocol relies on cheap, non-throwing relocation all the
+// way down; a regression here silently turns vector growth into deep
+// copies.
+static_assert(std::is_nothrow_move_constructible<Value>::value,
+              "Value moves must be noexcept");
+static_assert(std::is_nothrow_move_assignable<Value>::value,
+              "Value move-assign must be noexcept");
+static_assert(std::is_nothrow_move_constructible<Tuple>::value,
+              "Tuple moves must be noexcept");
+static_assert(std::is_nothrow_move_assignable<Tuple>::value,
+              "Tuple move-assign must be noexcept");
+static_assert(std::is_nothrow_move_constructible<TupleBatch>::value,
+              "TupleBatch moves must be noexcept");
+
+Schema TwoCols() {
+  return Schema({{"name", ValueType::kString}, {"n", ValueType::kInt64}});
+}
+
+TEST(TupleBatchTest, StartsEmptyWithRequestedCapacity) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 8);
+  EXPECT_EQ(batch.schema(), &schema);
+  EXPECT_EQ(batch.capacity(), 8u);
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(batch.full());
+}
+
+TEST(TupleBatchTest, AppendUntilFull) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 2);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  EXPECT_FALSE(batch.full());
+  batch.Append(Tuple{Value("b"), Value(2)});
+  EXPECT_TRUE(batch.full());
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].at(0).AsString(), "a");
+  EXPECT_EQ(batch[1].at(1).AsInt64(), 2);
+}
+
+TEST(TupleBatchTest, ResetKeepsCapacityWhenZero) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 16);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  batch.Reset(&schema);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 16u);
+  batch.Reset(&schema, 4);
+  EXPECT_EQ(batch.capacity(), 4u);
+}
+
+TEST(TupleBatchTest, DefaultCapacityApplies) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema);
+  EXPECT_EQ(batch.capacity(), TupleBatch::kDefaultCapacity);
+}
+
+TEST(TupleBatchTest, TakeRowsLeavesReusableBatch) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 4);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  batch.Append(Tuple{Value("b"), Value(2)});
+  std::vector<Tuple> rows = batch.TakeRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].at(0).AsString(), "b");
+  EXPECT_TRUE(batch.empty());
+  batch.Append(Tuple{Value("c"), Value(3)});
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(TupleBatchTest, MoveTransfersRows) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 4);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  TupleBatch moved = std::move(batch);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.schema(), &schema);
+}
+
+TEST(TupleBatchTest, ValidateRowsChecksSchema) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 4);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  EXPECT_TRUE(batch.ValidateRows().ok());
+  batch.Append(Tuple{Value(7), Value("oops")});
+  EXPECT_TRUE(batch.ValidateRows().IsInvalidArgument());
+  TupleBatch schemaless;
+  EXPECT_TRUE(schemaless.ValidateRows().IsFailedPrecondition());
+}
+
+TEST(TupleBatchTest, RangeForIteratesRows) {
+  const Schema schema = TwoCols();
+  TupleBatch batch(&schema, 4);
+  batch.Append(Tuple{Value("a"), Value(1)});
+  batch.Append(Tuple{Value("b"), Value(2)});
+  int64_t sum = 0;
+  for (const Tuple& t : batch) sum += t.at(1).AsInt64();
+  EXPECT_EQ(sum, 3);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp
