@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "adaptive/adaptive_join.h"
+#include "bench_support.h"
 #include "datagen/generator.h"
 #include "exec/scan.h"
 #include "join/shjoin.h"
@@ -58,7 +59,7 @@ void BM_SHJoin_EndToEnd(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(tc.child.size() + tc.parent.size()));
 }
-BENCHMARK(BM_SHJoin_EndToEnd)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_SHJoin_EndToEnd)->Arg(1000)->Arg(2000)->Arg(4000);
 
 /// Approximate symmetric set hash join throughput.
 void BM_SSHJoin_EndToEnd(benchmark::State& state) {
@@ -262,4 +263,14 @@ BENCHMARK(BM_IndexSpaceModel)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus context recording the build type of the
+// *measured* library (the stock "library_build_type" key describes
+// the Google Benchmark shared library, not this code).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("aqp_build_type", aqp::bench::BuildTypeName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

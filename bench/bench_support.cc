@@ -9,7 +9,35 @@
 namespace aqp {
 namespace bench {
 
+const char* BuildTypeName() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 namespace {
+
+/// Every bench binary links bench_support; a debug-grade build prints
+/// this banner before anything else runs, so numbers recorded from an
+/// unoptimized library can never masquerade as real measurements.
+struct DebugBuildWarning {
+  DebugBuildWarning() {
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "\n"
+                 "********************************************************\n"
+                 "** WARNING: NDEBUG is not defined — this benchmark    **\n"
+                 "** binary was built WITHOUT release optimizations.    **\n"
+                 "** Numbers from this run are NOT valid measurements.  **\n"
+                 "** Reconfigure with -DCMAKE_BUILD_TYPE=Release.       **\n"
+                 "********************************************************\n"
+                 "\n");
+#endif
+  }
+};
+const DebugBuildWarning kDebugBuildWarning;
 bool ParseSizeArg(const char* arg, const char* name, size_t* out) {
   const std::string prefix = std::string("--") + name + "=";
   if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;

@@ -10,6 +10,11 @@
 namespace aqp {
 namespace bench {
 
+/// "release" when the bench translation units were compiled with
+/// NDEBUG (assertions off, optimization expected), else "debug".
+/// Recorded into benchmark output so checked-in numbers are auditable.
+const char* BuildTypeName();
+
 /// \brief Scale and MAR configuration shared by the figure benches.
 ///
 /// Defaults replicate the paper's setup: an 8082-row atlas, a 10,000

@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -39,6 +40,10 @@ std::string CsvWriter::Escape(const std::string& field) {
 Status ParseCsv(const std::string& text,
                 std::vector<std::vector<std::string>>* rows) {
   rows->clear();
+  // Bulk-load reserve: one row per newline (upper bound; blank lines
+  // and a missing trailing newline only leave slack).
+  rows->reserve(
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
@@ -76,6 +81,9 @@ Status ParseCsv(const std::string& text,
           field.clear();
           rows->push_back(std::move(row));
           row.clear();
+          // The moved-from vector lost its buffer; size the fresh one
+          // like the header so later cells never reallocate.
+          row.reserve(rows->front().size());
           row_has_data = false;
         }
         break;

@@ -44,6 +44,24 @@ Result<storage::Relation> CollectAll(Operator* op, const ExecOptions& options) {
 Result<size_t> CountAll(Operator* op, const ExecOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   size_t count = 0;
+  // Late-materializing operators count without ever constructing a row
+  // (drive pattern and batch sizes identical to the NextBatch loop, so
+  // adaptation traces do not depend on which drain ran).
+  if (auto* unmaterialized = dynamic_cast<UnmaterializedCounter*>(op)) {
+    while (true) {
+      auto produced = unmaterialized->AdvanceUnmaterialized(
+          options.batch_size == 0 ? storage::TupleBatch::kDefaultCapacity
+                                  : options.batch_size);
+      if (!produced.ok()) {
+        (void)op->Close();
+        return produced.status();
+      }
+      if (*produced == 0) break;
+      count += *produced;
+    }
+    AQP_RETURN_IF_ERROR(op->Close());
+    return count;
+  }
   storage::TupleBatch batch(&op->output_schema(), options.batch_size);
   while (true) {
     Status s = op->NextBatch(&batch);

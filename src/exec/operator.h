@@ -85,6 +85,25 @@ class Operator {
   virtual std::string name() const = 0;
 };
 
+/// \brief Optional capability of late-materializing operators: advance
+/// execution and count output rows without constructing any row
+/// payloads.
+///
+/// Operators whose output is naturally a set of *references* (e.g. the
+/// symmetric join's match refs into its tuple stores) implement this
+/// alongside Operator. Counting drains detect it via dynamic_cast and
+/// skip row materialization entirely; the produced row count, the
+/// production order, and all quiescent-point/adaptation behavior must
+/// be identical to what NextBatch() would have driven.
+class UnmaterializedCounter {
+ public:
+  virtual ~UnmaterializedCounter() = default;
+
+  /// Produces and discards up to `max_rows` output rows, returning the
+  /// number produced; 0 signals end-of-stream.
+  virtual Result<size_t> AdvanceUnmaterialized(size_t max_rows) = 0;
+};
+
 /// \brief Knobs of the batched drain helpers.
 struct ExecOptions {
   /// Rows pulled per NextBatch() call.
@@ -92,10 +111,15 @@ struct ExecOptions {
 };
 
 /// Drains `op` (Open/NextBatch*/Close) into a materialized relation.
+/// Row payloads are constructed exactly once, directly into the
+/// collected batches (late-materializing operators concatenate their
+/// stored tuples only at this point).
 Result<storage::Relation> CollectAll(Operator* op,
                                      const ExecOptions& options = {});
 
-/// Drains `op`, returning only the number of tuples produced.
+/// Drains `op`, returning only the number of tuples produced. When the
+/// operator is an UnmaterializedCounter, no output row is ever
+/// materialized.
 Result<size_t> CountAll(Operator* op, const ExecOptions& options = {});
 
 }  // namespace exec

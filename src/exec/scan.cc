@@ -25,8 +25,11 @@ Status RelationScan::NextBatch(storage::TupleBatch* out) {
   out->Reset(&relation_->schema());
   const size_t end =
       std::min(relation_->size(), position_ + out->capacity());
+  // Unchecked row access: position_ < end <= size() by construction,
+  // and this copy loop feeds every join's input path.
+  const std::vector<storage::Tuple>& rows = relation_->rows();
   for (; position_ < end; ++position_) {
-    out->Append(relation_->row(position_));
+    out->Append(rows[position_]);
   }
   return Status::OK();
 }

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "common/hash.h"
-
 namespace aqp {
 namespace join {
 namespace {
@@ -56,8 +54,10 @@ size_t ExactIndex::CatchUpWith(const storage::TupleStore& store) {
   }
   for (size_t i = watermark_; i < target; ++i) {
     const auto id = static_cast<storage::TupleId>(i);
-    const std::string& key = store.JoinKey(id);
-    const uint64_t hash = Fnv1a64(key);
+    // Both the key view and its hash were computed once at Add() time;
+    // catch-up is pure table maintenance.
+    const std::string_view key = store.JoinKey(id);
+    const uint64_t hash = store.KeyHash(id);
     const size_t slot_index = FindSlot(hash, key);
     Slot& slot = slots_[slot_index];
     if (slot.head == kNone) {
@@ -74,13 +74,13 @@ size_t ExactIndex::CatchUpWith(const storage::TupleStore& store) {
   return inserted;
 }
 
-storage::TupleId ExactIndex::ChainHead(const std::string& key) const {
+storage::TupleId ExactIndex::ChainHead(std::string_view key,
+                                       uint64_t hash) const {
   if (keys_ == 0) return kNone;
-  return slots_[FindSlot(Fnv1a64(key), key)].head;
+  return slots_[FindSlot(hash, key)].head;
 }
 
-std::vector<storage::TupleId> ExactIndex::Lookup(
-    const std::string& key) const {
+std::vector<storage::TupleId> ExactIndex::Lookup(std::string_view key) const {
   std::vector<storage::TupleId> out;
   for (storage::TupleId id = ChainHead(key); id != kNone;
        id = ChainPrev(id)) {

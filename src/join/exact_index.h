@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <limits>
-#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "storage/tuple_store.h"
 
 namespace aqp {
@@ -41,7 +42,9 @@ class ExactIndex {
       std::numeric_limits<storage::TupleId>::max();
 
   /// Indexes store tuples [watermark, store.size()); returns how many
-  /// tuples were inserted (the switch-cost driver).
+  /// tuples were inserted (the switch-cost driver). Keys and their
+  /// hashes are read from the store's interned-key records — catch-up
+  /// never re-hashes or re-reads a std::string.
   size_t CatchUpWith(const storage::TupleStore& store);
 
   /// Most recently indexed tuple whose join attribute equals `key`, or
@@ -51,7 +54,13 @@ class ExactIndex {
   ///   for (TupleId id = index.ChainHead(key); id != ExactIndex::kNone;
   ///        id = index.ChainPrev(id)) { ... }  // descending id order
   /// \endcode
-  storage::TupleId ChainHead(const std::string& key) const;
+  storage::TupleId ChainHead(std::string_view key) const {
+    return ChainHead(key, Fnv1a64(key));
+  }
+
+  /// Hash-carrying overload for probes whose key hash is already
+  /// cached (the probing tuple's own store computed it at Add time).
+  storage::TupleId ChainHead(std::string_view key, uint64_t hash) const;
 
   /// Previously indexed tuple with the same key as `id` (which must be
   /// indexed, i.e. id < watermark()), or kNone.
@@ -60,7 +69,7 @@ class ExactIndex {
   /// All indexed tuples whose join attribute equals `key`, oldest
   /// first. Allocates; tests and diagnostics only — the hot probe path
   /// walks the chain in place.
-  std::vector<storage::TupleId> Lookup(const std::string& key) const;
+  std::vector<storage::TupleId> Lookup(std::string_view key) const;
 
   /// Number of store tuples indexed so far.
   size_t watermark() const { return watermark_; }

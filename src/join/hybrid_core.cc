@@ -11,8 +11,10 @@ HybridJoinCore::HybridJoinCore(const JoinSpec& spec,
                                ApproxProbeOptions approx_options)
     : spec_(spec),
       approx_options_(approx_options),
-      stores_{storage::TupleStore(spec.left_column),
-              storage::TupleStore(spec.right_column)},
+      // Gram-cache mode: each store owns its tuples' gram sets, shared
+      // by the side's q-gram index and every probe/verifier.
+      stores_{storage::TupleStore(spec.left_column, spec.qgram),
+              storage::TupleStore(spec.right_column, spec.qgram)},
       exact_{},
       qgram_{QGramIndex(spec.qgram), QGramIndex(spec.qgram)} {}
 
@@ -36,14 +38,19 @@ size_t HybridJoinCore::ProcessTupleInto(Side side, storage::Tuple tuple,
   const storage::TupleId id = stores_[s].Add(std::move(tuple));
   MaintainLiveIndex(side);
 
-  const std::string& key = stores_[s].JoinKey(id);
+  // Every probe artifact — key view, 64-bit hash, gram set — comes
+  // from the probing tuple's store, computed exactly once at Add().
+  const std::string_view key = stores_[s].JoinKey(id);
   const size_t out_begin = out->size();
   size_t appended = 0;
   if (mode_[s] == ProbeMode::kExact) {
-    appended = ProbeExactInto(exact_[o], key, side, id, out);
+    appended = ProbeExactInto(exact_[o], key, stores_[s].KeyHash(id), side,
+                              id, out);
   } else {
-    appended = ProbeApproximateInto(qgram_[o], stores_[o], key, spec_, side,
-                                    id, approx_options_, &approx_stats_, out);
+    appended = ProbeApproximateInto(qgram_[o], stores_[o], key,
+                                    stores_[s].Grams(id), spec_, side, id,
+                                    approx_options_, &probe_scratch_,
+                                    &approx_stats_, out);
   }
 
   for (size_t i = out_begin; i < out->size(); ++i) {

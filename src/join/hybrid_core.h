@@ -32,9 +32,9 @@ const char* ProbeModeName(ProbeMode mode);
 /// a whole batch has gone through the core — the engine snapshots it
 /// right after each step and hands the monitor complete batches.
 struct StepObservables {
-  /// The input the step's tuple was read from.
-  exec::Side read_side = exec::Side::kLeft;
   /// Approximate matches attributed to each input (indexed by Side).
+  /// The attribution already folded in which side the step read from,
+  /// so the record carries only what the monitor consumes.
   uint32_t approx_attributed[2] = {0, 0};
 };
 
@@ -95,6 +95,14 @@ class HybridJoinCore {
   /// inserted during catch-up (0 when the mode is unchanged).
   size_t SetProbeMode(Side side, ProbeMode mode);
 
+  /// Reserves store capacity for the expected input cardinalities
+  /// (0 = unknown); the operator wrappers pass their size hints so
+  /// steady ingest never reallocates the per-tuple vectors.
+  void ReserveStores(size_t left_hint, size_t right_hint) {
+    if (left_hint > 0) stores_[Idx(Side::kLeft)].Reserve(left_hint);
+    if (right_hint > 0) stores_[Idx(Side::kRight)].Reserve(right_hint);
+  }
+
   /// \name Introspection.
   /// @{
   const storage::TupleStore& store(Side side) const {
@@ -147,6 +155,9 @@ class HybridJoinCore {
   uint64_t approximate_pairs_ = 0;
   uint64_t catchup_tuples_ = 0;
   ApproxProbeStats approx_stats_;
+  /// Reusable working memory for approximate probes (cleared per
+  /// probe, capacity kept).
+  ApproxProbeScratch probe_scratch_;
 };
 
 }  // namespace join

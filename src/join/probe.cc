@@ -1,7 +1,6 @@
 #include "join/probe.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "text/similarity.h"
 
@@ -16,14 +15,14 @@ void ApproxProbeStats::MergeFrom(const ApproxProbeStats& other) {
   matches += other.matches;
 }
 
-size_t ProbeExactInto(const ExactIndex& index, const std::string& key,
-                      Side probe_side, storage::TupleId probe_id,
-                      std::vector<JoinMatch>* out) {
+size_t ProbeExactInto(const ExactIndex& index, std::string_view key,
+                      uint64_t key_hash, Side probe_side,
+                      storage::TupleId probe_id, std::vector<JoinMatch>* out) {
   const size_t out_begin = out->size();
   // The chain yields newest-first; reverse the appended region so
   // matches come out oldest-first (insertion order), as the bucket
   // enumeration always has.
-  for (storage::TupleId stored = index.ChainHead(key);
+  for (storage::TupleId stored = index.ChainHead(key, key_hash);
        stored != ExactIndex::kNone; stored = index.ChainPrev(stored)) {
     out->push_back(
         JoinMatch{probe_side, probe_id, stored, 1.0, MatchKind::kExact});
@@ -33,7 +32,7 @@ size_t ProbeExactInto(const ExactIndex& index, const std::string& key,
 }
 
 std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
-                                  const std::string& key, Side probe_side,
+                                  std::string_view key, Side probe_side,
                                   storage::TupleId probe_id) {
   std::vector<JoinMatch> out;
   ProbeExactInto(index, key, probe_side, probe_id, &out);
@@ -42,15 +41,15 @@ std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
 
 size_t ProbeApproximateInto(const QGramIndex& index,
                             const storage::TupleStore& store,
-                            const std::string& probe_key,
+                            std::string_view probe_key,
+                            const text::GramSet& probe_grams,
                             const JoinSpec& spec, Side probe_side,
                             storage::TupleId probe_id,
                             const ApproxProbeOptions& options,
+                            ApproxProbeScratch* scratch,
                             ApproxProbeStats* stats,
                             std::vector<JoinMatch>* out) {
   const size_t out_begin = out->size();
-  const text::GramSet probe_grams =
-      text::GramSet::Of(probe_key, spec.qgram);
   if (stats != nullptr) stats->grams += probe_grams.size();
 
   if (probe_grams.empty()) {
@@ -70,8 +69,15 @@ size_t ProbeApproximateInto(const QGramIndex& index,
   const size_t k =
       text::MinOverlapForThreshold(spec.measure, g, spec.sim_threshold);
 
+  // The probe's working memory: caller-provided scratch when available
+  // (cleared, capacity kept — steady-state probes allocate nothing),
+  // else probe-local.
+  ApproxProbeScratch local;
+  ApproxProbeScratch& work = scratch != nullptr ? *scratch : local;
+
   // Order the probe's grams; "reverse frequency order" = rarest first.
-  std::vector<std::pair<size_t, text::GramKey>> ordered;
+  auto& ordered = work.ordered;
+  ordered.clear();
   ordered.reserve(g);
   for (text::GramKey key : probe_grams.grams()) {
     ordered.emplace_back(index.Frequency(key), key);
@@ -83,8 +89,9 @@ size_t ProbeApproximateInto(const QGramIndex& index,
   // T(t): candidate tuple -> number of shared grams seen so far. For
   // every candidate in T the final count equals the exact overlap,
   // because each shared gram either inserted it or incremented it.
-  std::unordered_map<storage::TupleId, uint32_t> counters;
-  counters.reserve(64);
+  auto& counters = work.counters;
+  counters.clear();
+  if (counters.bucket_count() == 0) counters.reserve(64);
   const size_t insert_phase_end =
       options.insert_phase_optimization && k <= g ? g - k + 1 : g;
   for (size_t i = 0; i < ordered.size(); ++i) {
@@ -105,7 +112,9 @@ size_t ProbeApproximateInto(const QGramIndex& index,
   if (stats != nullptr) stats->candidates += counters.size();
 
   // Verification: the counter is the overlap; all four coefficients
-  // are functions of (g, candidate gram-set size, overlap).
+  // are functions of (g, candidate gram-set size, overlap). The
+  // candidate's gram-set size comes from the stored side's cache —
+  // no strings are touched unless equality must be decided.
   for (const auto& [candidate, overlap] : counters) {
     if (overlap < k) continue;
     if (stats != nullptr) ++stats->verified;
@@ -132,9 +141,22 @@ size_t ProbeApproximateInto(const QGramIndex& index,
   return out->size() - out_begin;
 }
 
+size_t ProbeApproximateInto(const QGramIndex& index,
+                            const storage::TupleStore& store,
+                            std::string_view probe_key, const JoinSpec& spec,
+                            Side probe_side, storage::TupleId probe_id,
+                            const ApproxProbeOptions& options,
+                            ApproxProbeStats* stats,
+                            std::vector<JoinMatch>* out) {
+  const text::GramSet probe_grams = text::GramSet::Of(probe_key, spec.qgram);
+  return ProbeApproximateInto(index, store, probe_key, probe_grams, spec,
+                              probe_side, probe_id, options,
+                              /*scratch=*/nullptr, stats, out);
+}
+
 std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
                                         const storage::TupleStore& store,
-                                        const std::string& probe_key,
+                                        std::string_view probe_key,
                                         const JoinSpec& spec, Side probe_side,
                                         storage::TupleId probe_id,
                                         const ApproxProbeOptions& options,

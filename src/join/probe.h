@@ -2,7 +2,9 @@
 #define AQP_JOIN_PROBE_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "join/exact_index.h"
@@ -28,6 +30,20 @@ struct ApproxProbeOptions {
   bool rare_grams_first = true;
 };
 
+/// \brief Reusable per-probe working memory.
+///
+/// One approximate probe needs a frequency-ordered gram list and the
+/// T(t) candidate counter table; both are cleared (capacity kept) and
+/// reused when the caller passes the same scratch to every probe, so
+/// steady-state probing allocates nothing. Owned by one single-threaded
+/// prober (e.g. a HybridJoinCore).
+struct ApproxProbeScratch {
+  /// (posting frequency, gram) pairs of the probe, sorted rarest-first.
+  std::vector<std::pair<size_t, text::GramKey>> ordered;
+  /// T(t): candidate tuple -> number of shared grams seen so far.
+  std::unordered_map<storage::TupleId, uint32_t> counters;
+};
+
 /// \brief Work counters for one approximate probe, feeding the Table 1
 /// cost model.
 struct ApproxProbeStats {
@@ -40,19 +56,28 @@ struct ApproxProbeStats {
   void MergeFrom(const ApproxProbeStats& other);
 };
 
-/// \brief Probes the exact index with a join-attribute value.
+/// \brief Probes the exact index with a join-attribute value whose
+/// 64-bit hash is already known (the probing tuple's store cached it
+/// at Add time — the hot path never re-hashes).
 ///
 /// Appends one JoinMatch (kind kExact, similarity 1.0) per stored tuple
 /// whose attribute equals `key` to `*out`; returns the number appended.
 /// The append-style interface lets the batched executor reuse one match
 /// buffer across a whole batch instead of allocating per probe.
-size_t ProbeExactInto(const ExactIndex& index, const std::string& key,
-                      Side probe_side, storage::TupleId probe_id,
-                      std::vector<JoinMatch>* out);
+size_t ProbeExactInto(const ExactIndex& index, std::string_view key,
+                      uint64_t key_hash, Side probe_side,
+                      storage::TupleId probe_id, std::vector<JoinMatch>* out);
+
+/// Hashing overload for callers without a cached key hash.
+inline size_t ProbeExactInto(const ExactIndex& index, std::string_view key,
+                             Side probe_side, storage::TupleId probe_id,
+                             std::vector<JoinMatch>* out) {
+  return ProbeExactInto(index, key, Fnv1a64(key), probe_side, probe_id, out);
+}
 
 /// Convenience wrapper returning a fresh vector (tests, one-off code).
 std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
-                                  const std::string& key, Side probe_side,
+                                  std::string_view key, Side probe_side,
                                   storage::TupleId probe_id);
 
 /// \brief Probes the q-gram index with a probe tuple's join-attribute
@@ -66,14 +91,29 @@ std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
 /// bytewise equal are flagged kExact (similarity 1.0), the rest
 /// kApproximate.
 ///
-/// `store` supplies candidate strings for the equality check; `stats`
-/// may be null. Matches are appended to `*out` (sorted by stored id
-/// within the appended region); returns the number appended.
+/// `probe_grams` is the probe key's gram set — for stored probing
+/// tuples it comes straight from the store's gram cache, so neither
+/// side of the verification re-runs gram extraction. `store` supplies
+/// candidate strings for the equality check; `scratch` (may be null)
+/// makes the probe allocation-free in steady state; `stats` may be
+/// null. Matches are appended to `*out` (sorted by stored id within
+/// the appended region); returns the number appended.
 size_t ProbeApproximateInto(const QGramIndex& index,
                             const storage::TupleStore& store,
-                            const std::string& probe_key,
+                            std::string_view probe_key,
+                            const text::GramSet& probe_grams,
                             const JoinSpec& spec, Side probe_side,
                             storage::TupleId probe_id,
+                            const ApproxProbeOptions& options,
+                            ApproxProbeScratch* scratch,
+                            ApproxProbeStats* stats,
+                            std::vector<JoinMatch>* out);
+
+/// Extracting overload for callers without cached probe grams.
+size_t ProbeApproximateInto(const QGramIndex& index,
+                            const storage::TupleStore& store,
+                            std::string_view probe_key, const JoinSpec& spec,
+                            Side probe_side, storage::TupleId probe_id,
                             const ApproxProbeOptions& options,
                             ApproxProbeStats* stats,
                             std::vector<JoinMatch>* out);
@@ -81,7 +121,7 @@ size_t ProbeApproximateInto(const QGramIndex& index,
 /// Convenience wrapper returning a fresh vector (tests, one-off code).
 std::vector<JoinMatch> ProbeApproximate(const QGramIndex& index,
                                         const storage::TupleStore& store,
-                                        const std::string& probe_key,
+                                        std::string_view probe_key,
                                         const JoinSpec& spec, Side probe_side,
                                         storage::TupleId probe_id,
                                         const ApproxProbeOptions& options,

@@ -1,24 +1,49 @@
 #include "join/qgram_index.h"
 
+#include <cassert>
+
 namespace aqp {
 namespace join {
 
+namespace {
+
+/// First reservation of a posting vector. Posting lists grow one tuple
+/// at a time during catch-up; reserving a few slots up front removes
+/// the 1→2→4 reallocation churn every new gram would otherwise pay.
+constexpr size_t kInitialPostingCapacity = 4;
+
+}  // namespace
+
 size_t QGramIndex::CatchUpWith(const storage::TupleStore& store) {
+  assert((store_ == nullptr || store_ == &store) &&
+         "QGramIndex is bound to one TupleStore");
+  if (store_ == nullptr) {
+    store_ = &store;
+    store_backed_ =
+        store.gram_cache_enabled() && store.gram_options() == options_;
+  }
   const size_t target = store.size();
   size_t inserted = 0;
-  gram_sets_.reserve(target);
+  if (!store_backed_) local_gram_sets_.reserve(target);
   for (size_t i = watermark_; i < target; ++i) {
     const auto id = static_cast<storage::TupleId>(i);
-    text::GramSet set = text::GramSet::Of(store.JoinKey(id), options_);
+    if (!store_backed_) {
+      local_gram_sets_.push_back(
+          text::GramSet::Of(store.JoinKey(id), options_));
+    }
+    const text::GramSet& set = GramSetOf(id);
     if (set.empty()) {
       empty_gram_tuples_.push_back(id);
     } else {
       for (text::GramKey key : set.grams()) {
-        postings_[key].push_back(id);
+        std::vector<storage::TupleId>& postings = postings_[key];
+        if (postings.capacity() == 0) {
+          postings.reserve(kInitialPostingCapacity);
+        }
+        postings.push_back(id);
         ++total_postings_;
       }
     }
-    gram_sets_.push_back(std::move(set));
     ++inserted;
   }
   watermark_ = target;
@@ -49,7 +74,7 @@ size_t QGramIndex::ApproximateMemoryUsage() const {
     bytes += postings.capacity() * sizeof(storage::TupleId) +
              sizeof(postings);
   }
-  for (const text::GramSet& set : gram_sets_) {
+  for (const text::GramSet& set : local_gram_sets_) {
     bytes += set.grams().capacity() * sizeof(text::GramKey) + sizeof(set);
   }
   bytes += empty_gram_tuples_.capacity() * sizeof(storage::TupleId);

@@ -11,16 +11,19 @@ namespace aqp {
 namespace join {
 
 /// \brief SSHJoin's per-operand structure: q-gram → tuples containing
-/// it (Fig. 3, right), plus the gram set of every indexed tuple.
+/// it (Fig. 3, right).
 ///
 /// The posting list length of a gram is its *frequency* — the quantity
-/// SSHJoin's probe uses to order grams rarest-first (§2.2). Gram sets
-/// are retained so the verifier can compute exact coefficients from
-/// (probe size, candidate size, overlap) without touching strings, and
-/// so equality of rebuilt-vs-caught-up indexes is testable.
+/// SSHJoin's probe uses to order grams rarest-first (§2.2). Per-tuple
+/// gram sets are served by the TupleStore's gram cache when the store
+/// has one with matching options (the engine's stores always do), so
+/// the index, the candidate verifier, and switch catch-up all share
+/// one extraction per tuple. Stores without a compatible cache fall
+/// back to a local copy (tests, ad-hoc tooling).
 ///
 /// Like ExactIndex, the structure lags its TupleStore and is advanced
-/// by CatchUpWith().
+/// by CatchUpWith(). The store bound by the first CatchUpWith() call
+/// must be the one all later calls pass (checked by assert).
 class QGramIndex {
  public:
   /// The index extracts q-grams with these options.
@@ -40,12 +43,13 @@ class QGramIndex {
 
   /// Gram-set size of an indexed tuple (id < watermark()).
   size_t GramSetSize(storage::TupleId id) const {
-    return gram_sets_[id].size();
+    return GramSetOf(id).size();
   }
 
-  /// Gram set of an indexed tuple.
+  /// Gram set of an indexed tuple — the store's cached set when the
+  /// bound store serves it, otherwise the local fallback copy.
   const text::GramSet& GramSetOf(storage::TupleId id) const {
-    return gram_sets_[id];
+    return store_backed_ ? store_->Grams(id) : local_gram_sets_[id];
   }
 
   /// Indexed tuples whose join attribute produced no grams (empty
@@ -66,13 +70,19 @@ class QGramIndex {
   /// Extraction options.
   const text::QGramOptions& options() const { return options_; }
 
-  /// Rough heap footprint in bytes (§2.3: n · (|jA|+q-1) · p).
+  /// Rough heap footprint in bytes (§2.3: n · (|jA|+q-1) · p). Gram
+  /// sets served by the store's cache are accounted there, not here.
   size_t ApproximateMemoryUsage() const;
 
  private:
   text::QGramOptions options_;
   std::unordered_map<text::GramKey, std::vector<storage::TupleId>> postings_;
-  std::vector<text::GramSet> gram_sets_;  // indexed by TupleId
+  /// Bound store (set by the first CatchUpWith); store_backed_ records
+  /// whether its gram cache serves this index's options.
+  const storage::TupleStore* store_ = nullptr;
+  bool store_backed_ = false;
+  /// Fallback gram sets for stores without a compatible cache.
+  std::vector<text::GramSet> local_gram_sets_;
   std::vector<storage::TupleId> empty_gram_tuples_;
   size_t watermark_ = 0;
   size_t total_postings_ = 0;

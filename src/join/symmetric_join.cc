@@ -37,6 +37,7 @@ Status SymmetricJoin::Open() {
   open_ = true;
   left_done_ = false;
   right_done_ = false;
+  core_.ReserveStores(options_.left_size_hint, options_.right_size_hint);
   pending_.clear();
   for (size_t i = 0; i < 2; ++i) {
     input_batch_[i].Reset(nullptr, options_.batch_size);
@@ -45,24 +46,25 @@ Status SymmetricJoin::Open() {
   return Status::OK();
 }
 
-void SymmetricJoin::AppendOutput(const JoinMatch& match,
-                                 storage::TupleBatch* out) {
+storage::Tuple SymmetricJoin::MaterializeRow(const MatchRef& ref) const {
   const storage::Tuple& l =
-      core_.store(exec::Side::kLeft).Get(match.left_id());
+      core_.store(exec::Side::kLeft).Get(ref.left_id());
   const storage::Tuple& r =
-      core_.store(exec::Side::kRight).Get(match.right_id());
+      core_.store(exec::Side::kRight).Get(ref.right_id());
   std::vector<storage::Value> values;
   values.reserve(l.size() + r.size() + (options_.emit_similarity ? 1 : 0));
   values.insert(values.end(), l.values().begin(), l.values().end());
   values.insert(values.end(), r.values().begin(), r.values().end());
   if (options_.emit_similarity) {
-    values.emplace_back(match.similarity);
+    values.emplace_back(ref.similarity);
   }
-  storage::Tuple row(std::move(values));
-  if (out != nullptr && !out->full()) {
-    out->Append(std::move(row));
-  } else {
-    pending_.push_back(std::move(row));
+  return storage::Tuple(std::move(values));
+}
+
+void SymmetricJoin::MaterializeInto(const MatchBatch& matches,
+                                    storage::TupleBatch* out) const {
+  for (const MatchRef& ref : matches) {
+    out->Append(MaterializeRow(ref));
   }
 }
 
@@ -71,7 +73,13 @@ Status SymmetricJoin::RefillInput(exec::Side side) {
   exec::Operator* input = side == exec::Side::kLeft ? left_ : right_;
   input_batch_[i].Reset(&input->output_schema(), options_.batch_size);
   input_pos_[i] = 0;
-  return input->NextBatch(&input_batch_[i]);
+  // Child time is excluded from the step-batch clock (see
+  // RunStepBatch): the §4.3 weight calibration prices join work, not
+  // the children.
+  Timer timer;
+  Status status = input->NextBatch(&input_batch_[i]);
+  refill_excluded_ns_ += timer.ElapsedNanos();
+  return status;
 }
 
 Result<bool> SymmetricJoin::PullNextInput(exec::Side* side,
@@ -101,37 +109,40 @@ Result<bool> SymmetricJoin::PullNextInput(exec::Side* side,
   }
 }
 
-Result<bool> SymmetricJoin::StepOnce(storage::TupleBatch* out) {
+Result<bool> SymmetricJoin::StepOnce(MatchBatch* out) {
   exec::Side side = exec::Side::kLeft;
   storage::Tuple tuple;
   auto pulled = PullNextInput(&side, &tuple);
   if (!pulled.ok()) return pulled.status();
   if (!*pulled) return false;
   scheduler_.OnRead(side);
-  // Timed from here: the step's core work only. Input pulls stay
-  // outside so state_time_ns-derived weight calibration measures the
-  // join, not the children.
-  Timer timer;
   match_scratch_.clear();
   core_.ProcessTupleInto(side, std::move(tuple), &match_scratch_);
   ++steps_;
   StepObservables obs;
-  obs.read_side = side;
   // §3.3 attribution snapshots the matched-exactly flags now; by the
   // end of the batch later steps will have mutated them.
   core_.AttributeApproxMatches(side, match_scratch_, obs.approx_attributed);
   batch_stats_.steps.push_back(obs);
   for (const JoinMatch& m : match_scratch_) {
-    AppendOutput(m, out);
+    if (out != nullptr && !out->full()) {
+      out->Append(m);
+    } else {
+      pending_.push_back(m);
+    }
   }
-  batch_stats_.elapsed_ns += timer.ElapsedNanos();
   return true;
 }
 
-Status SymmetricJoin::RunStepBatch(storage::TupleBatch* out,
-                                   uint64_t max_steps, bool* exhausted) {
+Status SymmetricJoin::RunStepBatch(MatchBatch* out, uint64_t max_steps,
+                                   bool* exhausted) {
   batch_stats_.Clear();
   uint64_t executed = 0;
+  // One clock pair per batch, not per step: child refill time (tracked
+  // by RefillInput) is subtracted so elapsed_ns remains the batch's
+  // core join work.
+  refill_excluded_ns_ = 0;
+  Timer timer;
   while (executed < max_steps) {
     if (out != nullptr && out->full()) break;
     auto stepped = StepOnce(out);
@@ -143,33 +154,19 @@ Status SymmetricJoin::RunStepBatch(storage::TupleBatch* out,
     ++executed;
   }
   if (executed > 0) {
+    batch_stats_.elapsed_ns = timer.ElapsedNanos() - refill_excluded_ns_;
+    if (batch_stats_.elapsed_ns < 0) batch_stats_.elapsed_ns = 0;
     OnBatchCompleted(batch_stats_);
   }
   return Status::OK();
 }
 
-Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
+Status SymmetricJoin::NextMatchBatch(MatchBatch* out) {
   if (!open_) return Status::FailedPrecondition(name_ + " not open");
-  while (pending_.empty()) {
-    // Quiescent: the previous tuple's matches are fully enumerated.
-    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
-    bool exhausted = false;
-    // One-step batches keep the tuple-at-a-time contract (a quiescent
-    // point before every step) on the shared batched machinery.
-    AQP_RETURN_IF_ERROR(RunStepBatch(nullptr, 1, &exhausted));
-    if (exhausted) return std::optional<storage::Tuple>();
-  }
-  storage::Tuple out = std::move(pending_.front());
-  pending_.pop_front();
-  return std::optional<storage::Tuple>(std::move(out));
-}
-
-Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
-  if (!open_) return Status::FailedPrecondition(name_ + " not open");
-  out->Reset(&output_schema_);
-  // Outputs spilled by a previous over-producing step go out first.
+  out->Clear();
+  // Refs spilled by a previous over-producing step go out first.
   while (!pending_.empty() && !out->full()) {
-    out->Append(std::move(pending_.front()));
+    out->Append(pending_.front());
     pending_.pop_front();
   }
   bool exhausted = false;
@@ -184,6 +181,54 @@ Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
         std::min<uint64_t>(bound, options_.batch_size);
     AQP_RETURN_IF_ERROR(
         RunStepBatch(out, std::max<uint64_t>(1, max_steps), &exhausted));
+  }
+  return Status::OK();
+}
+
+Result<size_t> SymmetricJoin::AdvanceUnmaterialized(size_t max_rows) {
+  adapter_batch_.Reset(max_rows == 0 ? 1 : max_rows);
+  AQP_RETURN_IF_ERROR(NextMatchBatch(&adapter_batch_));
+  return adapter_batch_.size();
+}
+
+Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
+  if (!open_) return Status::FailedPrecondition(name_ + " not open");
+  while (pending_.empty()) {
+    // Quiescent: the previous tuple's matches are fully enumerated.
+    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
+    bool exhausted = false;
+    // One-step batches keep the tuple-at-a-time contract (a quiescent
+    // point before every step) on the shared batched machinery.
+    AQP_RETURN_IF_ERROR(RunStepBatch(nullptr, 1, &exhausted));
+    if (exhausted) return std::optional<storage::Tuple>();
+  }
+  // Materialize at delivery: rows never exist before a consumer asks.
+  storage::Tuple out = MaterializeRow(pending_.front());
+  pending_.pop_front();
+  return std::optional<storage::Tuple>(std::move(out));
+}
+
+Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition(name_ + " not open");
+  out->Reset(&output_schema_);
+  // Compatibility adapter: pull refs sized to the caller's remaining
+  // room, then materialize straight into the caller's batch — rows are
+  // built exactly once, at the sink boundary.
+  while (!pending_.empty() && !out->full()) {
+    out->Append(MaterializeRow(pending_.front()));
+    pending_.pop_front();
+  }
+  bool exhausted = false;
+  while (!out->full() && !exhausted) {
+    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
+    const uint64_t bound = StepsUntilControlPoint();
+    const uint64_t max_steps =
+        std::min<uint64_t>(bound, options_.batch_size);
+    adapter_batch_.Reset(out->capacity() - out->size());
+    AQP_RETURN_IF_ERROR(RunStepBatch(&adapter_batch_,
+                                     std::max<uint64_t>(1, max_steps),
+                                     &exhausted));
+    MaterializeInto(adapter_batch_, out);
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include "exec/operator.h"
 #include "join/hybrid_core.h"
 #include "join/join_types.h"
+#include "join/match_batch.h"
 
 namespace aqp {
 namespace join {
@@ -43,10 +44,12 @@ struct StepBatchStats {
   /// Per-step observables, in execution order.
   std::vector<StepObservables> steps;
   /// Accumulated wall time of the batch's core step work — store,
-  /// index, probe, and output construction, excluding child input
-  /// pulls — in nanoseconds. This is the quantity the §4.3 weight
-  /// calibration divides by step counts, so scan/copy time must not
-  /// pollute it.
+  /// index, probe, match-ref emission, and intra-engine buffer moves,
+  /// excluding child input pulls and output materialization — in
+  /// nanoseconds. This is the quantity the §4.3 weight calibration
+  /// divides by step counts, so child scan time must not pollute it.
+  /// Measured once per step batch (child refills subtracted), not per
+  /// step, keeping the clock off the hot path.
   int64_t elapsed_ns = 0;
 
   void Clear() {
@@ -56,14 +59,28 @@ struct StepBatchStats {
 };
 
 /// \brief Pipelined symmetric join driver: pulls from two child
-/// operators, feeds a HybridJoinCore, and enumerates result tuples.
+/// operators, feeds a HybridJoinCore, and enumerates result matches.
 ///
-/// This is the iterator of Fig. 2, vectorized. Execution advances in
-/// *steps* (one input tuple fully joined per step, §2.1); the engine
-/// runs steps in batches of up to `options.batch_size`, pulling child
-/// input through TupleBatch refills and emitting match batches. Between
-/// step batches the operator is quiescent by construction — every
-/// consumed tuple's matches are fully enumerated and materialized — so
+/// This is the iterator of Fig. 2, vectorized and late-materializing.
+/// Execution advances in *steps* (one input tuple fully joined per
+/// step, §2.1); the engine runs steps in batches of up to
+/// `options.batch_size`, pulling child input through TupleBatch refills
+/// and emitting MatchRef batches. A step's output is a set of
+/// references into the two tuple stores — no concatenated payload row
+/// is built on the hot path. Rows exist only where a consumer needs
+/// them:
+///
+/// - NextMatchBatch() is the native protocol: it refills a MatchBatch
+///   with output refs; MaterializeInto()/MaterializeRow() concatenate
+///   stored tuples on demand (this is what the collecting sinks call);
+/// - NextBatch()/Next() are row-protocol compatibility adapters that
+///   materialize at delivery time, producing byte-identical rows in
+///   identical order to the pre-late-materialization engine;
+/// - counting drains go through exec::UnmaterializedCounter and never
+///   build a row at all.
+///
+/// Between step batches the operator is quiescent by construction —
+/// every consumed tuple's matches are fully enumerated as refs — so
 /// these boundaries are the only points where subclasses adapt:
 ///
 /// - OnQuiescentPoint() fires before each step batch (and once more at
@@ -76,13 +93,12 @@ struct StepBatchStats {
 /// - OnBatchCompleted() fires after each step batch with the per-step
 ///   observables aggregated over the batch (monitor feed).
 ///
-/// The tuple-at-a-time Next() remains fully supported (it runs
-/// one-step batches through the same machinery), and both paths may be
+/// All drive modes (match batches, row batches, tuple-at-a-time) may be
 /// mixed on one operator instance.
 ///
 /// SHJoin pins both modes to exact, SSHJoin to approximate; the
 /// adaptive operator drives them through the MAR controller.
-class SymmetricJoin : public exec::Operator {
+class SymmetricJoin : public exec::Operator, public exec::UnmaterializedCounter {
  public:
   /// Children are borrowed, not owned, and must outlive the join.
   SymmetricJoin(exec::Operator* left, exec::Operator* right,
@@ -96,10 +112,33 @@ class SymmetricJoin : public exec::Operator {
   const storage::Schema& output_schema() const override {
     return output_schema_;
   }
-  /// Quiescent iff no produced-but-undelivered output remains buffered;
-  /// every consumed input tuple is fully joined at all times.
+  /// Quiescent iff no produced-but-undelivered match refs remain
+  /// buffered; every consumed input tuple is fully joined at all times.
   bool quiescent() const override { return pending_.empty(); }
   std::string name() const override { return name_; }
+
+  /// \name Late-materialized output protocol.
+  /// @{
+  /// Refills `out` (cleared first; capacity is the caller's) with up to
+  /// out->capacity() output match refs. An empty batch after an OK
+  /// return signals end-of-stream. Ref order equals the row order of
+  /// NextBatch()/Next().
+  Status NextMatchBatch(MatchBatch* out);
+
+  /// Concatenates the stored tuples of `ref` (left fields, right
+  /// fields, optional similarity column) — the only place join output
+  /// rows are constructed.
+  storage::Tuple MaterializeRow(const MatchRef& ref) const;
+
+  /// Materializes every ref of `matches` into `out`, in order. The
+  /// caller ensures `out` has room (soft capacity, as TupleBatch).
+  void MaterializeInto(const MatchBatch& matches,
+                       storage::TupleBatch* out) const;
+
+  /// exec::UnmaterializedCounter: produce and count up to `max_rows`
+  /// output refs without building rows.
+  Result<size_t> AdvanceUnmaterialized(size_t max_rows) override;
+  /// @}
 
   /// \name Introspection.
   /// @{
@@ -145,18 +184,15 @@ class SymmetricJoin : public exec::Operator {
   Result<bool> PullNextInput(exec::Side* side, storage::Tuple* tuple);
 
   /// Executes one step: consume one input tuple, probe, and append the
-  /// step's outputs (to `out` while it has room, spilling the rest to
-  /// pending_). Records the step's observables into batch_stats_.
+  /// step's match refs (to `out` while it has room, spilling the rest
+  /// to pending_). Records the step's observables into batch_stats_.
   /// Returns false (without stepping) at end-of-stream.
-  Result<bool> StepOnce(storage::TupleBatch* out);
+  Result<bool> StepOnce(MatchBatch* out);
 
   /// Runs one step batch of at most `max_steps` steps, firing
   /// OnBatchCompleted if any step executed. Sets *exhausted when input
   /// ran out.
-  Status RunStepBatch(storage::TupleBatch* out, uint64_t max_steps,
-                      bool* exhausted);
-
-  void AppendOutput(const JoinMatch& match, storage::TupleBatch* out);
+  Status RunStepBatch(MatchBatch* out, uint64_t max_steps, bool* exhausted);
 
   exec::Operator* left_;
   exec::Operator* right_;
@@ -165,15 +201,21 @@ class SymmetricJoin : public exec::Operator {
   HybridJoinCore core_;
   exec::InterleaveScheduler scheduler_;
   storage::Schema output_schema_;
-  /// Produced-but-undelivered outputs: filled by Next()'s one-step
-  /// batches and by step outputs overflowing a NextBatch() target.
-  std::deque<storage::Tuple> pending_;
+  /// Produced-but-undelivered match refs: filled by Next()'s one-step
+  /// batches and by step outputs overflowing a batch target.
+  std::deque<MatchRef> pending_;
   /// Read-ahead buffers over the children, one per side.
   storage::TupleBatch input_batch_[2];
   size_t input_pos_[2] = {0, 0};
   /// Scratch reused across steps (cleared per step, capacity kept).
   std::vector<JoinMatch> match_scratch_;
+  /// Ref batch reused by the row/count adapters (NextBatch,
+  /// AdvanceUnmaterialized).
+  MatchBatch adapter_batch_;
   StepBatchStats batch_stats_;
+  /// Child NextBatch time inside the current step batch (subtracted
+  /// from its elapsed_ns; see RunStepBatch/RefillInput).
+  int64_t refill_excluded_ns_ = 0;
   uint64_t steps_ = 0;
   bool left_done_ = false;
   bool right_done_ = false;

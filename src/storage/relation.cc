@@ -18,8 +18,9 @@ Status Relation::Append(Tuple tuple) {
 std::vector<std::string> Relation::DistinctStrings(size_t column) const {
   std::vector<std::string> out;
   std::unordered_set<std::string> seen;
+  seen.reserve(rows_.size());
   for (const Tuple& t : rows_) {
-    const std::string& s = t.at(column).AsString();
+    const std::string& s = t[column].AsString();
     if (seen.insert(s).second) out.push_back(s);
   }
   return out;

@@ -34,9 +34,16 @@ class Tuple {
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
-  /// Cell access.
+  /// Bounds-checked cell access (validation and debug paths; throws
+  /// std::out_of_range on a bad index).
   const Value& at(size_t i) const { return values_.at(i); }
   Value& at(size_t i) { return values_.at(i); }
+
+  /// Unchecked cell access for hot paths (join probes, stores, sinks)
+  /// where the index is schema-derived and already validated.
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
   const std::vector<Value>& values() const { return values_; }
 
   /// Appends a value.

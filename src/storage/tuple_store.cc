@@ -2,15 +2,49 @@
 
 #include <numeric>
 
+#include "common/hash.h"
+
 namespace aqp {
 namespace storage {
 
 TupleId TupleStore::Add(Tuple tuple) {
   const TupleId id = static_cast<TupleId>(tuples_.size());
+  // Intern the join key before the tuple is moved into place: the
+  // arena copy, the length, and the hash are computed exactly once
+  // here, and every later probe/index consumer reads the cached
+  // artifacts by id.
+  const std::string& key = tuple[join_column_].AsString();
+  KeyRecord record;
+  record.len = static_cast<uint32_t>(key.size());
+  record.offset = arena_.Intern(key);
+  record.hash = Fnv1a64(key);
+  keys_.push_back(record);
   tuples_.push_back(std::move(tuple));
   matched_exactly_.push_back(0);
   matched_any_.push_back(0);
+  if (gram_cache_enabled_) {
+    gram_sets_.emplace_back();
+    gram_ready_.push_back(0);
+  }
   return id;
+}
+
+void TupleStore::Reserve(size_t n) {
+  tuples_.reserve(n);
+  keys_.reserve(n);
+  matched_exactly_.reserve(n);
+  matched_any_.reserve(n);
+  if (gram_cache_enabled_) {
+    gram_sets_.reserve(n);
+    gram_ready_.reserve(n);
+  }
+}
+
+void TupleStore::MaterializeGrams(TupleId id) const {
+  gram_sets_[id] =
+      text::GramSet::OfUsingScratch(JoinKey(id), gram_options_,
+                                    &gram_scratch_);
+  gram_ready_[id] = 1;
 }
 
 size_t TupleStore::CountMatchedExactly() const {
@@ -20,6 +54,8 @@ size_t TupleStore::CountMatchedExactly() const {
 
 size_t TupleStore::ApproximateMemoryUsage() const {
   size_t bytes = matched_exactly_.capacity() + matched_any_.capacity();
+  bytes += arena_.ApproximateMemoryUsage();
+  bytes += keys_.capacity() * sizeof(KeyRecord);
   bytes += tuples_.capacity() * sizeof(Tuple);
   for (const Tuple& t : tuples_) {
     bytes += t.size() * sizeof(Value);
@@ -27,6 +63,12 @@ size_t TupleStore::ApproximateMemoryUsage() const {
       if (v.type() == ValueType::kString) bytes += v.AsString().capacity();
     }
   }
+  bytes += gram_sets_.capacity() * sizeof(text::GramSet);
+  for (const text::GramSet& set : gram_sets_) {
+    bytes += set.grams().capacity() * sizeof(text::GramKey);
+  }
+  bytes += gram_ready_.capacity();
+  bytes += gram_scratch_.capacity() * sizeof(text::GramKey);
   return bytes;
 }
 

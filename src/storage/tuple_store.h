@@ -1,11 +1,14 @@
 #ifndef AQP_STORAGE_TUPLE_STORE_H_
 #define AQP_STORAGE_TUPLE_STORE_H_
 
+#include <cassert>
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
+#include "storage/key_arena.h"
 #include "storage/tuple.h"
+#include "text/qgram.h"
 
 namespace aqp {
 namespace storage {
@@ -14,20 +17,49 @@ namespace storage {
 using TupleId = uint32_t;
 
 /// \brief Append-only store of the tuples one join input has produced
-/// so far.
+/// so far — and the single source of truth for every derived join-key
+/// artifact.
 ///
 /// The paper (§2.3) stores each scanned tuple exactly once per operand;
 /// both the exact hash table and the q-gram index reference tuples by
-/// id. The store also carries the per-tuple "has been matched exactly
-/// at least once" flag that §3.3 uses to attribute variants to one
-/// input.
+/// id. The store therefore owns, per tuple:
+///
+/// - the payload Tuple itself;
+/// - the *interned join key*: its bytes are copied once into a stable
+///   byte arena at Add() time together with a {offset, len, hash}
+///   record, so JoinKey() returns a string_view (no std::string
+///   re-reads), KeyHash() returns the 64-bit hash computed exactly
+///   once, and key equality downstream is (hash, arena byte-compare);
+/// - optionally the tuple's q-gram set (gram-cache mode), computed at
+///   most once and shared by the q-gram index and the SSHJoin
+///   candidate verifier, so no probe ever re-runs gram extraction for
+///   a stored tuple;
+/// - the per-tuple "has been matched exactly at least once" flag that
+///   §3.3 uses to attribute variants to one input, plus the
+///   matched-at-least-once flag behind the completeness statistic.
+///
+/// JoinKey() views and cached hashes are stable across store growth
+/// (the arena never relocates bytes); Grams() references are stable
+/// until the next Add().
 class TupleStore {
  public:
   /// Constructs a store whose join attribute is at `join_column`.
   explicit TupleStore(size_t join_column) : join_column_(join_column) {}
 
-  /// Appends a tuple, returning its dense id.
+  /// Same, with the gram cache enabled: Grams() serves each stored
+  /// tuple's q-gram set under `gram_options`, extracted at most once.
+  TupleStore(size_t join_column, const text::QGramOptions& gram_options)
+      : join_column_(join_column),
+        gram_options_(gram_options),
+        gram_cache_enabled_(true) {}
+
+  /// Appends a tuple, returning its dense id. Interns the join key and
+  /// caches its hash.
   TupleId Add(Tuple tuple);
+
+  /// Reserves room for `n` tuples across all per-tuple vectors
+  /// (bulk-load paths with known cardinality hints).
+  void Reserve(size_t n);
 
   /// Number of stored tuples.
   size_t size() const { return tuples_.size(); }
@@ -36,13 +68,36 @@ class TupleStore {
   /// Tuple access by id.
   const Tuple& Get(TupleId id) const { return tuples_[id]; }
 
-  /// Join-attribute value of a stored tuple.
-  const std::string& JoinKey(TupleId id) const {
-    return tuples_[id].at(join_column_).AsString();
+  /// Join-attribute value of a stored tuple, viewed from the intern
+  /// arena. Valid for the store's whole lifetime.
+  std::string_view JoinKey(TupleId id) const {
+    const KeyRecord& key = keys_[id];
+    return arena_.View(key.offset, key.len);
   }
+
+  /// 64-bit FNV-1a hash of JoinKey(id), computed once at Add().
+  uint64_t KeyHash(TupleId id) const { return keys_[id].hash; }
+
+  /// Byte length of JoinKey(id).
+  uint32_t KeyLength(TupleId id) const { return keys_[id].len; }
 
   /// Column holding the join attribute.
   size_t join_column() const { return join_column_; }
+
+  /// \name Gram cache (SSHJoin probe artifacts).
+  /// @{
+  bool gram_cache_enabled() const { return gram_cache_enabled_; }
+  /// Extraction options of the cache (gram-cache mode only).
+  const text::QGramOptions& gram_options() const { return gram_options_; }
+  /// Gram set of a stored tuple, extracted on first request and
+  /// memoized. Requires gram-cache mode. The reference is valid until
+  /// the next Add().
+  const text::GramSet& Grams(TupleId id) const {
+    assert(gram_cache_enabled_ && "TupleStore gram cache not enabled");
+    if (!gram_ready_[id]) MaterializeGrams(id);
+    return gram_sets_[id];
+  }
+  /// @}
 
   /// \name Matched-exactly flags (§3.3).
   /// @{
@@ -67,16 +122,38 @@ class TupleStore {
   void IncrementMatchedAnyCount() { ++matched_any_count_; }
   /// @}
 
-  /// Rough heap footprint in bytes (tuples + flags), for the §2.3
-  /// space analysis.
+  /// Rough heap footprint in bytes (tuples + key arena + key records +
+  /// gram cache + flags), for the §2.3 space analysis.
   size_t ApproximateMemoryUsage() const;
 
  private:
+  /// Interned-key record: where the key bytes live in the arena, and
+  /// the hash computed once at Add() time.
+  struct KeyRecord {
+    uint64_t hash = 0;
+    uint64_t offset = 0;
+    uint32_t len = 0;
+  };
+
+  /// Out-of-line slow path of Grams(): extract, memoize, mark ready.
+  void MaterializeGrams(TupleId id) const;
+
   size_t join_column_;
+  KeyArena arena_;
   std::vector<Tuple> tuples_;
+  std::vector<KeyRecord> keys_;
   std::vector<uint8_t> matched_exactly_;
   std::vector<uint8_t> matched_any_;
   size_t matched_any_count_ = 0;
+
+  text::QGramOptions gram_options_{};
+  bool gram_cache_enabled_ = false;
+  /// Lazily filled per-tuple gram sets (mutable: memoization cache
+  /// behind a logically-const accessor; the engine is single-threaded).
+  mutable std::vector<text::GramSet> gram_sets_;
+  mutable std::vector<uint8_t> gram_ready_;
+  /// Reusable gram-extraction scratch shared by all cache fills.
+  mutable std::vector<text::GramKey> gram_scratch_;
 };
 
 }  // namespace storage

@@ -19,44 +19,39 @@ Status QGramOptions::Validate() const {
   return Status::OK();
 }
 
-namespace {
-
-/// Packs bytes [begin, begin+q) into a big-endian 64-bit key.
-inline GramKey PackWindow(const char* begin, int q) {
-  GramKey key = 0;
-  for (int i = 0; i < q; ++i) {
-    key = (key << 8) | static_cast<unsigned char>(begin[i]);
+void ExtractGramSequenceInto(std::string_view s, const QGramOptions& options,
+                             std::vector<GramKey>* out) {
+  const int q = options.q;
+  assert(q >= 1 && q <= 8);
+  out->clear();
+  const size_t total = GramSequenceLength(s.size(), options);
+  if (total == 0) return;
+  out->reserve(total);
+  // Slide a rolling q-byte window over pads + s + pads without
+  // materializing the padded buffer; identical keys to PackWindow over
+  // the padded string (big-endian byte packing).
+  const uint64_t mask =
+      q == 8 ? ~uint64_t{0} : ((uint64_t{1} << (8 * q)) - 1);
+  uint64_t key = 0;
+  size_t consumed = 0;
+  const auto feed = [&](unsigned char c) {
+    key = ((key << 8) | c) & mask;
+    if (++consumed >= static_cast<size_t>(q)) out->push_back(key);
+  };
+  if (options.pad) {
+    for (int i = 0; i < q - 1; ++i) feed(options.pad_left);
   }
-  return key;
+  for (char c : s) feed(static_cast<unsigned char>(c));
+  if (options.pad) {
+    for (int i = 0; i < q - 1; ++i) feed(options.pad_right);
+  }
+  assert(out->size() == total);
 }
-
-}  // namespace
 
 std::vector<GramKey> ExtractGramSequence(std::string_view s,
                                          const QGramOptions& options) {
-  const int q = options.q;
-  assert(q >= 1 && q <= 8);
   std::vector<GramKey> out;
-  if (!options.pad) {
-    if (s.size() < static_cast<size_t>(q)) return out;
-    out.reserve(s.size() - q + 1);
-    for (size_t i = 0; i + q <= s.size(); ++i) {
-      out.push_back(PackWindow(s.data() + i, q));
-    }
-    return out;
-  }
-  // Padded: materialize the padded buffer once. Total windows:
-  // |s| + 2(q-1) - q + 1 = |s| + q - 1.
-  std::string padded;
-  padded.reserve(s.size() + 2 * (q - 1));
-  padded.append(static_cast<size_t>(q - 1), options.pad_left);
-  padded.append(s);
-  padded.append(static_cast<size_t>(q - 1), options.pad_right);
-  if (padded.size() < static_cast<size_t>(q)) return out;  // q=1, empty s
-  out.reserve(padded.size() - q + 1);
-  for (size_t i = 0; i + q <= padded.size(); ++i) {
-    out.push_back(PackWindow(padded.data() + i, q));
-  }
+  ExtractGramSequenceInto(s, options, &out);
   return out;
 }
 
@@ -75,6 +70,17 @@ GramSet GramSet::Of(std::string_view s, const QGramOptions& options) {
   std::sort(set.grams_.begin(), set.grams_.end());
   set.grams_.erase(std::unique(set.grams_.begin(), set.grams_.end()),
                    set.grams_.end());
+  return set;
+}
+
+GramSet GramSet::OfUsingScratch(std::string_view s,
+                                const QGramOptions& options,
+                                std::vector<GramKey>* scratch) {
+  ExtractGramSequenceInto(s, options, scratch);
+  std::sort(scratch->begin(), scratch->end());
+  const auto last = std::unique(scratch->begin(), scratch->end());
+  GramSet set;
+  set.grams_.assign(scratch->begin(), last);
   return set;
 }
 

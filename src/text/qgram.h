@@ -32,6 +32,16 @@ struct QGramOptions {
 
   /// Validates the option combination.
   Status Validate() const;
+
+  /// Two option sets extract identical grams iff they compare equal
+  /// (gram-cache compatibility checks).
+  friend bool operator==(const QGramOptions& a, const QGramOptions& b) {
+    return a.q == b.q && a.pad == b.pad && a.pad_left == b.pad_left &&
+           a.pad_right == b.pad_right;
+  }
+  friend bool operator!=(const QGramOptions& a, const QGramOptions& b) {
+    return !(a == b);
+  }
 };
 
 /// \brief A deduplicated, sorted set of q-grams of one string.
@@ -45,6 +55,14 @@ class GramSet {
 
   /// Builds the gram set of `s` under `options`.
   static GramSet Of(std::string_view s, const QGramOptions& options);
+
+  /// Builds the gram set of `s` using `*scratch` for the intermediate
+  /// gram sequence, so repeated extraction (store gram-cache fills,
+  /// probe loops) reuses one buffer instead of allocating per call. The
+  /// returned set's vector is sized exactly to the deduplicated grams.
+  static GramSet OfUsingScratch(std::string_view s,
+                                const QGramOptions& options,
+                                std::vector<GramKey>* scratch);
 
   /// Number of distinct q-grams.
   size_t size() const { return grams_.size(); }
@@ -72,6 +90,13 @@ class GramSet {
 /// max(0, |s| + q - 1) elements; without padding, max(0, |s| - q + 1).
 std::vector<GramKey> ExtractGramSequence(std::string_view s,
                                          const QGramOptions& options);
+
+/// Append-free variant: clears `*out` and fills it with the gram
+/// sequence, reusing its capacity. Pads are fed through the rolling
+/// window arithmetically, so no padded string copy is materialized —
+/// this is the allocation-free kernel of every gram extraction.
+void ExtractGramSequenceInto(std::string_view s, const QGramOptions& options,
+                             std::vector<GramKey>* out);
 
 /// Number of grams ExtractGramSequence would produce, without
 /// extracting them.

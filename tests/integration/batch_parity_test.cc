@@ -9,6 +9,7 @@
 #include "adaptive/adaptive_join.h"
 #include "datagen/generator.h"
 #include "exec/scan.h"
+#include "join/match_batch.h"
 #include "metrics/experiment.h"
 
 namespace aqp {
@@ -140,6 +141,73 @@ TEST(BatchParityTest, ScriptedPolicyFiresAtSameStepsUnderBatching) {
   EXPECT_EQ(one.records()[0].assessment.step, 120u);
   EXPECT_EQ(one.records()[1].assessment.step, 300u);
   EXPECT_EQ(one.records()[2].assessment.step, 700u);
+}
+
+AdaptiveJoinOptions ParityOptions(const datagen::TestCase& tc,
+                                  size_t join_batch_size) {
+  AdaptiveJoinOptions options;
+  options.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.join.spec.sim_threshold = 0.85;
+  options.join.batch_size = join_batch_size;
+  options.adaptive.parent_side = exec::Side::kRight;
+  options.adaptive.parent_table_size = tc.parent.size();
+  options.adaptive.delta_adapt = 50;
+  options.adaptive.window = 50;
+  return options;
+}
+
+TEST(BatchParityTest, LateMaterializedPathsMatchRowProtocol) {
+  // The three drive modes of the late-materialized engine — row
+  // batches (NextBatch adapter), native match batches materialized at
+  // the sink, and the unmaterialized counting drain — must be
+  // indistinguishable: byte-identical rows where rows exist, identical
+  // row counts, and identical adaptation traces.
+  const datagen::TestCase tc = PaperCase();
+  const ParityRun rows = RunParity(tc, 64, 256);
+  ASSERT_GT(rows.result.size(), 0u);
+  ASSERT_GT(rows.total_transitions, 0u);
+
+  // Native protocol: pull MatchRef batches, concatenate at the sink.
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  AdaptiveJoin match_join(&child, &parent, ParityOptions(tc, 64));
+  ASSERT_TRUE(match_join.Open().ok());
+  storage::Relation collected(match_join.output_schema());
+  join::MatchBatch refs(256);
+  while (true) {
+    ASSERT_TRUE(match_join.NextMatchBatch(&refs).ok());
+    if (refs.empty()) break;
+    storage::TupleBatch batch(&match_join.output_schema(), refs.size());
+    match_join.MaterializeInto(refs, &batch);
+    collected.AppendBatchUnchecked(&batch);
+  }
+  ASSERT_TRUE(match_join.Close().ok());
+  ASSERT_EQ(collected.size(), rows.result.size());
+  for (size_t i = 0; i < collected.size(); ++i) {
+    ASSERT_EQ(collected.row(i), rows.result.row(i)) << "row " << i;
+  }
+  ASSERT_EQ(match_join.trace().size(), rows.trace.size());
+  for (size_t i = 0; i < rows.trace.size(); ++i) {
+    EXPECT_EQ(match_join.trace().records()[i], rows.trace.records()[i])
+        << "assessment " << i;
+  }
+
+  // Counting drain: CountAll takes the UnmaterializedCounter fast
+  // path — no row is ever built, everything else is identical.
+  exec::RelationScan child2(&tc.child);
+  exec::RelationScan parent2(&tc.parent);
+  AdaptiveJoin count_join(&child2, &parent2, ParityOptions(tc, 64));
+  exec::ExecOptions drain;
+  drain.batch_size = 256;
+  auto count = exec::CountAll(&count_join, drain);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, rows.result.size());
+  ASSERT_EQ(count_join.trace().size(), rows.trace.size());
+  for (size_t i = 0; i < rows.trace.size(); ++i) {
+    EXPECT_EQ(count_join.trace().records()[i], rows.trace.records()[i])
+        << "assessment " << i;
+  }
 }
 
 TEST(BatchParityTest, FullExperimentHarnessUnchangedByBatchedDrains) {

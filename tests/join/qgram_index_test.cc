@@ -121,6 +121,55 @@ TEST(QGramIndexTest, SpaceGrowsWithGramCount) {
             20u * 20u * sizeof(storage::TupleId));
 }
 
+TEST(QGramIndexTest, StoreBackedGramSetsServedFromStoreCache) {
+  // A store with a matching gram cache serves the per-tuple sets; the
+  // index keeps no copy, and both sides see the identical object.
+  TupleStore store(0, Q3());
+  store.Add(Tuple{Value("SANTA CRISTINA")});
+  store.Add(Tuple{Value("MONTE BIANCO")});
+  QGramIndex index(Q3());
+  index.CatchUpWith(store);
+  for (storage::TupleId id = 0; id < 2; ++id) {
+    EXPECT_EQ(&index.GramSetOf(id), &store.Grams(id)) << "tuple " << id;
+    EXPECT_EQ(index.GramSetSize(id), store.Grams(id).size());
+  }
+}
+
+TEST(QGramIndexTest, StoreBackedMemoryNotDoubleCounted) {
+  // §2.3 space accounting with the arena-backed layout: gram sets
+  // cached in the store are charged to the store, not the index, so
+  // the same workload yields a smaller index + a larger store, never
+  // both holding a copy.
+  const auto fill = [](TupleStore* store) {
+    for (int i = 0; i < 20; ++i) {
+      store->Add(
+          Tuple{Value("LOCATION STRING NUMBER " + std::to_string(i))});
+    }
+  };
+  TupleStore cached_store(0, Q3());
+  fill(&cached_store);
+  QGramIndex cached_index(Q3());
+  cached_index.CatchUpWith(cached_store);
+
+  TupleStore plain_store(0);
+  fill(&plain_store);
+  QGramIndex local_index(Q3());
+  local_index.CatchUpWith(plain_store);
+
+  // Identical index structure either way...
+  EXPECT_EQ(cached_index.distinct_grams(), local_index.distinct_grams());
+  EXPECT_EQ(cached_index.watermark(), local_index.watermark());
+  // ...but the gram-set bytes move from the index to the store.
+  EXPECT_LT(cached_index.ApproximateMemoryUsage(),
+            local_index.ApproximateMemoryUsage());
+  EXPECT_GT(cached_store.ApproximateMemoryUsage(),
+            plain_store.ApproximateMemoryUsage());
+  // Postings alone still dominate the exact table's one-pointer-per-
+  // tuple budget (§2.3's space trade-off stays visible).
+  EXPECT_GT(cached_index.ApproximateMemoryUsage(),
+            20u * 20u * sizeof(storage::TupleId));
+}
+
 }  // namespace
 }  // namespace join
 }  // namespace aqp

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
 namespace aqp {
 namespace storage {
 namespace {
@@ -51,6 +57,74 @@ TEST(TupleStoreTest, MemoryUsageGrows) {
     store.Add(Tuple{Value("some location string of decent length")});
   }
   EXPECT_GT(store.ApproximateMemoryUsage(), empty + 100 * 30);
+}
+
+TEST(TupleStoreTest, KeyHashIsCachedFnv1a) {
+  TupleStore store(/*join_column=*/1);
+  const TupleId id = store.Add(Tuple{Value(7), Value("SANTA CRISTINA")});
+  EXPECT_EQ(store.KeyHash(id), Fnv1a64("SANTA CRISTINA"));
+  EXPECT_EQ(store.KeyLength(id), 14u);
+}
+
+// Regression: JoinKey() views and cached hashes must survive store
+// growth — the intern arena may allocate new chunks but never
+// relocates interned bytes.
+TEST(TupleStoreTest, JoinKeyViewsAndHashesSurviveGrowth) {
+  TupleStore store(0);
+  std::vector<std::string> expected;
+  std::vector<std::string_view> early_views;
+  // Enough distinct keys to span several 64 KiB arena chunks and many
+  // reallocations of every per-tuple vector.
+  for (int i = 0; i < 5000; ++i) {
+    expected.push_back("location string number " + std::to_string(i));
+    const TupleId id = store.Add(Tuple{Value(expected.back())});
+    early_views.push_back(store.JoinKey(id));
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const auto id = static_cast<TupleId>(i);
+    // The view captured right after Add still reads the same bytes...
+    EXPECT_EQ(early_views[i], expected[i]) << "key " << i;
+    // ...and is the same arena memory JoinKey returns now.
+    EXPECT_EQ(early_views[i].data(), store.JoinKey(id).data());
+    EXPECT_EQ(store.JoinKey(id), expected[i]);
+    EXPECT_EQ(store.KeyHash(id), Fnv1a64(expected[i]));
+  }
+}
+
+// §2.3 space accounting of the arena-backed layout: the footprint must
+// cover the interned key copies (arena chunks) and the per-tuple
+// {offset, len, hash} records on top of the payload tuples.
+TEST(TupleStoreTest, MemoryUsageAccountsArenaAndKeyRecords) {
+  TupleStore store(0);
+  const size_t empty = store.ApproximateMemoryUsage();
+  const std::string key(100, 'x');
+  constexpr size_t kTuples = 1500;  // 150 KB of keys: > two arena chunks
+  for (size_t i = 0; i < kTuples; ++i) {
+    store.Add(Tuple{Value(key)});
+  }
+  const size_t usage = store.ApproximateMemoryUsage();
+  // Key bytes are stored twice (payload string + arena copy) plus a
+  // 24-byte key record; anything below that undercounts §2.3 space.
+  EXPECT_GT(usage, empty + kTuples * (2 * key.size() + 24));
+}
+
+TEST(TupleStoreTest, GramCacheMemoizedAndAccounted) {
+  text::QGramOptions q3;
+  TupleStore store(0, q3);
+  ASSERT_TRUE(store.gram_cache_enabled());
+  const TupleId id = store.Add(Tuple{Value("SANTA CRISTINA")});
+  const size_t before = store.ApproximateMemoryUsage();
+  const text::GramSet& grams = store.Grams(id);
+  EXPECT_EQ(grams, text::GramSet::Of("SANTA CRISTINA", q3));
+  // Extracted exactly once: repeated calls return the same object.
+  EXPECT_EQ(&store.Grams(id), &grams);
+  // The cached set's bytes are part of the store's §2.3 footprint.
+  EXPECT_GT(store.ApproximateMemoryUsage(), before);
+}
+
+TEST(TupleStoreTest, PlainStoreHasNoGramCache) {
+  TupleStore store(0);
+  EXPECT_FALSE(store.gram_cache_enabled());
 }
 
 }  // namespace
