@@ -1,0 +1,155 @@
+// Shard-count scaling of the partition-parallel symmetric join on the
+// SHJoin/SSHJoin micro-bench workloads (same generated test cases and
+// sizes as bench_join_micro). Each benchmark runs the parallel engine
+// pinned to one state — lex/rex is the parallel SHJoin, lap/rap the
+// parallel SSHJoin — or in full adaptive mode, sweeping shard counts
+// {1, 2, 4, 8}. The 1-shard configuration is the scaling baseline: it
+// pays the exchange like every other configuration, so the sweep
+// isolates the parallel speedup (tests prove results and traces are
+// identical at every point).
+//
+// Interpreting checked-in numbers: read the JSON's "num_cpus" /
+// "aqp_host_cpus" context first. On a single-core host (e.g. a 1-CPU
+// CI container) the worker threads time-slice one core, so the sweep
+// measures pure coordination overhead — multi-shard points can only
+// be slower, and the speedup target applies on multicore hardware.
+//
+//   $ ./bench_parallel_scaling --benchmark_out=BENCH_parallel_scaling.json \
+//         --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <thread>
+
+#include "bench_support.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+
+namespace {
+
+using namespace aqp;  // NOLINT
+
+const datagen::TestCase& SharedCase(size_t scale) {
+  static std::map<size_t, datagen::TestCase> cases;
+  auto it = cases.find(scale);
+  if (it == cases.end()) {
+    datagen::TestCaseOptions options;
+    options.atlas.size = scale;
+    options.accidents.size = scale * 2;
+    options.variant_rate = 0.10;
+    options.seed = 9;
+    auto tc = datagen::GenerateTestCase(options);
+    if (!tc.ok()) std::abort();
+    it = cases.emplace(scale, std::move(*tc)).first;
+  }
+  return it->second;
+}
+
+exec::parallel::ParallelJoinOptions BaseOptions(const datagen::TestCase& tc,
+                                                size_t shards) {
+  exec::parallel::ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.join.left_size_hint = tc.child.size();
+  options.base.join.right_size_hint = tc.parent.size();
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.num_shards = shards;
+  return options;
+}
+
+void RunPinned(benchmark::State& state, adaptive::ProcessorState pinned) {
+  const auto& tc = SharedCase(static_cast<size_t>(state.range(0)));
+  const auto shards = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    exec::parallel::ParallelJoinOptions options = BaseOptions(tc, shards);
+    options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+    options.base.adaptive.initial_state = pinned;
+    exec::parallel::ParallelAdaptiveJoin join(&child, &parent, options);
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+
+/// Parallel SHJoin (pinned lex/rex): all-exact matching.
+void BM_ParallelSHJoin_ShardSweep(benchmark::State& state) {
+  RunPinned(state, adaptive::ProcessorState::kLexRex);
+}
+BENCHMARK(BM_ParallelSHJoin_ShardSweep)
+    ->ArgsProduct({{2000, 4000}, {1, 2, 4, 8}})
+    ->ArgNames({"scale", "shards"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Parallel SSHJoin (pinned lap/rap): all-approximate matching — the
+/// compute-heavy workload partition parallelism exists for.
+void BM_ParallelSSHJoin_ShardSweep(benchmark::State& state) {
+  RunPinned(state, adaptive::ProcessorState::kLapRap);
+}
+BENCHMARK(BM_ParallelSSHJoin_ShardSweep)
+    ->ArgsProduct({{2000, 4000}, {1, 2, 4, 8}})
+    ->ArgNames({"scale", "shards"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Full adaptive MAR run (δ_adapt = W = 100): epochs barrier every 100
+/// steps, so this measures coordination overhead under the paper's
+/// tightest control cadence.
+void BM_ParallelAdaptive_ShardSweep(benchmark::State& state) {
+  const auto& tc = SharedCase(static_cast<size_t>(state.range(0)));
+  const auto shards = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    exec::parallel::ParallelJoinOptions options = BaseOptions(tc, shards);
+    exec::parallel::ParallelAdaptiveJoin join(&child, &parent, options);
+    auto count = exec::CountAll(&join);
+    if (!count.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(*count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_ParallelAdaptive_ShardSweep)
+    ->ArgsProduct({{2000, 4000}, {1, 2, 4, 8}})
+    ->ArgNames({"scale", "shards"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// BENCHMARK_MAIN(), plus context recording the build type of the
+// *measured* library (the stock "library_build_type" key describes
+// the Google Benchmark shared library, not this code).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("aqp_build_type", aqp::bench::BuildTypeName());
+  const unsigned cpus = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("aqp_host_cpus", std::to_string(cpus));
+  if (cpus <= 1) {
+    benchmark::AddCustomContext(
+        "aqp_host_note",
+        "single-core host: shard sweep measures coordination overhead only; "
+        "parallel speedup requires a multicore machine");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -104,10 +104,15 @@ Assessor::Assessor(const AdaptiveOptions& options)
 Assessment Assessor::Assess(const Monitor& monitor,
                             const join::HybridJoinCore& core,
                             bool parent_exhausted) {
+  return Assess(monitor, monitor.Progress(core, parent_exhausted));
+}
+
+Assessment Assessor::Assess(const Monitor& monitor,
+                            const stats::JoinProgress& progress_in) {
   Assessment a;
   a.step = monitor.steps();
 
-  stats::JoinProgress progress = monitor.Progress(core, parent_exhausted);
+  stats::JoinProgress progress = progress_in;
   a.observed_matches = progress.children_matched;
   a.expected_matches = model_->ExpectedMatches(progress);
   a.conceded_deficit = conceded_deficit_;

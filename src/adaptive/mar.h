@@ -204,6 +204,13 @@ class Assessor {
   Assessment Assess(const Monitor& monitor,
                     const join::HybridJoinCore& core, bool parent_exhausted);
 
+  /// Same, with the join progress supplied directly instead of read
+  /// off a single engine core — the entry point of the parallel
+  /// coordinator, which aggregates progress across shard cores before
+  /// assessing once globally.
+  Assessment Assess(const Monitor& monitor,
+                    const stats::JoinProgress& progress);
+
   /// Writes off `deficit` missing matches as unrecoverable (futility
   /// extension): subsequent σ tests treat them as matched, so only a
   /// shortfall growing *beyond* the concession is significant again.

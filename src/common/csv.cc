@@ -1,7 +1,10 @@
 #include "common/csv.h"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <sstream>
+#include <system_error>
 
 #include "common/string_util.h"
 
@@ -16,8 +19,17 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 }
 
 std::string CsvWriter::Field(double value) {
+  // Shortest representation that round-trips: metrics/report CSVs carry
+  // measured times and p-values whose consumers re-parse them, so the
+  // default precision-6 truncation is a correctness bug, not a
+  // formatting choice.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  if (result.ec == std::errc()) return std::string(buf, result.ptr);
+#endif
   std::ostringstream os;
-  os.precision(6);
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << value;
   return os.str();
 }
@@ -74,6 +86,11 @@ Status ParseCsv(const std::string& text,
         row_has_data = true;
         break;
       case '\r':
+        // Only the CR of a CRLF line ending is metadata; a bare CR is
+        // field data and must survive the round trip.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        field.push_back(c);
+        row_has_data = true;
         break;
       case '\n':
         if (row_has_data || !field.empty() || !row.empty()) {

@@ -1,0 +1,96 @@
+#include "exec/parallel/exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+RadixExchange::RadixExchange(exec::Operator* left, exec::Operator* right,
+                             const join::JoinSpec& spec,
+                             exec::InterleavePolicy policy,
+                             uint64_t left_hint, uint64_t right_hint,
+                             size_t batch_size, size_t num_shards)
+    : inputs_{left, right},
+      spec_(spec),
+      policy_(policy),
+      hints_{left_hint, right_hint},
+      batch_size_(std::max<size_t>(1, batch_size)),
+      num_shards_(std::max<size_t>(1, num_shards)),
+      scheduler_(policy, left_hint, right_hint) {}
+
+void RadixExchange::Reset() {
+  scheduler_ = exec::InterleaveScheduler(policy_, hints_[0], hints_[1]);
+  for (size_t i = 0; i < 2; ++i) {
+    input_batch_[i].Reset(nullptr, batch_size_);
+    input_pos_[i] = 0;
+    done_[i] = false;
+    side_count_[i] = 0;
+  }
+  steps_ = 0;
+}
+
+Status RadixExchange::Refill(exec::Side side) {
+  const size_t i = static_cast<size_t>(side);
+  input_batch_[i].Reset(&inputs_[i]->output_schema(), batch_size_);
+  input_pos_[i] = 0;
+  return inputs_[i]->NextBatch(&input_batch_[i]);
+}
+
+Result<uint64_t> RadixExchange::RouteEpoch(
+    uint64_t max_steps, const std::vector<JoinShard*>& shards,
+    std::vector<RouteEntry>* route) {
+  uint64_t routed = 0;
+  while (routed < max_steps) {
+    const auto next_side = scheduler_.NextSide(done_[0], done_[1]);
+    if (!next_side.has_value()) break;  // both inputs exhausted
+    const exec::Side side = *next_side;
+    const size_t i = static_cast<size_t>(side);
+    if (input_pos_[i] >= input_batch_[i].size()) {
+      AQP_RETURN_IF_ERROR(Refill(side));
+      if (input_batch_[i].empty()) {
+        // End-of-stream, discovered at the same read index as the
+        // single-threaded engine (the buffer drains exactly when that
+        // engine would have read the tuple after the last).
+        done_[i] = true;
+        continue;
+      }
+    }
+    storage::Tuple tuple = std::move(input_batch_[i][input_pos_[i]++]);
+    scheduler_.OnRead(side);
+
+    RoutedTuple routed_tuple;
+    routed_tuple.side = side;
+    routed_tuple.seq = steps_;
+    routed_tuple.key_hash =
+        Fnv1a64(tuple[spec_.column(side)].AsString());
+    routed_tuple.tuple = std::move(tuple);
+    // Radix step: mix the cached FNV-1a hash so the modulo sees
+    // avalanche-quality bits, then partition.
+    const uint32_t shard = static_cast<uint32_t>(
+        Mix64(routed_tuple.key_hash) % num_shards_);
+
+    RouteEntry entry;
+    entry.shard = shard;
+    entry.side = side;
+    entry.ordinal = static_cast<uint32_t>(side_count_[i]);
+    entry.local_id =
+        static_cast<storage::TupleId>(shards[shard]->routed_count(side));
+    routed_tuple.local_id = entry.local_id;
+    shards[shard]->Route(std::move(routed_tuple), entry.ordinal);
+    route->push_back(entry);
+
+    ++side_count_[i];
+    ++steps_;
+    ++routed;
+  }
+  return routed;
+}
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,99 @@
+#ifndef AQP_EXEC_PARALLEL_EXCHANGE_H_
+#define AQP_EXEC_PARALLEL_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/interleave.h"
+#include "exec/operator.h"
+#include "exec/parallel/shard.h"
+#include "join/join_types.h"
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+/// \brief One routed step of an epoch, in global step order. The
+/// tuple's global sequence is implicit: epoch start + position.
+struct RouteEntry {
+  uint32_t shard = 0;
+  exec::Side side = exec::Side::kLeft;
+  /// Per-side global ordinal (the id the tuple would have received in
+  /// the single-threaded engine's store — the key of the coordinator's
+  /// matched-flag bitsets).
+  uint32_t ordinal = 0;
+  /// Shard-local store id.
+  storage::TupleId local_id = 0;
+};
+
+/// \brief The radix exchange: replays the single-threaded engine's
+/// input schedule and routes each tuple to a shard by join-key hash.
+///
+/// Determinism is the whole point. The exchange pulls from the two
+/// children through the same InterleaveScheduler and the same buffered
+/// refill protocol as SymmetricJoin::PullNextInput, so the global step
+/// sequence — which side was read at step t, and when end-of-stream
+/// was discovered — is identical to the single-threaded run. The
+/// shard of a tuple is a pure function of its join key (mixed FNV-1a
+/// hash modulo shard count), which is what makes every exact match
+/// intra-shard. The key hash computed here travels with the tuple and
+/// is cached by the shard's TupleStore (never re-hashed).
+class RadixExchange {
+ public:
+  /// Children are borrowed and must outlive the exchange. `spec`
+  /// supplies the per-side join-key columns.
+  RadixExchange(exec::Operator* left, exec::Operator* right,
+                const join::JoinSpec& spec, exec::InterleavePolicy policy,
+                uint64_t left_hint, uint64_t right_hint, size_t batch_size,
+                size_t num_shards);
+
+  /// Resets the read state (called from the operator's Open; the
+  /// children themselves are opened by the caller).
+  void Reset();
+
+  /// Routes up to `max_steps` tuples into the shards' pending queues,
+  /// appending one RouteEntry per step to `*route` (not cleared).
+  /// Returns the number of steps routed; fewer than `max_steps` only
+  /// at end-of-stream.
+  Result<uint64_t> RouteEpoch(uint64_t max_steps,
+                              const std::vector<JoinShard*>& shards,
+                              std::vector<RouteEntry>* route);
+
+  /// Global steps routed so far.
+  uint64_t steps() const { return steps_; }
+
+  /// Tuples routed so far from `side`.
+  uint64_t side_count(exec::Side side) const {
+    return side_count_[static_cast<size_t>(side)];
+  }
+
+  /// True once `side`'s child reported end-of-stream (discovered at
+  /// the same step index as the single-threaded engine would).
+  bool input_exhausted(exec::Side side) const {
+    return done_[static_cast<size_t>(side)];
+  }
+
+ private:
+  /// Mirrors SymmetricJoin::RefillInput.
+  Status Refill(exec::Side side);
+
+  exec::Operator* inputs_[2];
+  join::JoinSpec spec_;
+  exec::InterleavePolicy policy_;
+  uint64_t hints_[2];
+  size_t batch_size_;
+  size_t num_shards_;
+
+  exec::InterleaveScheduler scheduler_;
+  storage::TupleBatch input_batch_[2];
+  size_t input_pos_[2] = {0, 0};
+  bool done_[2] = {false, false};
+  uint64_t steps_ = 0;
+  uint64_t side_count_[2] = {0, 0};
+};
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_PARALLEL_EXCHANGE_H_

@@ -1,0 +1,522 @@
+#include "exec/parallel/parallel_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+using adaptive::AdaptivePolicy;
+using adaptive::Assessment;
+using adaptive::Decision;
+using adaptive::LeftMode;
+using adaptive::ProcessorState;
+using adaptive::RightMode;
+
+namespace {
+
+size_t ResolveShardCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, std::min<unsigned>(hw == 0 ? 1 : hw, 64));
+}
+
+}  // namespace
+
+ParallelAdaptiveJoin::ParallelAdaptiveJoin(exec::Operator* left,
+                                           exec::Operator* right,
+                                           ParallelJoinOptions options)
+    : left_(left),
+      right_(right),
+      options_(std::move(options)),
+      cost_(options_.base.weights),
+      state_(options_.base.adaptive.initial_state) {
+  options_.num_shards = ResolveShardCount(options_.num_shards);
+  if (options_.unbounded_epoch_steps == 0) {
+    options_.unbounded_epoch_steps = 4096;
+  }
+  monitor_ = std::make_unique<adaptive::Monitor>(options_.base.adaptive);
+  assessor_ = std::make_unique<adaptive::Assessor>(options_.base.adaptive);
+  responder_ = std::make_unique<adaptive::Responder>(options_.base.adaptive);
+}
+
+ParallelAdaptiveJoin::~ParallelAdaptiveJoin() = default;
+
+Status ParallelAdaptiveJoin::Open() {
+  if (open_) return Status::FailedPrecondition(name() + " already open");
+  AQP_RETURN_IF_ERROR(options_.base.adaptive.Validate());
+  const join::SymmetricJoinOptions& join_options = options_.base.join;
+  AQP_RETURN_IF_ERROR(join_options.spec.ValidateAgainstSchemas(
+      left_->output_schema(), right_->output_schema()));
+  AQP_RETURN_IF_ERROR(left_->Open());
+  AQP_RETURN_IF_ERROR(right_->Open());
+  output_schema_ =
+      join::JoinOutputSchema(left_->output_schema(), right_->output_schema(),
+                             join_options.emit_similarity);
+
+  const size_t n = options_.num_shards;
+  shards_.clear();
+  shard_ptrs_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<JoinShard>(
+        static_cast<uint32_t>(i), join_options.spec, join_options.approx,
+        state_));
+    // Per-shard share of the size hints (slack for hash skew).
+    shards_.back()->ReserveStores(
+        join_options.left_size_hint == 0
+            ? 0
+            : join_options.left_size_hint / n + join_options.left_size_hint / (2 * n) + 1,
+        join_options.right_size_hint == 0
+            ? 0
+            : join_options.right_size_hint / n + join_options.right_size_hint / (2 * n) + 1);
+    shard_ptrs_.push_back(shards_.back().get());
+  }
+  exchange_ = std::make_unique<RadixExchange>(
+      left_, right_, join_options.spec, join_options.interleave,
+      join_options.left_size_hint, join_options.right_size_hint,
+      join_options.batch_size, n);
+  exchange_->Reset();
+  // The coordinator participates in every Run() batch, so n - 1
+  // workers give exactly n execution lanes for n per-shard tasks.
+  pool_ = n > 1 ? std::make_unique<ThreadPool>(n - 1) : nullptr;
+
+  merge_cursor_.assign(n, 0);
+  cross_cursor_.assign(n, 0);
+  for (size_t s = 0; s < 2; ++s) {
+    matched_exactly_[s].clear();
+    matched_any_[s].clear();
+    matched_any_count_[s] = 0;
+  }
+  pairs_emitted_ = 0;
+  exact_pairs_ = 0;
+  approximate_pairs_ = 0;
+  out_buffer_.clear();
+  out_pos_ = 0;
+  stream_done_ = false;
+  last_assessment_step_ = 0;
+  script_position_ = 0;
+  open_ = true;
+  return Status::OK();
+}
+
+Status ParallelAdaptiveJoin::Close() {
+  if (!open_) return Status::FailedPrecondition(name() + " not open");
+  open_ = false;
+  pool_.reset();
+  AQP_RETURN_IF_ERROR(left_->Close());
+  AQP_RETURN_IF_ERROR(right_->Close());
+  return Status::OK();
+}
+
+uint64_t ParallelAdaptiveJoin::StepsToNextControlPoint() const {
+  const adaptive::AdaptiveOptions& adaptive = options_.base.adaptive;
+  const uint64_t steps = exchange_->steps();
+  switch (adaptive.policy) {
+    case AdaptivePolicy::kPinned:
+      return options_.unbounded_epoch_steps;
+    case AdaptivePolicy::kScripted: {
+      if (script_position_ >= adaptive.script.size()) {
+        return options_.unbounded_epoch_steps;
+      }
+      const uint64_t at = adaptive.script[script_position_].at_step;
+      return at > steps ? at - steps : 1;
+    }
+    case AdaptivePolicy::kAdaptive: {
+      const uint64_t boundary = last_assessment_step_ + adaptive.delta_adapt;
+      return boundary > steps ? boundary - steps : 1;
+    }
+  }
+  return options_.unbounded_epoch_steps;
+}
+
+void ParallelAdaptiveJoin::ControlPoint() {
+  const adaptive::AdaptiveOptions& adaptive = options_.base.adaptive;
+  const uint64_t steps = exchange_->steps();
+  switch (adaptive.policy) {
+    case AdaptivePolicy::kPinned:
+      return;
+    case AdaptivePolicy::kScripted: {
+      while (script_position_ < adaptive.script.size() &&
+             adaptive.script[script_position_].at_step <= steps) {
+        const ProcessorState next = adaptive.script[script_position_].state;
+        ++script_position_;
+        if (next != state_) {
+          Assessment empty;
+          empty.step = steps;
+          ApplyTransition(next, empty, -1);
+        }
+      }
+      return;
+    }
+    case AdaptivePolicy::kAdaptive:
+      if (steps > 0 && steps - last_assessment_step_ >= adaptive.delta_adapt) {
+        RunControlLoop();
+      }
+      return;
+  }
+}
+
+void ParallelAdaptiveJoin::RunControlLoop() {
+  const adaptive::AdaptiveOptions& adaptive = options_.base.adaptive;
+  last_assessment_step_ = exchange_->steps();
+  const exec::Side child_side = exec::OtherSide(adaptive.parent_side);
+
+  // The global join progress the single-threaded monitor would read
+  // off its one core, aggregated across shards by the coordinator.
+  stats::JoinProgress progress;
+  progress.parents_scanned = exchange_->side_count(adaptive.parent_side);
+  progress.children_scanned = exchange_->side_count(child_side);
+  progress.children_matched =
+      adaptive.use_pairs_statistic
+          ? pairs_emitted_
+          : matched_any_count_[static_cast<size_t>(child_side)];
+  progress.parent_exhausted = exchange_->input_exhausted(adaptive.parent_side);
+
+  const Assessment assessment = assessor_->Assess(*monitor_, progress);
+  const Decision decision = responder_->Decide(state_, assessment);
+  if (decision.phi == Decision::kFutilityRevert) {
+    const double deficit =
+        assessment.expected_matches -
+        static_cast<double>(assessment.observed_matches);
+    assessor_->ConcedeDeficit(
+        static_cast<uint64_t>(std::max(0.0, std::ceil(deficit))));
+  }
+  if (decision.next != state_) {
+    ApplyTransition(decision.next, assessment, decision.phi);
+  } else if (options_.base.record_trace) {
+    adaptive::AssessmentRecord record;
+    record.assessment = assessment;
+    record.state_before = state_;
+    record.state_after = state_;
+    record.phi = decision.phi;
+    trace_.Record(std::move(record));
+  }
+}
+
+void ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
+                                           const Assessment& assessment,
+                                           int phi) {
+  adaptive::AssessmentRecord record;
+  record.assessment = assessment;
+  record.state_before = state_;
+  record.state_after = next;
+  record.phi = phi;
+  // Broadcast: every shard enters the new state at the epoch barrier,
+  // catching up its own lagging structures in parallel. The summed
+  // per-shard catch-up counts equal the single-threaded engine's,
+  // because the shard stores partition the global store and every
+  // shard last switched at the same global boundary.
+  std::vector<std::pair<uint64_t, uint64_t>> catchups(shards_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    JoinShard* shard = shard_ptrs_[i];
+    auto* slot = &catchups[i];
+    tasks.push_back([shard, next, slot] { *slot = shard->ApplyState(next); });
+  }
+  RunTasks(std::move(tasks));
+  for (const auto& [left, right] : catchups) {
+    record.catchup_left += left;
+    record.catchup_right += right;
+  }
+  state_ = next;
+  cost_.AddTransition(next);
+  if (options_.base.record_trace) {
+    trace_.Record(std::move(record));
+  }
+}
+
+Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
+  *stream_ended = false;
+  // Epoch boundary: every shard is quiescent, adaptation is safe.
+  ControlPoint();
+  const uint64_t budget = std::max<uint64_t>(1, StepsToNextControlPoint());
+  route_.clear();
+  auto routed = exchange_->RouteEpoch(budget, shard_ptrs_, &route_);
+  if (!routed.ok()) return routed.status();
+  if (*routed == 0) {
+    *stream_ended = true;
+    stream_done_ = true;
+    return Status::OK();
+  }
+  for (JoinShard* shard : shard_ptrs_) shard->BeginEpoch();
+
+  // Phase A: per-shard step loops over their partitions.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards_.size());
+  for (JoinShard* shard : shard_ptrs_) {
+    tasks.push_back([shard] { shard->RunBuildPhase(); });
+  }
+  RunTasks(std::move(tasks));
+
+  // Phase B: cross-shard approximate probes (only when some input
+  // probes approximately; exact matches are intra-shard by radix
+  // construction).
+  const bool any_approx =
+      LeftMode(state_) == join::ProbeMode::kApproximate ||
+      RightMode(state_) == join::ProbeMode::kApproximate;
+  if (any_approx && shards_.size() > 1) {
+    tasks.clear();
+    for (JoinShard* shard : shard_ptrs_) {
+      auto* all = &shard_ptrs_;
+      tasks.push_back([shard, all] { shard->RunCrossProbePhase(*all); });
+    }
+    RunTasks(std::move(tasks));
+  }
+
+  MergeEpoch();
+  return Status::OK();
+}
+
+void ParallelAdaptiveJoin::RunTasks(std::vector<std::function<void()>> tasks) {
+  if (pool_ != nullptr) {
+    pool_->Run(std::move(tasks));
+    return;
+  }
+  for (auto& task : tasks) task();
+}
+
+void ParallelAdaptiveJoin::MergeEpoch() {
+  const uint64_t epoch_start = exchange_->steps() - route_.size();
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  std::fill(cross_cursor_.begin(), cross_cursor_.end(), 0);
+  epoch_observables_.clear();
+  epoch_observables_.reserve(route_.size());
+
+  // Size the global flag bitsets for every tuple routed so far.
+  for (size_t s = 0; s < 2; ++s) {
+    const size_t count = exchange_->side_count(static_cast<exec::Side>(s));
+    matched_exactly_[s].resize(count, 0);
+    matched_any_[s].resize(count, 0);
+  }
+
+  for (size_t i = 0; i < route_.size(); ++i) {
+    const uint64_t seq = epoch_start + i;
+    const RouteEntry& entry = route_[i];
+    JoinShard* shard = shard_ptrs_[entry.shard];
+    const exec::Side read_side = entry.side;
+    const exec::Side stored_side = exec::OtherSide(read_side);
+    const size_t read_idx = static_cast<size_t>(read_side);
+    const size_t stored_idx = static_cast<size_t>(stored_side);
+
+    merge_scratch_.clear();
+
+    // Intra-shard matches of this step (phase A).
+    const StepOutputs& step =
+        shard->step_outputs()[merge_cursor_[entry.shard]++];
+    assert(step.seq == seq && "phase-A outputs out of order");
+    for (uint32_t m = step.begin; m < step.end; ++m) {
+      const join::JoinMatch& match = shard->matches()[m];
+      MergedMatch merged;
+      merged.probe_side = read_side;
+      merged.probe_ordinal = entry.ordinal;
+      merged.stored_ordinal = shard->side_ordinal(stored_side, match.stored_id);
+      merged.ref.similarity = match.similarity;
+      merged.ref.kind = match.kind;
+      if (read_side == exec::Side::kLeft) {
+        merged.ref.left_shard = entry.shard;
+        merged.ref.left_id = match.probe_id;
+        merged.ref.right_shard = entry.shard;
+        merged.ref.right_id = match.stored_id;
+      } else {
+        merged.ref.left_shard = entry.shard;
+        merged.ref.left_id = match.stored_id;
+        merged.ref.right_shard = entry.shard;
+        merged.ref.right_id = match.probe_id;
+      }
+      merge_scratch_.push_back(merged);
+    }
+
+    // Cross-shard matches of this step (phase B), if any.
+    const auto& cross_steps = shard->cross_step_outputs();
+    size_t& cross_cursor = cross_cursor_[entry.shard];
+    if (cross_cursor < cross_steps.size() &&
+        cross_steps[cross_cursor].seq == seq) {
+      const StepOutputs& cross = cross_steps[cross_cursor++];
+      for (uint32_t m = cross.begin; m < cross.end; ++m) {
+        const CrossMatch& cm = shard->cross_matches()[m];
+        const JoinShard* stored_shard = shard_ptrs_[cm.stored_shard];
+        MergedMatch merged;
+        merged.probe_side = read_side;
+        merged.probe_ordinal = entry.ordinal;
+        merged.stored_ordinal =
+            stored_shard->side_ordinal(stored_side, cm.match.stored_id);
+        merged.ref.similarity = cm.match.similarity;
+        merged.ref.kind = cm.match.kind;
+        if (read_side == exec::Side::kLeft) {
+          merged.ref.left_shard = entry.shard;
+          merged.ref.left_id = cm.match.probe_id;
+          merged.ref.right_shard = cm.stored_shard;
+          merged.ref.right_id = cm.match.stored_id;
+        } else {
+          merged.ref.left_shard = cm.stored_shard;
+          merged.ref.left_id = cm.match.stored_id;
+          merged.ref.right_shard = entry.shard;
+          merged.ref.right_id = cm.match.probe_id;
+        }
+        merge_scratch_.push_back(merged);
+      }
+    }
+
+    // Deterministic shard merge order == single-threaded output order:
+    // every probe appends its matches sorted by stored id, and stored
+    // ids in the one-store engine are exactly the per-side ordinals.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const MergedMatch& a, const MergedMatch& b) {
+                return a.stored_ordinal < b.stored_ordinal;
+              });
+
+    // Replay the step against the global flags, exactly as the
+    // single-threaded core does: flag/counter updates for the whole
+    // step first, attribution afterwards (§3.3 snapshots the flags at
+    // the end of the step).
+    for (const MergedMatch& merged : merge_scratch_) {
+      if (merged.ref.kind == join::MatchKind::kExact) {
+        matched_exactly_[read_idx][merged.probe_ordinal] = 1;
+        matched_exactly_[stored_idx][merged.stored_ordinal] = 1;
+        ++exact_pairs_;
+      } else {
+        ++approximate_pairs_;
+      }
+      if (!matched_any_[read_idx][merged.probe_ordinal]) {
+        matched_any_[read_idx][merged.probe_ordinal] = 1;
+        ++matched_any_count_[read_idx];
+      }
+      if (!matched_any_[stored_idx][merged.stored_ordinal]) {
+        matched_any_[stored_idx][merged.stored_ordinal] = 1;
+        ++matched_any_count_[stored_idx];
+      }
+      ++pairs_emitted_;
+      out_buffer_.push_back(merged.ref);
+    }
+
+    join::StepObservables obs;
+    for (const MergedMatch& merged : merge_scratch_) {
+      if (merged.ref.kind != join::MatchKind::kApproximate) continue;
+      if (matched_exactly_[stored_idx][merged.stored_ordinal]) {
+        ++obs.approx_attributed[read_idx];
+      } else if (matched_exactly_[read_idx][merged.probe_ordinal]) {
+        ++obs.approx_attributed[stored_idx];
+      } else {
+        ++obs.approx_attributed[read_idx];
+        ++obs.approx_attributed[stored_idx];
+      }
+    }
+    epoch_observables_.push_back(obs);
+  }
+
+  cost_.AddSteps(state_, route_.size());
+  monitor_->OnBatch(epoch_observables_, state_);
+}
+
+Status ParallelAdaptiveJoin::EnsureOutput(bool* have_output) {
+  while (out_pos_ >= out_buffer_.size()) {
+    // Fully drained: recycle the buffer before the next epoch fills it.
+    out_buffer_.clear();
+    out_pos_ = 0;
+    ++buffer_generation_;
+    if (stream_done_) {
+      *have_output = false;
+      return Status::OK();
+    }
+    bool stream_ended = false;
+    AQP_RETURN_IF_ERROR(PumpEpoch(&stream_ended));
+    if (stream_ended) {
+      *have_output = false;
+      return Status::OK();
+    }
+  }
+  *have_output = true;
+  return Status::OK();
+}
+
+storage::Tuple ParallelAdaptiveJoin::MaterializeRow(
+    const ParallelMatchRef& ref) const {
+  const storage::Tuple& l =
+      shards_[ref.left_shard]->core().store(exec::Side::kLeft).Get(
+          ref.left_id);
+  const storage::Tuple& r =
+      shards_[ref.right_shard]->core().store(exec::Side::kRight).Get(
+          ref.right_id);
+  std::vector<storage::Value> values;
+  const bool with_sim = options_.base.join.emit_similarity;
+  values.reserve(l.size() + r.size() + (with_sim ? 1 : 0));
+  values.insert(values.end(), l.values().begin(), l.values().end());
+  values.insert(values.end(), r.values().begin(), r.values().end());
+  if (with_sim) {
+    values.emplace_back(ref.similarity);
+  }
+  return storage::Tuple(std::move(values));
+}
+
+Status ParallelAdaptiveJoin::NextMatchRefs(size_t max_refs,
+                                           std::vector<ParallelMatchRef>* out) {
+  if (!open_) return Status::FailedPrecondition(name() + " not open");
+  out->clear();
+  if (max_refs == 0) max_refs = 1;
+  while (out->size() < max_refs) {
+    bool have_output = false;
+    AQP_RETURN_IF_ERROR(EnsureOutput(&have_output));
+    if (!have_output) break;
+    const size_t take = std::min(max_refs - out->size(),
+                                 out_buffer_.size() - out_pos_);
+    out->insert(out->end(), out_buffer_.begin() + out_pos_,
+                out_buffer_.begin() + out_pos_ + take);
+    out_pos_ += take;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<storage::Tuple>> ParallelAdaptiveJoin::Next() {
+  if (!open_) return Status::FailedPrecondition(name() + " not open");
+  bool have_output = false;
+  AQP_RETURN_IF_ERROR(EnsureOutput(&have_output));
+  if (!have_output) return std::optional<storage::Tuple>();
+  return std::optional<storage::Tuple>(
+      MaterializeRow(out_buffer_[out_pos_++]));
+}
+
+Status ParallelAdaptiveJoin::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition(name() + " not open");
+  out->Reset(&output_schema_);
+  // On error the partial batch is discarded per the Operator contract;
+  // rewinding the cursor keeps the discarded refs deliverable instead
+  // of silently consumed. Valid only while the buffer they came from
+  // is still the live one (recycling bumps the generation).
+  const size_t entry_pos = out_pos_;
+  const uint64_t entry_generation = buffer_generation_;
+  while (!out->full()) {
+    bool have_output = false;
+    Status status = EnsureOutput(&have_output);
+    if (!status.ok()) {
+      if (buffer_generation_ == entry_generation) {
+        out_pos_ = entry_pos;
+      }
+      out->Clear();
+      return status;
+    }
+    if (!have_output) break;
+    out->Append(MaterializeRow(out_buffer_[out_pos_++]));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ParallelAdaptiveJoin::AdvanceUnmaterialized(size_t max_rows) {
+  if (!open_) return Status::FailedPrecondition(name() + " not open");
+  if (max_rows == 0) max_rows = 1;
+  bool have_output = false;
+  AQP_RETURN_IF_ERROR(EnsureOutput(&have_output));
+  if (!have_output) return size_t{0};
+  const size_t take = std::min(max_rows, out_buffer_.size() - out_pos_);
+  out_pos_ += take;
+  return take;
+}
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp

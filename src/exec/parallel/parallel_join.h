@@ -1,0 +1,228 @@
+#ifndef AQP_EXEC_PARALLEL_PARALLEL_JOIN_H_
+#define AQP_EXEC_PARALLEL_PARALLEL_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_join.h"
+#include "adaptive/cost_model.h"
+#include "adaptive/mar.h"
+#include "adaptive/state.h"
+#include "adaptive/trace.h"
+#include "exec/operator.h"
+#include "exec/parallel/exchange.h"
+#include "exec/parallel/shard.h"
+#include "exec/parallel/thread_pool.h"
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+/// \brief Configuration of the partition-parallel adaptive join.
+struct ParallelJoinOptions {
+  /// Join spec, interleaving, MAR thresholds, weights — exactly the
+  /// single-threaded operator's knobs; the parallel engine is a
+  /// drop-in with identical semantics.
+  adaptive::AdaptiveJoinOptions base;
+  /// Shard (worker) count. 0 = hardware concurrency.
+  size_t num_shards = 0;
+  /// Epoch length in steps when no control point bounds it (pinned
+  /// policy, or a scripted policy past its last entry). Only
+  /// throughput-relevant: results and traces do not depend on it.
+  uint64_t unbounded_epoch_steps = 4096;
+};
+
+/// \brief One late-materialized output match of the parallel join:
+/// the pair's tuples addressed by (shard, shard-local id).
+struct ParallelMatchRef {
+  uint32_t left_shard = 0;
+  uint32_t right_shard = 0;
+  storage::TupleId left_id = 0;
+  storage::TupleId right_id = 0;
+  double similarity = 1.0;
+  join::MatchKind kind = join::MatchKind::kExact;
+};
+
+/// \brief Partition-parallel symmetric join with a globally
+/// coordinated MAR loop.
+///
+/// A radix exchange replays the single-threaded input schedule and
+/// routes each tuple by join-key hash to one of N shards, each owning
+/// its own TupleStore / ExactIndex / QGramIndex (inside a
+/// HybridJoinCore). Execution is epoch-synchronized: one epoch spans
+/// the steps to the next MAR control point (δ_adapt in adaptive mode),
+/// and runs as
+///
+///   control point  →  route epoch  →  phase A (parallel: per-shard
+///   step loops)  →  phase B (parallel: cross-shard approximate
+///   probes, sequence-gated)  →  merge (serial: global observation
+///   stream)  →  next control point
+///
+/// Adaptation stays *global*: the coordinator merges every shard's
+/// per-step matches back into global step order, replays the §3.3
+/// attribution against coordinator-owned matched-exactly flags, feeds
+/// one global Monitor, and runs Assess/Respond once per epoch. A
+/// chosen transition is broadcast to all shards, each catching up its
+/// own lagging structures, before any shard executes a step of the
+/// next epoch — the paper's safe-state-transfer guarantee, since every
+/// shard is quiescent at the barrier.
+///
+/// Equivalence contract (tests/integration/parallel_parity_test.cc):
+/// for any shard count, the output row *sequence* and the adaptation
+/// trace are byte-identical to the single-threaded AdaptiveJoin. Exact
+/// matches are intra-shard by construction (equal keys hash equally);
+/// approximate cross-shard matches are recovered by phase B with the
+/// same prefix visibility as a single index; and the merge emits each
+/// step's matches sorted by the stored tuple's global ordinal — the
+/// deterministic shard merge order, which equals the single-threaded
+/// probes' ascending-stored-id output order.
+///
+/// Three drive modes are supported, all producing identical streams:
+/// row protocol (Next/NextBatch, materialized at delivery), match-ref
+/// protocol (NextMatchRefs + MaterializeRow), and the counting drain
+/// (AdvanceUnmaterialized; never builds a row).
+class ParallelAdaptiveJoin : public exec::Operator,
+                             public exec::UnmaterializedCounter {
+ public:
+  /// Children are borrowed, not owned, and must outlive the join.
+  ParallelAdaptiveJoin(exec::Operator* left, exec::Operator* right,
+                       ParallelJoinOptions options);
+  ~ParallelAdaptiveJoin() override;
+
+  Status Open() override;
+  Result<std::optional<storage::Tuple>> Next() override;
+  Status NextBatch(storage::TupleBatch* out) override;
+  Status Close() override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+  /// Quiescent iff no produced-but-undelivered match refs remain
+  /// buffered (every routed tuple is fully joined at epoch barriers).
+  bool quiescent() const override { return out_pos_ >= out_buffer_.size(); }
+  std::string name() const override { return "ParallelAdaptiveJoin"; }
+
+  /// \name Match-ref drive mode.
+  /// @{
+  /// Appends up to `max_refs` output refs to `*out` (cleared first).
+  /// An empty result after an OK return signals end-of-stream.
+  Status NextMatchRefs(size_t max_refs, std::vector<ParallelMatchRef>* out);
+
+  /// Concatenates the stored tuples of `ref` (left fields, right
+  /// fields, optional similarity column).
+  storage::Tuple MaterializeRow(const ParallelMatchRef& ref) const;
+  /// @}
+
+  /// exec::UnmaterializedCounter.
+  Result<size_t> AdvanceUnmaterialized(size_t max_rows) override;
+
+  /// \name Run introspection (valid during and after execution).
+  /// @{
+  adaptive::ProcessorState state() const { return state_; }
+  const adaptive::CostAccountant& cost() const { return cost_; }
+  const adaptive::Monitor& monitor() const { return *monitor_; }
+  const adaptive::AdaptationTrace& trace() const { return trace_; }
+  uint64_t steps() const { return exchange_ ? exchange_->steps() : 0; }
+  uint64_t pairs_emitted() const { return pairs_emitted_; }
+  uint64_t exact_pairs() const { return exact_pairs_; }
+  uint64_t approximate_pairs() const { return approximate_pairs_; }
+  /// Distinct tuples of `side` matched at least once (global, i.e.
+  /// including cross-shard matches the shard cores cannot see).
+  uint64_t distinct_matched(exec::Side side) const {
+    return matched_any_count_[static_cast<size_t>(side)];
+  }
+  size_t num_shards() const { return shards_.size(); }
+  const JoinShard& shard(size_t i) const { return *shards_[i]; }
+  const ParallelJoinOptions& options() const { return options_; }
+  /// @}
+
+ private:
+  /// One merged match during the per-step merge, with global per-side
+  /// ordinals alongside the (shard, local id) address.
+  struct MergedMatch {
+    ParallelMatchRef ref;
+    exec::Side probe_side = exec::Side::kLeft;
+    uint32_t probe_ordinal = 0;
+    uint32_t stored_ordinal = 0;
+  };
+
+  /// Runs one epoch (control point, route, phases, merge). Sets
+  /// `*stream_ended` when no step could be routed.
+  Status PumpEpoch(bool* stream_ended);
+
+  /// Refills the output buffer by pumping epochs until output exists
+  /// or the stream ends.
+  Status EnsureOutput(bool* have_output);
+
+  /// Mirrors AdaptiveJoin::OnQuiescentPoint.
+  void ControlPoint();
+  /// Mirrors AdaptiveJoin::RunControlLoop on the global aggregates.
+  void RunControlLoop();
+  /// Steps until the next control point bounds the epoch.
+  uint64_t StepsToNextControlPoint() const;
+  /// Broadcasts `next` to all shards (parallel per-shard catch-up) and
+  /// records costs and the trace entry.
+  void ApplyTransition(adaptive::ProcessorState next,
+                       const adaptive::Assessment& assessment, int phi);
+  /// Serial coordinator merge of one routed epoch: global observation
+  /// stream, matched-flag replay, monitor feed, output append.
+  void MergeEpoch();
+  /// Runs one task batch on the pool (coordinator participates), or
+  /// inline when single-sharded.
+  void RunTasks(std::vector<std::function<void()>> tasks);
+
+  exec::Operator* left_;
+  exec::Operator* right_;
+  ParallelJoinOptions options_;
+  storage::Schema output_schema_;
+
+  std::vector<std::unique_ptr<JoinShard>> shards_;
+  std::vector<JoinShard*> shard_ptrs_;
+  std::unique_ptr<RadixExchange> exchange_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Global MAR state (the coordinator is the only writer).
+  std::unique_ptr<adaptive::Monitor> monitor_;
+  std::unique_ptr<adaptive::Assessor> assessor_;
+  std::unique_ptr<adaptive::Responder> responder_;
+  adaptive::CostAccountant cost_;
+  adaptive::AdaptationTrace trace_;
+  adaptive::ProcessorState state_;
+  uint64_t last_assessment_step_ = 0;
+  size_t script_position_ = 0;
+
+  /// Coordinator-owned global matched flags, indexed by per-side
+  /// ordinal: shard-core flags only see intra-shard matches, so the
+  /// §3.3 attribution and the distinct-matched statistic live here.
+  std::vector<uint8_t> matched_exactly_[2];
+  std::vector<uint8_t> matched_any_[2];
+  uint64_t matched_any_count_[2] = {0, 0};
+  uint64_t pairs_emitted_ = 0;
+  uint64_t exact_pairs_ = 0;
+  uint64_t approximate_pairs_ = 0;
+
+  /// Current epoch's route, per-shard merge cursors, and scratch.
+  std::vector<RouteEntry> route_;
+  std::vector<size_t> merge_cursor_;
+  std::vector<size_t> cross_cursor_;
+  std::vector<MergedMatch> merge_scratch_;
+  std::vector<join::StepObservables> epoch_observables_;
+
+  /// Produced-but-undelivered output refs, in global order.
+  std::vector<ParallelMatchRef> out_buffer_;
+  size_t out_pos_ = 0;
+  /// Bumped whenever out_buffer_ is recycled (NextBatch's error-path
+  /// cursor rewind is only valid within one buffer generation).
+  uint64_t buffer_generation_ = 0;
+
+  bool open_ = false;
+  bool stream_done_ = false;
+};
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_PARALLEL_PARALLEL_JOIN_H_

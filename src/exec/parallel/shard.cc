@@ -1,0 +1,105 @@
+#include "exec/parallel/shard.h"
+
+#include <utility>
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+using adaptive::LeftMode;
+using adaptive::RightMode;
+
+JoinShard::JoinShard(uint32_t index, const join::JoinSpec& spec,
+                     const join::ApproxProbeOptions& approx_options,
+                     adaptive::ProcessorState initial_state)
+    : index_(index),
+      spec_(spec),
+      approx_options_(approx_options),
+      core_(spec, approx_options) {
+  // Empty stores: entering the initial state catches up nothing.
+  core_.SetProbeMode(exec::Side::kLeft, LeftMode(initial_state));
+  core_.SetProbeMode(exec::Side::kRight, RightMode(initial_state));
+}
+
+void JoinShard::Route(RoutedTuple tuple, uint32_t side_ordinal) {
+  const size_t s = static_cast<size_t>(tuple.side);
+  assert(tuple.local_id == seq_[s].size() &&
+         "routing order must match store append order");
+  seq_[s].push_back(tuple.seq);
+  ordinal_[s].push_back(side_ordinal);
+  pending_input_.push_back(std::move(tuple));
+}
+
+void JoinShard::BeginEpoch() {
+  epoch_input_.clear();
+  std::swap(epoch_input_, pending_input_);
+  step_outputs_.clear();
+  matches_.clear();
+  cross_step_outputs_.clear();
+  cross_matches_.clear();
+}
+
+void JoinShard::RunBuildPhase() {
+  for (RoutedTuple& routed : epoch_input_) {
+    StepOutputs step;
+    step.seq = routed.seq;
+    step.begin = static_cast<uint32_t>(matches_.size());
+    core_.ProcessRoutedTupleInto(routed.side, std::move(routed.tuple),
+                                 routed.key_hash, &matches_);
+    step.end = static_cast<uint32_t>(matches_.size());
+    step_outputs_.push_back(step);
+  }
+}
+
+void JoinShard::RunCrossProbePhase(const std::vector<JoinShard*>& shards) {
+  if (shards.size() <= 1) return;
+  for (const RoutedTuple& routed : epoch_input_) {
+    if (core_.probe_mode(routed.side) != join::ProbeMode::kApproximate) {
+      continue;
+    }
+    const exec::Side stored_side = exec::OtherSide(routed.side);
+    const size_t stored_idx = static_cast<size_t>(stored_side);
+    const storage::TupleStore& own_store = core_.store(routed.side);
+    const text::GramSet& probe_grams = own_store.Grams(routed.local_id);
+    // Gram-less probes match by string equality only — equal strings
+    // share a hash and therefore a shard, so no cross-shard work.
+    if (probe_grams.empty()) continue;
+    const std::string_view probe_key = own_store.JoinKey(routed.local_id);
+
+    StepOutputs step;
+    step.seq = routed.seq;
+    step.begin = static_cast<uint32_t>(cross_matches_.size());
+    for (JoinShard* other : shards) {
+      if (other == this) continue;
+      cross_tmp_.clear();
+      join::ProbeApproximateInto(
+          other->core_.qgram_index(stored_side),
+          other->core_.store(stored_side), probe_key, probe_grams, spec_,
+          routed.side, routed.local_id, approx_options_, &cross_scratch_,
+          &cross_stats_, &cross_tmp_);
+      for (const join::JoinMatch& m : cross_tmp_) {
+        // Sequence gate: the single-threaded join would only have
+        // indexed tuples that arrived before this probe's step.
+        if (other->seq_[stored_idx][m.stored_id] >= routed.seq) continue;
+        cross_matches_.push_back(CrossMatch{m, other->index_});
+      }
+    }
+    step.end = static_cast<uint32_t>(cross_matches_.size());
+    if (step.end != step.begin) {
+      cross_step_outputs_.push_back(step);
+    }
+  }
+}
+
+std::pair<uint64_t, uint64_t> JoinShard::ApplyState(
+    adaptive::ProcessorState state) {
+  const uint64_t left =
+      core_.SetProbeMode(exec::Side::kLeft, LeftMode(state));
+  const uint64_t right =
+      core_.SetProbeMode(exec::Side::kRight, RightMode(state));
+  return {left, right};
+}
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,62 @@
+#ifndef AQP_EXEC_PARALLEL_THREAD_POOL_H_
+#define AQP_EXEC_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+
+/// \brief Fixed-size worker pool for the epoch phases of the parallel
+/// join.
+///
+/// The coordinator submits one task batch per phase (one task per
+/// shard) and blocks until all of them finish — Run() is the epoch
+/// barrier the globally coordinated MAR loop relies on: every shard
+/// write of phase k happens-before every read of phase k+1, through
+/// the pool's mutex.
+///
+/// Workers are started once and parked between phases; per-epoch cost
+/// is two lock/notify handshakes per worker, not thread creation.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains and joins the workers. Outstanding tasks complete first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes every task (in any order, on any worker or on the
+  /// calling thread, which participates instead of blocking) and
+  /// returns when all have completed. Tasks must not call Run()
+  /// themselves.
+  void Run(std::vector<std::function<void()>> tasks);
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::vector<std::function<void()>> queue_;
+  size_t next_task_ = 0;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_PARALLEL_THREAD_POOL_H_

@@ -34,8 +34,21 @@ void HybridJoinCore::MaintainLiveIndex(Side side) {
 size_t HybridJoinCore::ProcessTupleInto(Side side, storage::Tuple tuple,
                                         std::vector<JoinMatch>* out) {
   const size_t s = Idx(side);
+  return ProcessAddedTuple(side, stores_[s].Add(std::move(tuple)), out);
+}
+
+size_t HybridJoinCore::ProcessRoutedTupleInto(Side side, storage::Tuple tuple,
+                                              uint64_t key_hash,
+                                              std::vector<JoinMatch>* out) {
+  const size_t s = Idx(side);
+  return ProcessAddedTuple(side, stores_[s].Add(std::move(tuple), key_hash),
+                           out);
+}
+
+size_t HybridJoinCore::ProcessAddedTuple(Side side, storage::TupleId id,
+                                         std::vector<JoinMatch>* out) {
+  const size_t s = Idx(side);
   const size_t o = Idx(OtherSide(side));
-  const storage::TupleId id = stores_[s].Add(std::move(tuple));
   MaintainLiveIndex(side);
 
   // Every probe artifact — key view, 64-bit hash, gram set — comes

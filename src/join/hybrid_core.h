@@ -70,6 +70,13 @@ class HybridJoinCore {
   size_t ProcessTupleInto(Side side, storage::Tuple tuple,
                           std::vector<JoinMatch>* out);
 
+  /// Same, with the join-key hash already computed (the parallel
+  /// exchange hashed the key to route the tuple; the store caches the
+  /// given hash instead of re-hashing).
+  size_t ProcessRoutedTupleInto(Side side, storage::Tuple tuple,
+                                uint64_t key_hash,
+                                std::vector<JoinMatch>* out);
+
   /// Convenience wrapper returning a fresh vector per step (tests,
   /// tuple-at-a-time callers).
   std::vector<JoinMatch> ProcessTuple(Side side, storage::Tuple tuple) {
@@ -143,6 +150,11 @@ class HybridJoinCore {
   /// Keeps `side`'s live index (the one the opposite side probes)
   /// current with the side's store.
   void MaintainLiveIndex(Side side);
+
+  /// Shared step body of the ProcessTupleInto variants: maintain the
+  /// live index, probe, update flags/counters, append matches.
+  size_t ProcessAddedTuple(Side side, storage::TupleId id,
+                           std::vector<JoinMatch>* out);
 
   JoinSpec spec_;
   ApproxProbeOptions approx_options_;

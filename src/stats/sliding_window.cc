@@ -10,9 +10,19 @@ SlidingWindowCounter::SlidingWindowCounter(size_t window)
     : ring_(std::max<size_t>(1, window), 0) {}
 
 void SlidingWindowCounter::Advance(uint32_t events_at_step) {
+  // Events recorded via AddToCurrent() before the first Advance() have
+  // no step of their own yet; they belong to the first real step. Left
+  // in the pre-advance slot they would be retired when the ring wraps
+  // back to it — one slot earlier than a full window of W steps — so
+  // carry them into the slot this Advance() opens.
+  uint32_t carried = 0;
+  if (steps_ == 0 && ring_[head_] != 0) {
+    carried = ring_[head_];
+    ring_[head_] = 0;  // sum_ keeps them; they move, not retire
+  }
   head_ = (head_ + 1) % ring_.size();
   sum_ -= ring_[head_];  // retire the slot being overwritten
-  ring_[head_] = events_at_step;
+  ring_[head_] = events_at_step + carried;
   sum_ += events_at_step;
   ++steps_;
 }

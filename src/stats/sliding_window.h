@@ -23,7 +23,9 @@ class SlidingWindowCounter {
   void Advance(uint32_t events_at_step);
 
   /// Adds events to the *current* newest step (events arriving before
-  /// the step boundary is advanced).
+  /// the step boundary is advanced). Events added before the first
+  /// Advance() count toward the first step and are retired with it,
+  /// exactly W advances later.
   void AddToCurrent(uint32_t events);
 
   /// Total events within the window.

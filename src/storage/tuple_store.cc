@@ -8,16 +8,23 @@ namespace aqp {
 namespace storage {
 
 TupleId TupleStore::Add(Tuple tuple) {
+  const uint64_t hash = Fnv1a64(tuple[join_column_].AsString());
+  return Add(std::move(tuple), hash);
+}
+
+TupleId TupleStore::Add(Tuple tuple, uint64_t key_hash) {
   const TupleId id = static_cast<TupleId>(tuples_.size());
   // Intern the join key before the tuple is moved into place: the
   // arena copy, the length, and the hash are computed exactly once
-  // here, and every later probe/index consumer reads the cached
-  // artifacts by id.
+  // (here or at the routing exchange), and every later probe/index
+  // consumer reads the cached artifacts by id.
   const std::string& key = tuple[join_column_].AsString();
+  assert(key_hash == Fnv1a64(key) &&
+         "precomputed key hash does not match the join attribute");
   KeyRecord record;
   record.len = static_cast<uint32_t>(key.size());
   record.offset = arena_.Intern(key);
-  record.hash = Fnv1a64(key);
+  record.hash = key_hash;
   keys_.push_back(record);
   tuples_.push_back(std::move(tuple));
   matched_exactly_.push_back(0);

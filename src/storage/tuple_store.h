@@ -57,6 +57,12 @@ class TupleStore {
   /// caches its hash.
   TupleId Add(Tuple tuple);
 
+  /// Same, with the key hash already computed by the caller (the
+  /// parallel exchange hashes the key to pick a shard; the shard's
+  /// store then caches that hash instead of re-hashing). `key_hash`
+  /// must equal Fnv1a64 of the tuple's join attribute.
+  TupleId Add(Tuple tuple, uint64_t key_hash);
+
   /// Reserves room for `n` tuples across all per-tuple vectors
   /// (bulk-load paths with known cardinality hints).
   void Reserve(size_t n);

@@ -50,6 +50,56 @@ TEST(CsvTest, ParseHandlesCrLfAndMissingFinalNewline) {
   EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
 }
 
+TEST(CsvTest, ParsePreservesBareCarriageReturnInFields) {
+  // A lone \r that is not part of a CRLF line ending is field data;
+  // the parser used to drop every CR outside quotes.
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a\rb,c\nd,e\rf", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\rb", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "e\rf"}));
+}
+
+TEST(CsvTest, ParseStillSwallowsCrLfLineEndings) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a,b\r\nc,d\r\n", &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseTrailingBareCarriageReturnKept) {
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv("a\r", &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\r"}));
+}
+
+TEST(CsvTest, DoubleFieldsRoundTripExactly) {
+  // Report CSVs carry p-values and nanosecond-derived times; the old
+  // precision-6 formatting truncated them irrecoverably.
+  const double values[] = {0.05, 1.0 / 3.0, 6.038e-3, 123456.789012345,
+                           2.2250738585072014e-308, 0.1 + 0.2};
+  for (double v : values) {
+    const std::string field = CsvWriter::Field(v);
+    EXPECT_EQ(std::stod(field), v) << field;
+  }
+  // Shortest form: representable-in-few-digits values stay compact.
+  EXPECT_EQ(CsvWriter::Field(0.25), "0.25");
+  EXPECT_EQ(CsvWriter::Field(2.0), "2");
+}
+
+TEST(CsvTest, BareCarriageReturnFieldRoundTripsThroughWriter) {
+  std::ostringstream os;
+  CsvWriter csv(&os);
+  const std::vector<std::string> row = {"x\ry", "plain"};
+  csv.WriteRow(row);
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(os.str(), &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], row);
+}
+
 TEST(CsvTest, ParseEmptyFields) {
   std::vector<std::vector<std::string>> rows;
   ASSERT_TRUE(ParseCsv("a,,c\n", &rows).ok());

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "datagen/generator.h"
+#include "exec/parallel/exchange.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/parallel/shard.h"
+#include "exec/parallel/thread_pool.h"
+#include "exec/scan.h"
+#include "join/shjoin.h"
+#include "join/sshjoin.h"
+
+namespace aqp {
+namespace exec {
+namespace parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { ++hits[i]; });
+  }
+  pool.Run(std::move(tasks));
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, RunIsABarrierAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 7; ++i) {
+      tasks.push_back([&counter] { ++counter; });
+    }
+    pool.Run(std::move(tasks));
+    // Every task of the batch completed before Run() returned.
+    EXPECT_EQ(counter.load(), (batch + 1) * 7);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Run({});
+  SUCCEED();
+}
+
+datagen::TestCase SmallCase() {
+  datagen::TestCaseOptions options;
+  options.atlas.size = 120;
+  options.accidents.size = 240;
+  options.variant_rate = 0.10;
+  options.seed = 7;
+  auto tc = datagen::GenerateTestCase(options);
+  EXPECT_TRUE(tc.ok());
+  return std::move(*tc);
+}
+
+join::JoinSpec Spec() {
+  join::JoinSpec spec;
+  spec.left_column = datagen::kAccidentsLocationColumn;
+  spec.right_column = datagen::kAtlasLocationColumn;
+  spec.sim_threshold = 0.85;
+  return spec;
+}
+
+TEST(RadixExchangeTest, ReplaysTheSingleThreadedSchedule) {
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ASSERT_TRUE(child.Open().ok());
+  ASSERT_TRUE(parent.Open().ok());
+
+  std::vector<std::unique_ptr<JoinShard>> shards;
+  std::vector<JoinShard*> ptrs;
+  for (uint32_t i = 0; i < 3; ++i) {
+    shards.push_back(std::make_unique<JoinShard>(
+        i, Spec(), join::ApproxProbeOptions{},
+        adaptive::ProcessorState::kLexRex));
+    ptrs.push_back(shards.back().get());
+  }
+  RadixExchange exchange(&child, &parent, Spec(),
+                         exec::InterleavePolicy::kAlternate, 0, 0, 64, 3);
+  exchange.Reset();
+
+  std::vector<RouteEntry> route;
+  auto routed = exchange.RouteEpoch(50, ptrs, &route);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(*routed, 50u);
+  ASSERT_EQ(route.size(), 50u);
+  // Strict alternation starting from the left, both inputs alive.
+  for (size_t i = 0; i < route.size(); ++i) {
+    EXPECT_EQ(route[i].side,
+              i % 2 == 0 ? exec::Side::kLeft : exec::Side::kRight);
+  }
+  // Per-side ordinals count up contiguously.
+  EXPECT_EQ(route[0].ordinal, 0u);
+  EXPECT_EQ(route[1].ordinal, 0u);
+  EXPECT_EQ(route[2].ordinal, 1u);
+  EXPECT_EQ(exchange.steps(), 50u);
+  EXPECT_EQ(exchange.side_count(exec::Side::kLeft), 25u);
+  EXPECT_EQ(exchange.side_count(exec::Side::kRight), 25u);
+
+  // Route everything; the totals must cover both inputs exactly.
+  while (true) {
+    auto more = exchange.RouteEpoch(1000, ptrs, &route);
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) break;
+  }
+  EXPECT_EQ(exchange.side_count(exec::Side::kLeft), tc.child.size());
+  EXPECT_EQ(exchange.side_count(exec::Side::kRight), tc.parent.size());
+  EXPECT_TRUE(exchange.input_exhausted(exec::Side::kLeft));
+  EXPECT_TRUE(exchange.input_exhausted(exec::Side::kRight));
+
+  // Routing is a pure function of the join key: same key, same shard;
+  // and the per-shard seq/ordinal maps stay consistent with the route.
+  size_t total_routed = 0;
+  for (const JoinShard* shard : ptrs) {
+    total_routed += shard->routed_count(exec::Side::kLeft);
+    total_routed += shard->routed_count(exec::Side::kRight);
+  }
+  EXPECT_EQ(total_routed, tc.child.size() + tc.parent.size());
+  ASSERT_TRUE(child.Close().ok());
+  ASSERT_TRUE(parent.Close().ok());
+}
+
+TEST(RadixExchangeTest, EqualKeysAlwaysLandOnTheSameShard) {
+  // The radix invariant behind intra-shard exact matching.
+  const datagen::TestCase tc = SmallCase();
+  const size_t num_shards = 5;
+  std::map<std::string, uint32_t> assigned;
+  for (size_t i = 0; i < tc.parent.size(); ++i) {
+    const std::string& key =
+        tc.parent.row(i)[datagen::kAtlasLocationColumn].AsString();
+    const uint32_t shard =
+        static_cast<uint32_t>(Mix64(Fnv1a64(key)) % num_shards);
+    auto [it, inserted] = assigned.emplace(key, shard);
+    if (!inserted) {
+      EXPECT_EQ(it->second, shard) << key;
+    }
+  }
+}
+
+TEST(ParallelJoinTest, PinnedExactCountsMatchSHJoin) {
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  join::SymmetricJoinOptions jo;
+  jo.spec = Spec();
+  join::SHJoin reference(&child, &parent, jo);
+  auto expected = exec::CountAll(&reference);
+  ASSERT_TRUE(expected.ok());
+
+  exec::RelationScan child2(&tc.child);
+  exec::RelationScan parent2(&tc.parent);
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.base.adaptive.initial_state = adaptive::ProcessorState::kLexRex;
+  options.num_shards = 3;
+  ParallelAdaptiveJoin join(&child2, &parent2, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, *expected);
+  EXPECT_EQ(join.pairs_emitted(), *expected);
+  EXPECT_EQ(join.approximate_pairs(), 0u);
+}
+
+TEST(ParallelJoinTest, PinnedApproximateCountsMatchSSHJoin) {
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  join::SymmetricJoinOptions jo;
+  jo.spec = Spec();
+  join::SSHJoin reference(&child, &parent, jo);
+  auto expected = exec::CountAll(&reference);
+  ASSERT_TRUE(expected.ok());
+
+  exec::RelationScan child2(&tc.child);
+  exec::RelationScan parent2(&tc.parent);
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.base.adaptive.initial_state = adaptive::ProcessorState::kLapRap;
+  options.num_shards = 4;
+  ParallelAdaptiveJoin join(&child2, &parent2, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, *expected);
+  // An approximate run over perturbed data finds cross-shard variants.
+  EXPECT_GT(join.approximate_pairs(), 0u);
+}
+
+TEST(ParallelJoinTest, EmptyInputsProduceNoRowsAndNoTrace) {
+  storage::Schema schema = SmallCase().child.schema();
+  storage::Relation empty_left(schema);
+  storage::Relation empty_right(SmallCase().parent.schema());
+  exec::RelationScan left(&empty_left);
+  exec::RelationScan right(&empty_right);
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.num_shards = 2;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 0u);
+  EXPECT_EQ(join.steps(), 0u);
+  EXPECT_EQ(join.trace().size(), 0u);
+}
+
+TEST(ParallelJoinTest, DistinctMatchedSeesCrossShardMatches) {
+  // The coordinator's global matched-any statistic must include pairs
+  // the shard-local cores cannot see (cross-shard approximate
+  // matches); it feeds the binomial completeness model.
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.base.adaptive.initial_state = adaptive::ProcessorState::kLapRap;
+  options.num_shards = 4;
+  ParallelAdaptiveJoin join(&child, &parent, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok());
+
+  uint64_t intra_shard_distinct = 0;
+  for (size_t i = 0; i < join.num_shards(); ++i) {
+    intra_shard_distinct +=
+        join.shard(i).core().store(exec::Side::kLeft).matched_any_count();
+  }
+  EXPECT_GE(join.distinct_matched(exec::Side::kLeft), intra_shard_distinct);
+  EXPECT_GT(join.distinct_matched(exec::Side::kLeft), 0u);
+}
+
+TEST(ParallelJoinTest, MatchRefsAddressTheRightShardStores) {
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.num_shards = 3;
+  ParallelAdaptiveJoin join(&child, &parent, options);
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  size_t seen = 0;
+  while (true) {
+    ASSERT_TRUE(join.NextMatchRefs(64, &refs).ok());
+    if (refs.empty()) break;
+    for (const ParallelMatchRef& ref : refs) {
+      ASSERT_LT(ref.left_shard, join.num_shards());
+      ASSERT_LT(ref.right_shard, join.num_shards());
+      const auto& left_store =
+          join.shard(ref.left_shard).core().store(exec::Side::kLeft);
+      const auto& right_store =
+          join.shard(ref.right_shard).core().store(exec::Side::kRight);
+      ASSERT_LT(ref.left_id, left_store.size());
+      ASSERT_LT(ref.right_id, right_store.size());
+      if (ref.kind == join::MatchKind::kExact) {
+        // Exact pairs are intra-shard by radix construction, and their
+        // keys agree byte for byte.
+        EXPECT_EQ(ref.left_shard, ref.right_shard);
+        EXPECT_EQ(left_store.JoinKey(ref.left_id),
+                  right_store.JoinKey(ref.right_id));
+      }
+      ++seen;
+    }
+  }
+  ASSERT_TRUE(join.Close().ok());
+  EXPECT_GT(seen, 0u);
+}
+
+TEST(TupleStoreTest, PrecomputedHashAddMatchesSelfComputed) {
+  const datagen::TestCase tc = SmallCase();
+  storage::TupleStore a(datagen::kAtlasLocationColumn);
+  storage::TupleStore b(datagen::kAtlasLocationColumn);
+  for (size_t i = 0; i < 10; ++i) {
+    storage::Tuple row = tc.parent.row(i);
+    const uint64_t hash =
+        Fnv1a64(row[datagen::kAtlasLocationColumn].AsString());
+    a.Add(tc.parent.row(i));
+    b.Add(std::move(row), hash);
+    EXPECT_EQ(a.KeyHash(static_cast<storage::TupleId>(i)),
+              b.KeyHash(static_cast<storage::TupleId>(i)));
+    EXPECT_EQ(a.JoinKey(static_cast<storage::TupleId>(i)),
+              b.JoinKey(static_cast<storage::TupleId>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace exec
+}  // namespace aqp

@@ -1,0 +1,293 @@
+// The partition-parallel join must be indistinguishable from the
+// single-threaded AdaptiveJoin in everything but wall time: identical
+// output row *sequences* (not just multisets — the deterministic shard
+// merge order reproduces the single-threaded probes' ascending-
+// stored-id order) and byte-identical adaptation traces, for every
+// shard count, batch size, drive mode, and control policy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adaptive/adaptive_join.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+
+namespace aqp {
+namespace {
+
+using adaptive::AdaptiveJoin;
+using adaptive::AdaptiveJoinOptions;
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+using exec::parallel::ParallelMatchRef;
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 8};
+
+datagen::TestCase PaperCase() {
+  datagen::TestCaseOptions options;
+  options.pattern = datagen::PerturbationPattern::kFewHighIntensityRegions;
+  options.perturb_parent = false;
+  options.variant_rate = 0.10;
+  options.atlas.size = 400;
+  options.accidents.size = 800;
+  options.seed = 20090326;
+  auto tc = datagen::GenerateTestCase(options);
+  EXPECT_TRUE(tc.ok());
+  return std::move(*tc);
+}
+
+AdaptiveJoinOptions BaseOptions(const datagen::TestCase& tc) {
+  AdaptiveJoinOptions options;
+  options.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.join.spec.sim_threshold = 0.85;
+  options.adaptive.parent_side = exec::Side::kRight;
+  options.adaptive.parent_table_size = tc.parent.size();
+  options.adaptive.delta_adapt = 50;
+  options.adaptive.window = 50;
+  return options;
+}
+
+struct ReferenceRun {
+  storage::Relation result;
+  adaptive::AdaptationTrace trace;
+  uint64_t steps = 0;
+  uint64_t pairs = 0;
+  uint64_t transitions = 0;
+};
+
+ReferenceRun RunSingleThreaded(const datagen::TestCase& tc,
+                               AdaptiveJoinOptions options) {
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  AdaptiveJoin join(&child, &parent, options);
+  auto result = exec::CollectAll(&join);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  ReferenceRun run;
+  run.result = std::move(*result);
+  run.trace = join.trace();
+  run.steps = join.steps();
+  run.pairs = join.core().pairs_emitted();
+  run.transitions = join.cost().total_transitions();
+  return run;
+}
+
+void ExpectSameTrace(const adaptive::AdaptationTrace& actual,
+                     const adaptive::AdaptationTrace& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual.records()[i], expected.records()[i])
+        << "assessment " << i;
+  }
+}
+
+void ExpectSameRows(const storage::Relation& actual,
+                    const storage::Relation& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual.row(i), expected.row(i)) << "row " << i;
+  }
+}
+
+TEST(ParallelParityTest, EveryShardCountMatchesSingleThreadedAdaptive) {
+  const datagen::TestCase tc = PaperCase();
+  const ReferenceRun reference = RunSingleThreaded(tc, BaseOptions(tc));
+  ASSERT_GT(reference.result.size(), 0u);
+  ASSERT_GT(reference.trace.size(), 0u);
+  // The scenario must actually adapt, or the parity claim is vacuous.
+  ASSERT_GT(reference.transitions, 0u);
+
+  for (size_t shards : kShardCounts) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.num_shards = shards;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    auto result = exec::CollectAll(&join);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    EXPECT_EQ(join.steps(), reference.steps);
+    EXPECT_EQ(join.pairs_emitted(), reference.pairs);
+    EXPECT_EQ(join.monitor().steps(), reference.steps);
+    ExpectSameRows(*result, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
+TEST(ParallelParityTest, DriveModesAgreeAtFourShards) {
+  const datagen::TestCase tc = PaperCase();
+  const ReferenceRun reference = RunSingleThreaded(tc, BaseOptions(tc));
+
+  // Row protocol via tuple-at-a-time Next().
+  {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.num_shards = 4;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    ASSERT_TRUE(join.Open().ok());
+    storage::Relation collected(join.output_schema());
+    while (true) {
+      auto next = join.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      collected.AppendUnchecked(std::move(**next));
+    }
+    ASSERT_TRUE(join.Close().ok());
+    ExpectSameRows(collected, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+
+  // Match-ref protocol, materialized at the sink.
+  {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.num_shards = 4;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    ASSERT_TRUE(join.Open().ok());
+    storage::Relation collected(join.output_schema());
+    std::vector<ParallelMatchRef> refs;
+    while (true) {
+      ASSERT_TRUE(join.NextMatchRefs(97, &refs).ok());
+      if (refs.empty()) break;
+      for (const ParallelMatchRef& ref : refs) {
+        collected.AppendUnchecked(join.MaterializeRow(ref));
+      }
+    }
+    ASSERT_TRUE(join.Close().ok());
+    ExpectSameRows(collected, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+
+  // Counting drain: no row is ever materialized.
+  {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.num_shards = 4;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    auto count = exec::CountAll(&join);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(*count, reference.result.size());
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
+TEST(ParallelParityTest, ChildBatchSizesDoNotChangeResults) {
+  const datagen::TestCase tc = PaperCase();
+  const ReferenceRun reference = RunSingleThreaded(tc, BaseOptions(tc));
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{256}}) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.base.join.batch_size = batch;
+    options.num_shards = 4;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    exec::ExecOptions drain;
+    drain.batch_size = 33;
+    auto result = exec::CollectAll(&join, drain);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    SCOPED_TRACE(testing::Message() << "child batch=" << batch);
+    ExpectSameRows(*result, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
+TEST(ParallelParityTest, PinnedStatesMatchSingleThreadedBaselines) {
+  // Pinned lex/rex is the parallel SHJoin, pinned lap/rap the parallel
+  // SSHJoin; both must reproduce the single-threaded runs row for row.
+  const datagen::TestCase tc = PaperCase();
+  for (adaptive::ProcessorState state :
+       {adaptive::ProcessorState::kLexRex, adaptive::ProcessorState::kLapRap,
+        adaptive::ProcessorState::kLapRex}) {
+    AdaptiveJoinOptions base = BaseOptions(tc);
+    base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+    base.adaptive.initial_state = state;
+    const ReferenceRun reference = RunSingleThreaded(tc, base);
+    ASSERT_GT(reference.result.size(), 0u);
+    for (size_t shards : kShardCounts) {
+      exec::RelationScan child(&tc.child);
+      exec::RelationScan parent(&tc.parent);
+      ParallelJoinOptions options;
+      options.base = base;
+      options.num_shards = shards;
+      // Exercise the unbounded-epoch path with an odd length too.
+      options.unbounded_epoch_steps = shards % 2 == 0 ? 173 : 4096;
+      ParallelAdaptiveJoin join(&child, &parent, options);
+      auto result = exec::CollectAll(&join);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      SCOPED_TRACE(testing::Message()
+                   << "state=" << adaptive::ProcessorStateName(state)
+                   << " shards=" << shards);
+      ExpectSameRows(*result, reference.result);
+      EXPECT_EQ(join.trace().size(), 0u);
+    }
+  }
+}
+
+TEST(ParallelParityTest, ScriptedTransitionsFireAtSameStepsAcrossShards) {
+  const datagen::TestCase tc = PaperCase();
+  AdaptiveJoinOptions base = BaseOptions(tc);
+  base.adaptive.policy = adaptive::AdaptivePolicy::kScripted;
+  base.adaptive.script = {
+      {120, adaptive::ProcessorState::kLapRex},
+      {300, adaptive::ProcessorState::kLapRap},
+      {700, adaptive::ProcessorState::kLexRex},
+  };
+  const ReferenceRun reference = RunSingleThreaded(tc, base);
+  ASSERT_EQ(reference.trace.size(), 3u);
+  for (size_t shards : kShardCounts) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = base;
+    options.num_shards = shards;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    auto result = exec::CollectAll(&join);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectSameRows(*result, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
+TEST(ParallelParityTest, BothInputsPerturbedStillAgree) {
+  // Perturbing both inputs drives the ϕ1 path (lap/rap) and maximizes
+  // cross-shard approximate traffic — the hardest merge case.
+  datagen::TestCaseOptions tco;
+  tco.pattern = datagen::PerturbationPattern::kUniform;
+  tco.perturb_parent = true;
+  tco.variant_rate = 0.15;
+  tco.atlas.size = 300;
+  tco.accidents.size = 600;
+  tco.seed = 42;
+  auto tc = datagen::GenerateTestCase(tco);
+  ASSERT_TRUE(tc.ok());
+  const ReferenceRun reference = RunSingleThreaded(*tc, BaseOptions(*tc));
+  ASSERT_GT(reference.result.size(), 0u);
+  for (size_t shards : kShardCounts) {
+    exec::RelationScan child(&tc->child);
+    exec::RelationScan parent(&tc->parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(*tc);
+    options.num_shards = shards;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    auto result = exec::CollectAll(&join);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectSameRows(*result, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
+}  // namespace
+}  // namespace aqp

@@ -70,6 +70,34 @@ TEST(ReportTest, CsvRoundTrips) {
   EXPECT_EQ(rows[0].size(), rows[1].size());
 }
 
+TEST(ReportTest, CsvDoublesKeepFullFidelity) {
+  // Wall times and completeness ratios are re-parsed by downstream
+  // analysis scripts; the CSV must round-trip them bit-exactly (the
+  // old precision-6 formatting silently truncated).
+  ExperimentResult r = FakeResult("uniform/child");
+  r.adaptive.wall_seconds = 0.006038211773204557;
+  r.all_exact.wall_seconds = 2.7551234567891234e-3;
+  r.all_approx.wall_seconds = 1.2345678901234567;
+  r.adaptive_completeness = 1.0 / 3.0;
+  std::ostringstream os;
+  WriteResultsCsv({r}, os);
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ParseCsv(os.str(), &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  auto column = [&](const std::string& name) {
+    for (size_t i = 0; i < rows[0].size(); ++i) {
+      if (rows[0][i] == name) return rows[1][i];
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return std::string();
+  };
+  EXPECT_EQ(std::stod(column("wall_adaptive_s")), r.adaptive.wall_seconds);
+  EXPECT_EQ(std::stod(column("wall_exact_s")), r.all_exact.wall_seconds);
+  EXPECT_EQ(std::stod(column("wall_approx_s")), r.all_approx.wall_seconds);
+  EXPECT_EQ(std::stod(column("completeness_adaptive")),
+            r.adaptive_completeness);
+}
+
 }  // namespace
 }  // namespace metrics
 }  // namespace aqp

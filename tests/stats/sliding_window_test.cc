@@ -41,6 +41,39 @@ TEST(SlidingWindowTest, AddToCurrentAccumulates) {
   EXPECT_EQ(w.Sum(), 0u);
 }
 
+TEST(SlidingWindowTest, PreAdvanceEventsSurviveExactlyWSteps) {
+  // Events recorded before the first Advance() belong to the first
+  // step: they must stay in the window through W advances and retire
+  // at the (W+1)-th, exactly like events passed to the first Advance()
+  // itself. They used to be retired one slot early.
+  for (size_t window : {1u, 2u, 3u, 5u, 8u}) {
+    SlidingWindowCounter w(window);
+    w.AddToCurrent(7);
+    w.Advance(0);  // step 1 absorbs the pre-advance events
+    for (size_t step = 2; step <= window; ++step) {
+      w.Advance(0);
+      ASSERT_EQ(w.Sum(), 7u) << "window=" << window << " step=" << step;
+    }
+    w.Advance(0);  // step W+1: the first step leaves the window
+    ASSERT_EQ(w.Sum(), 0u) << "window=" << window;
+  }
+}
+
+TEST(SlidingWindowTest, PreAdvanceEventsMatchFirstAdvanceEvents) {
+  // The two ways of attributing events to the first step are
+  // equivalent: AddToCurrent-then-Advance(0) == Advance(events).
+  SlidingWindowCounter a(4);
+  SlidingWindowCounter b(4);
+  a.AddToCurrent(3);
+  a.Advance(2);  // first step holds 3 + 2
+  b.Advance(5);
+  for (int step = 0; step < 10; ++step) {
+    ASSERT_EQ(a.Sum(), b.Sum()) << "step " << step;
+    a.Advance(1);
+    b.Advance(1);
+  }
+}
+
 TEST(SlidingWindowTest, DensityDividesByWindow) {
   SlidingWindowCounter w(100);
   for (int i = 0; i < 10; ++i) w.Advance(1);
