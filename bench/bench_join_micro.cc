@@ -140,6 +140,75 @@ void BM_SHJoin_LegacyNextProtocol(benchmark::State& state) {
 }
 BENCHMARK(BM_SHJoin_LegacyNextProtocol);
 
+/// Columnar protocol drain: the native NextColumnBatch path — child
+/// scans fill typed column vectors, the store ingests (key view, hash,
+/// payload slice) rows, and output cells stream out of the stores'
+/// columns. This is the layout the aqp_batch_layout context describes.
+void BM_SHJoin_ColumnarDrain(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SHJoin join(&child, &parent, JoinOptions());
+    if (!join.Open().ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    size_t count = 0;
+    storage::ColumnBatch batch(&join.output_schema(),
+                               storage::ColumnBatch::kDefaultCapacity);
+    while (true) {
+      if (!join.NextColumnBatch(&batch).ok()) {
+        state.SkipWithError("join failed");
+        return;
+      }
+      if (batch.empty()) break;
+      count += batch.size();
+    }
+    (void)join.Close();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SHJoin_ColumnarDrain);
+
+/// The row-of-Tuples compatibility adapter on the same workload: the
+/// engine runs columnar inside, but every output row is materialized
+/// as a Tuple (vector of variant cells, heap string per string cell)
+/// at the batch boundary — the per-row cost the columnar protocol
+/// exists to avoid. Compare against BM_SHJoin_ColumnarDrain.
+void BM_SHJoin_RowAdapterDrain(benchmark::State& state) {
+  const auto& tc = SharedCase(2000);
+  for (auto _ : state) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    join::SHJoin join(&child, &parent, JoinOptions());
+    if (!join.Open().ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    size_t count = 0;
+    storage::TupleBatch batch(&join.output_schema(),
+                              storage::TupleBatch::kDefaultCapacity);
+    while (true) {
+      if (!join.NextBatch(&batch).ok()) {
+        state.SkipWithError("join failed");
+        return;
+      }
+      if (batch.empty()) break;
+      count += batch.size();
+    }
+    (void)join.Close();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(tc.child.size() + tc.parent.size()));
+}
+BENCHMARK(BM_SHJoin_RowAdapterDrain);
+
 /// Batch-size sweep over the vectorized execution path: the same exact
 /// SHJoin workload with both the operator's internal step batching and
 /// the drain batching set to the swept size. batch_size = 1 degenerates
@@ -268,6 +337,10 @@ BENCHMARK(BM_IndexSpaceModel)->Iterations(1);
 // the Google Benchmark shared library, not this code).
 int main(int argc, char** argv) {
   benchmark::AddCustomContext("aqp_build_type", aqp::bench::BuildTypeName());
+  // Tuple-transport layout of the measured pipeline: "columnar" since
+  // the ColumnBatch protocol replaced row-of-variant batches end to
+  // end (PR 4); earlier recordings were "row".
+  benchmark::AddCustomContext("aqp_batch_layout", "columnar");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,10 +1,6 @@
 #include "common/csv.h"
 
 #include <algorithm>
-#include <charconv>
-#include <limits>
-#include <sstream>
-#include <system_error>
 
 #include "common/string_util.h"
 
@@ -22,16 +18,9 @@ std::string CsvWriter::Field(double value) {
   // Shortest representation that round-trips: metrics/report CSVs carry
   // measured times and p-values whose consumers re-parse them, so the
   // default precision-6 truncation is a correctness bug, not a
-  // formatting choice.
-#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
-  char buf[64];
-  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
-  if (result.ec == std::errc()) return std::string(buf, result.ptr);
-#endif
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << value;
-  return os.str();
+  // formatting choice. Shared with Value::ToString so the two double
+  // renderings agree.
+  return FormatDoubleShortest(value);
 }
 
 std::string CsvWriter::Field(int64_t value) { return std::to_string(value); }

@@ -1,7 +1,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <limits>
+#include <sstream>
+#include <system_error>
 
 namespace aqp {
 
@@ -88,6 +92,18 @@ std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
   return buf;
+}
+
+std::string FormatDoubleShortest(double value) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  if (result.ec == std::errc()) return std::string(buf, result.ptr);
+#endif
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
 }
 
 std::string FormatCount(uint64_t value) {

@@ -35,6 +35,13 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 
+/// Formats a double as the shortest representation that parses back to
+/// the same bits (std::to_chars shortest form where available,
+/// max_digits10 otherwise). This is the one double rendering shared by
+/// Value::ToString and CsvWriter::Field, so debug output and CSV dumps
+/// agree byte for byte.
+std::string FormatDoubleShortest(double value);
+
 /// Formats a count with thousands separators (e.g. "12,345").
 std::string FormatCount(uint64_t value);
 

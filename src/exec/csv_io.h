@@ -1,0 +1,85 @@
+#ifndef AQP_EXEC_CSV_IO_H_
+#define AQP_EXEC_CSV_IO_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "exec/operator.h"
+#include "storage/schema.h"
+
+namespace aqp {
+namespace exec {
+
+/// \brief Columnar CSV source: an operator that parses CSV text
+/// straight into ColumnBatch column vectors — how real feeds enter the
+/// engine without ever constructing row objects.
+///
+/// The scanner is incremental and RFC-4180-style (quotes honoured,
+/// CRLF or LF line endings, bare \r is field content — matching
+/// common/csv.h's ParseCsv): each NextColumnBatch call scans up to
+/// `capacity()` records, writing unquoted string fields as views
+/// copied text→arena, int64/double fields parsed into the typed
+/// vectors, and empty non-string cells as NULL. The header row is
+/// validated against the schema at Open, exactly as
+/// storage::ReadRelationCsv does — but where ReadRelationCsv
+/// materializes a row Relation, this source feeds the columnar
+/// pipeline directly (e.g. as a join child).
+///
+/// Next() exists as the usual row-protocol compatibility adapter.
+class CsvSource : public Operator {
+ public:
+  /// Parses `csv_text` (with a header row) as rows of `schema`.
+  CsvSource(storage::Schema schema, std::string csv_text);
+
+  /// File convenience: reads the whole file at construction.
+  static Result<CsvSource> FromFile(storage::Schema schema,
+                                    const std::string& path);
+
+  Status Open() override;
+  Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
+  Status Close() override;
+  const storage::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "CsvSource"; }
+
+  /// 1-based line number of the next unparsed record (diagnostics).
+  size_t line() const { return line_; }
+
+ private:
+  /// Advances pos_ past blank lines (ParseCsv skips them; so do we).
+  /// Returns true iff unconsumed input remains.
+  bool SkipBlankLines();
+
+  /// Scans one raw field at pos_. Unquoted content is a view into the
+  /// text; quoted content is unescaped into scratch_ (the view then
+  /// aliases scratch_, valid until the next scan). Sets *end_of_record
+  /// when the field was terminated by a line ending or EOF.
+  Status ScanField(std::string_view* field, bool* end_of_record);
+
+  /// Parses one record's cells into `out` (no CommitRow on error).
+  Status ScanRecordInto(storage::ColumnBatch* out);
+
+  storage::Schema schema_;
+  std::string text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::string scratch_;
+  std::string cell_scratch_;
+  /// Single-row batch behind the Next() adapter.
+  storage::ColumnBatch row_batch_;
+  bool open_ = false;
+};
+
+/// Drains `op` (Open/NextColumnBatch*/Close) to `out` as CSV with a
+/// header row of column names, writing each cell directly from the
+/// output batches' columns — the CSV sink never materializes a row
+/// payload. Doubles are written with shortest round-trip formatting
+/// (CsvWriter::Field). Returns the number of data rows written.
+Result<size_t> WriteOperatorCsv(Operator* op, std::ostream* out,
+                                const ExecOptions& options = {});
+
+}  // namespace exec
+}  // namespace aqp
+
+#endif  // AQP_EXEC_CSV_IO_H_

@@ -9,6 +9,20 @@ const char* SideName(Side side) {
   return side == Side::kLeft ? "left" : "right";
 }
 
+Status Operator::NextColumnBatch(storage::ColumnBatch* out) {
+  out->Reset(&output_schema());
+  while (!out->full()) {
+    auto next = Next();
+    if (!next.ok()) {
+      out->Clear();
+      return next.status();
+    }
+    if (!next->has_value()) break;
+    out->AppendTupleRow(**next);
+  }
+  return Status::OK();
+}
+
 Status Operator::NextBatch(storage::TupleBatch* out) {
   out->Reset(&output_schema());
   while (!out->full()) {
@@ -26,16 +40,16 @@ Status Operator::NextBatch(storage::TupleBatch* out) {
 Result<storage::Relation> CollectAll(Operator* op, const ExecOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   storage::Relation out(op->output_schema());
-  storage::TupleBatch batch(&op->output_schema(), options.batch_size);
+  storage::ColumnBatch batch(&op->output_schema(), options.batch_size);
   while (true) {
-    Status s = op->NextBatch(&batch);
+    Status s = op->NextColumnBatch(&batch);
     if (!s.ok()) {
       // Best-effort close; the original error wins.
       (void)op->Close();
       return s;
     }
     if (batch.empty()) break;
-    out.AppendBatchUnchecked(&batch);
+    out.AppendColumnBatchUnchecked(batch);
   }
   AQP_RETURN_IF_ERROR(op->Close());
   return out;
@@ -45,12 +59,12 @@ Result<size_t> CountAll(Operator* op, const ExecOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   size_t count = 0;
   // Late-materializing operators count without ever constructing a row
-  // (drive pattern and batch sizes identical to the NextBatch loop, so
-  // adaptation traces do not depend on which drain ran).
+  // (drive pattern and batch sizes identical to the NextColumnBatch
+  // loop, so adaptation traces do not depend on which drain ran).
   if (auto* unmaterialized = dynamic_cast<UnmaterializedCounter*>(op)) {
     while (true) {
       auto produced = unmaterialized->AdvanceUnmaterialized(
-          options.batch_size == 0 ? storage::TupleBatch::kDefaultCapacity
+          options.batch_size == 0 ? storage::ColumnBatch::kDefaultCapacity
                                   : options.batch_size);
       if (!produced.ok()) {
         (void)op->Close();
@@ -62,9 +76,9 @@ Result<size_t> CountAll(Operator* op, const ExecOptions& options) {
     AQP_RETURN_IF_ERROR(op->Close());
     return count;
   }
-  storage::TupleBatch batch(&op->output_schema(), options.batch_size);
+  storage::ColumnBatch batch(&op->output_schema(), options.batch_size);
   while (true) {
-    Status s = op->NextBatch(&batch);
+    Status s = op->NextColumnBatch(&batch);
     if (!s.ok()) {
       (void)op->Close();
       return s;

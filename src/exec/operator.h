@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/column_batch.h"
 #include "storage/relation.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
@@ -42,16 +43,24 @@ const char* SideName(Side side);
 /// Next() returns an engaged optional with the next output tuple, an
 /// empty optional at end-of-stream, or a non-OK status on error.
 ///
-/// NextBatch() is the vectorized counterpart: it refills a caller-owned
-/// TupleBatch with up to `capacity()` tuples per call, amortizing the
-/// per-tuple virtual dispatch and Result/optional packaging across the
-/// whole batch. Batch boundaries are quiescent by construction — every
-/// tuple the operator consumed to produce the batch has been fully
-/// processed, and all of its output is materialized in the batch (or an
-/// internal spill buffer), so adaptation may safely fire between
-/// batches. The default implementation adapts Next(), which keeps every
-/// operator working during the tuple-at-a-time → vectorized migration;
-/// hot-path operators override it natively.
+/// NextColumnBatch() is the native vectorized protocol: it refills a
+/// caller-owned columnar ColumnBatch with up to `capacity()` rows per
+/// call, amortizing the per-tuple virtual dispatch and Result/optional
+/// packaging across the whole batch and moving *columns* (typed
+/// vectors + a string arena) instead of rows of variants. Batch
+/// boundaries are quiescent by construction — every tuple the operator
+/// consumed to produce the batch has been fully processed, and all of
+/// its output is materialized in the batch (or an internal spill
+/// buffer), so adaptation may safely fire between batches. The default
+/// implementation adapts Next(), which keeps every operator working
+/// during the row → columnar migration; pipeline operators override it
+/// natively.
+///
+/// NextBatch() — the row-of-Tuples protocol — survives only as a
+/// compatibility adapter for tests and examples: its default pulls
+/// Next() exactly as before, and the joins override it to materialize
+/// rows from their late-materialized refs. Rows produced by either
+/// protocol are byte-identical and in identical order.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -63,13 +72,19 @@ class Operator {
   virtual Result<std::optional<storage::Tuple>> Next() = 0;
 
   /// Refills `out` (cleared and schema-stamped first) with up to
-  /// out->capacity() output tuples. An empty batch after an OK return
-  /// signals end-of-stream. On error the partial batch is discarded and
-  /// the error returned, exactly as a failing Next() would surface it.
+  /// out->capacity() output rows in columnar form. An empty batch after
+  /// an OK return signals end-of-stream. On error the partial batch is
+  /// discarded and the error returned, exactly as a failing Next()
+  /// would surface it.
   ///
   /// Base-class behavior adapts Next(); overriding operators must keep
-  /// the same contract, including producing tuples in the same order
+  /// the same contract, including producing rows in the same order
   /// that repeated Next() calls would.
+  virtual Status NextColumnBatch(storage::ColumnBatch* out);
+
+  /// Row-protocol compatibility adapter (see class comment): refills
+  /// `out` with up to out->capacity() output tuples, same order and
+  /// end-of-stream convention as NextColumnBatch().
   virtual Status NextBatch(storage::TupleBatch* out);
 
   /// Releases resources; no Next() may follow.
@@ -106,14 +121,15 @@ class UnmaterializedCounter {
 
 /// \brief Knobs of the batched drain helpers.
 struct ExecOptions {
-  /// Rows pulled per NextBatch() call.
-  size_t batch_size = storage::TupleBatch::kDefaultCapacity;
+  /// Rows pulled per NextColumnBatch() call.
+  size_t batch_size = storage::ColumnBatch::kDefaultCapacity;
 };
 
-/// Drains `op` (Open/NextBatch*/Close) into a materialized relation.
-/// Row payloads are constructed exactly once, directly into the
-/// collected batches (late-materializing operators concatenate their
-/// stored tuples only at this point).
+/// Drains `op` (Open/NextColumnBatch*/Close) into a materialized
+/// relation. The pipeline moves columns; row payloads are constructed
+/// exactly once, at this sink (late-materializing operators write
+/// their stored columns into the batches, which are converted to rows
+/// only because Relation is row-backed).
 Result<storage::Relation> CollectAll(Operator* op,
                                      const ExecOptions& options = {});
 

@@ -38,7 +38,13 @@ Status RadixExchange::Refill(exec::Side side) {
   const size_t i = static_cast<size_t>(side);
   input_batch_[i].Reset(&inputs_[i]->output_schema(), batch_size_);
   input_pos_[i] = 0;
-  return inputs_[i]->NextBatch(&input_batch_[i]);
+  Status status = inputs_[i]->NextColumnBatch(&input_batch_[i]);
+  if (status.ok() && !input_batch_[i].empty()) {
+    // One vectorized hash pass per refill; the lane travels with every
+    // scattered row and is cached by the target shard's store.
+    input_batch_[i].ComputeKeyHashes(spec_.column(side));
+  }
+  return status;
 }
 
 Result<uint64_t> RadixExchange::RouteEpoch(
@@ -60,19 +66,14 @@ Result<uint64_t> RadixExchange::RouteEpoch(
         continue;
       }
     }
-    storage::Tuple tuple = std::move(input_batch_[i][input_pos_[i]++]);
+    const size_t row = input_pos_[i]++;
     scheduler_.OnRead(side);
 
-    RoutedTuple routed_tuple;
-    routed_tuple.side = side;
-    routed_tuple.seq = steps_;
-    routed_tuple.key_hash =
-        Fnv1a64(tuple[spec_.column(side)].AsString());
-    routed_tuple.tuple = std::move(tuple);
-    // Radix step: mix the cached FNV-1a hash so the modulo sees
-    // avalanche-quality bits, then partition.
-    const uint32_t shard = static_cast<uint32_t>(
-        Mix64(routed_tuple.key_hash) % num_shards_);
+    // Radix step: mix the lane's precomputed FNV-1a hash so the modulo
+    // sees avalanche-quality bits, then partition.
+    const uint64_t key_hash = input_batch_[i].key_hash(row);
+    const uint32_t shard =
+        static_cast<uint32_t>(Mix64(key_hash) % num_shards_);
 
     RouteEntry entry;
     entry.shard = shard;
@@ -80,8 +81,8 @@ Result<uint64_t> RadixExchange::RouteEpoch(
     entry.ordinal = static_cast<uint32_t>(side_count_[i]);
     entry.local_id =
         static_cast<storage::TupleId>(shards[shard]->routed_count(side));
-    routed_tuple.local_id = entry.local_id;
-    shards[shard]->Route(std::move(routed_tuple), entry.ordinal);
+    shards[shard]->RouteRow(side, input_batch_[i], row, steps_,
+                            entry.ordinal);
     route->push_back(entry);
 
     ++side_count_[i];

@@ -27,17 +27,20 @@ struct RouteEntry {
 };
 
 /// \brief The radix exchange: replays the single-threaded engine's
-/// input schedule and routes each tuple to a shard by join-key hash.
+/// input schedule and routes each row to a shard by join-key hash.
 ///
-/// Determinism is the whole point. The exchange pulls from the two
-/// children through the same InterleaveScheduler and the same buffered
-/// refill protocol as SymmetricJoin::PullNextInput, so the global step
-/// sequence — which side was read at step t, and when end-of-stream
-/// was discovered — is identical to the single-threaded run. The
-/// shard of a tuple is a pure function of its join key (mixed FNV-1a
-/// hash modulo shard count), which is what makes every exact match
-/// intra-shard. The key hash computed here travels with the tuple and
-/// is cached by the shard's TupleStore (never re-hashed).
+/// Determinism is the whole point. The exchange pulls columnar batches
+/// from the two children through the same InterleaveScheduler and the
+/// same buffered refill protocol as SymmetricJoin::PullNextInput, so
+/// the global step sequence — which side was read at step t, and when
+/// end-of-stream was discovered — is identical to the single-threaded
+/// run. The shard of a row is a pure function of its join key (mixed
+/// FNV-1a hash modulo shard count), which is what makes every exact
+/// match intra-shard. Routing *scatters column slices*: each row's
+/// cells are appended to the target shard's per-side pending
+/// ColumnBatch, together with the key hash from the batch's hash lane
+/// (computed once per refill, cached by the shard's TupleStore, never
+/// re-hashed) — no Tuple object moves through the exchange.
 class RadixExchange {
  public:
   /// Children are borrowed and must outlive the exchange. `spec`
@@ -51,7 +54,7 @@ class RadixExchange {
   /// children themselves are opened by the caller).
   void Reset();
 
-  /// Routes up to `max_steps` tuples into the shards' pending queues,
+  /// Routes up to `max_steps` rows into the shards' pending batches,
   /// appending one RouteEntry per step to `*route` (not cleared).
   /// Returns the number of steps routed; fewer than `max_steps` only
   /// at end-of-stream.
@@ -85,7 +88,7 @@ class RadixExchange {
   size_t num_shards_;
 
   exec::InterleaveScheduler scheduler_;
-  storage::TupleBatch input_batch_[2];
+  storage::ColumnBatch input_batch_[2];
   size_t input_pos_[2] = {0, 0};
   bool done_[2] = {false, false};
   uint64_t steps_ = 0;

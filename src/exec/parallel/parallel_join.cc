@@ -58,6 +58,7 @@ Status ParallelAdaptiveJoin::Open() {
   output_schema_ =
       join::JoinOutputSchema(left_->output_schema(), right_->output_schema(),
                              join_options.emit_similarity);
+  left_width_ = left_->output_schema().num_fields();
 
   const size_t n = options_.num_shards;
   shards_.clear();
@@ -66,6 +67,8 @@ Status ParallelAdaptiveJoin::Open() {
     shards_.push_back(std::make_unique<JoinShard>(
         static_cast<uint32_t>(i), join_options.spec, join_options.approx,
         state_));
+    shards_.back()->BindSchemas(&left_->output_schema(),
+                                &right_->output_schema());
     // Per-shard share of the size hints (slack for hash skew).
     shards_.back()->ReserveStores(
         join_options.left_size_hint == 0
@@ -437,21 +440,31 @@ Status ParallelAdaptiveJoin::EnsureOutput(bool* have_output) {
 
 storage::Tuple ParallelAdaptiveJoin::MaterializeRow(
     const ParallelMatchRef& ref) const {
-  const storage::Tuple& l =
-      shards_[ref.left_shard]->core().store(exec::Side::kLeft).Get(
-          ref.left_id);
-  const storage::Tuple& r =
-      shards_[ref.right_shard]->core().store(exec::Side::kRight).Get(
-          ref.right_id);
+  const storage::TupleStore& l =
+      shards_[ref.left_shard]->core().store(exec::Side::kLeft);
+  const storage::TupleStore& r =
+      shards_[ref.right_shard]->core().store(exec::Side::kRight);
   std::vector<storage::Value> values;
   const bool with_sim = options_.base.join.emit_similarity;
-  values.reserve(l.size() + r.size() + (with_sim ? 1 : 0));
-  values.insert(values.end(), l.values().begin(), l.values().end());
-  values.insert(values.end(), r.values().begin(), r.values().end());
+  values.reserve(l.num_columns() + r.num_columns() + (with_sim ? 1 : 0));
+  l.AppendValuesTo(ref.left_id, &values);
+  r.AppendValuesTo(ref.right_id, &values);
   if (with_sim) {
     values.emplace_back(ref.similarity);
   }
   return storage::Tuple(std::move(values));
+}
+
+void ParallelAdaptiveJoin::MaterializeRefInto(
+    const ParallelMatchRef& ref, storage::ColumnBatch* out) const {
+  shards_[ref.left_shard]->core().store(exec::Side::kLeft).AppendCellsTo(
+      ref.left_id, out, 0);
+  shards_[ref.right_shard]->core().store(exec::Side::kRight).AppendCellsTo(
+      ref.right_id, out, left_width_);
+  if (options_.base.join.emit_similarity) {
+    out->AppendDouble(output_schema_.num_fields() - 1, ref.similarity);
+  }
+  out->CommitRow();
 }
 
 Status ParallelAdaptiveJoin::NextMatchRefs(size_t max_refs,
@@ -481,7 +494,8 @@ Result<std::optional<storage::Tuple>> ParallelAdaptiveJoin::Next() {
       MaterializeRow(out_buffer_[out_pos_++]));
 }
 
-Status ParallelAdaptiveJoin::NextBatch(storage::TupleBatch* out) {
+template <typename Batch>
+Status ParallelAdaptiveJoin::FillBatch(Batch* out) {
   if (!open_) return Status::FailedPrecondition(name() + " not open");
   out->Reset(&output_schema_);
   // On error the partial batch is discarded per the Operator contract;
@@ -501,9 +515,17 @@ Status ParallelAdaptiveJoin::NextBatch(storage::TupleBatch* out) {
       return status;
     }
     if (!have_output) break;
-    out->Append(MaterializeRow(out_buffer_[out_pos_++]));
+    EmitRef(out_buffer_[out_pos_++], out);
   }
   return Status::OK();
+}
+
+Status ParallelAdaptiveJoin::NextColumnBatch(storage::ColumnBatch* out) {
+  return FillBatch(out);
+}
+
+Status ParallelAdaptiveJoin::NextBatch(storage::TupleBatch* out) {
+  return FillBatch(out);
 }
 
 Result<size_t> ParallelAdaptiveJoin::AdvanceUnmaterialized(size_t max_rows) {

@@ -94,6 +94,7 @@ class ParallelAdaptiveJoin : public exec::Operator,
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override {
@@ -113,6 +114,12 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// Concatenates the stored tuples of `ref` (left fields, right
   /// fields, optional similarity column).
   storage::Tuple MaterializeRow(const ParallelMatchRef& ref) const;
+
+  /// Columnar materialization of one ref: writes the output cells
+  /// straight from the shard stores' columns into `out` (no row
+  /// payload constructed).
+  void MaterializeRefInto(const ParallelMatchRef& ref,
+                          storage::ColumnBatch* out) const;
   /// @}
 
   /// exec::UnmaterializedCounter.
@@ -148,6 +155,25 @@ class ParallelAdaptiveJoin : public exec::Operator,
     uint32_t stored_ordinal = 0;
   };
 
+  /// Per-batch-type ref emission (the only difference between the two
+  /// delivery protocols).
+  void EmitRef(const ParallelMatchRef& ref,
+               storage::ColumnBatch* out) const {
+    MaterializeRefInto(ref, out);
+  }
+  void EmitRef(const ParallelMatchRef& ref,
+               storage::TupleBatch* out) const {
+    out->Append(MaterializeRow(ref));
+  }
+
+  /// Shared drive loop of NextColumnBatch/NextBatch: emits buffered
+  /// refs until the batch is full or the stream ends. On error the
+  /// partial batch is discarded and the output cursor rewound (valid
+  /// within one buffer generation), keeping the consumed refs
+  /// deliverable.
+  template <typename Batch>
+  Status FillBatch(Batch* out);
+
   /// Runs one epoch (control point, route, phases, merge). Sets
   /// `*stream_ended` when no step could be routed.
   Status PumpEpoch(bool* stream_ended);
@@ -177,6 +203,8 @@ class ParallelAdaptiveJoin : public exec::Operator,
   exec::Operator* right_;
   ParallelJoinOptions options_;
   storage::Schema output_schema_;
+  /// Left input arity (output column offset of the right fields).
+  size_t left_width_ = 0;
 
   std::vector<std::unique_ptr<JoinShard>> shards_;
   std::vector<JoinShard*> shard_ptrs_;

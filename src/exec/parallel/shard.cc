@@ -21,18 +21,38 @@ JoinShard::JoinShard(uint32_t index, const join::JoinSpec& spec,
   core_.SetProbeMode(exec::Side::kRight, RightMode(initial_state));
 }
 
-void JoinShard::Route(RoutedTuple tuple, uint32_t side_ordinal) {
-  const size_t s = static_cast<size_t>(tuple.side);
-  assert(tuple.local_id == seq_[s].size() &&
-         "routing order must match store append order");
-  seq_[s].push_back(tuple.seq);
+void JoinShard::BindSchemas(const storage::Schema* left,
+                            const storage::Schema* right) {
+  pending_rows_[0].Reset(left);
+  pending_rows_[1].Reset(right);
+  epoch_rows_[0].Reset(left);
+  epoch_rows_[1].Reset(right);
+}
+
+void JoinShard::RouteRow(exec::Side side, const storage::ColumnBatch& src,
+                         size_t src_row, uint64_t seq,
+                         uint32_t side_ordinal) {
+  const size_t s = static_cast<size_t>(side);
+  RoutedRow meta;
+  meta.side = side;
+  meta.local_id = static_cast<storage::TupleId>(seq_[s].size());
+  meta.row = static_cast<uint32_t>(pending_rows_[s].size());
+  meta.seq = seq;
+  seq_[s].push_back(seq);
   ordinal_[s].push_back(side_ordinal);
-  pending_input_.push_back(std::move(tuple));
+  // Column scatter: the row's slices (and its key-lane hash) land in
+  // the shard's pending batch; no Tuple object is ever constructed.
+  pending_rows_[s].AppendRowFrom(src, src_row);
+  pending_meta_.push_back(meta);
 }
 
 void JoinShard::BeginEpoch() {
-  epoch_input_.clear();
-  std::swap(epoch_input_, pending_input_);
+  for (size_t s = 0; s < 2; ++s) {
+    std::swap(epoch_rows_[s], pending_rows_[s]);
+    pending_rows_[s].Clear();
+  }
+  epoch_meta_.clear();
+  std::swap(epoch_meta_, pending_meta_);
   step_outputs_.clear();
   matches_.clear();
   cross_step_outputs_.clear();
@@ -40,12 +60,13 @@ void JoinShard::BeginEpoch() {
 }
 
 void JoinShard::RunBuildPhase() {
-  for (RoutedTuple& routed : epoch_input_) {
+  for (const RoutedRow& routed : epoch_meta_) {
     StepOutputs step;
     step.seq = routed.seq;
     step.begin = static_cast<uint32_t>(matches_.size());
-    core_.ProcessRoutedTupleInto(routed.side, std::move(routed.tuple),
-                                 routed.key_hash, &matches_);
+    core_.ProcessRowInto(routed.side,
+                         epoch_rows_[static_cast<size_t>(routed.side)],
+                         routed.row, &matches_);
     step.end = static_cast<uint32_t>(matches_.size());
     step_outputs_.push_back(step);
   }
@@ -53,7 +74,7 @@ void JoinShard::RunBuildPhase() {
 
 void JoinShard::RunCrossProbePhase(const std::vector<JoinShard*>& shards) {
   if (shards.size() <= 1) return;
-  for (const RoutedTuple& routed : epoch_input_) {
+  for (const RoutedRow& routed : epoch_meta_) {
     if (core_.probe_mode(routed.side) != join::ProbeMode::kApproximate) {
       continue;
     }

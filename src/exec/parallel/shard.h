@@ -9,23 +9,27 @@
 #include "join/hybrid_core.h"
 #include "join/join_types.h"
 #include "join/probe.h"
+#include "storage/column_batch.h"
 
 namespace aqp {
 namespace exec {
 namespace parallel {
 
-/// \brief One input tuple routed to a shard, with everything the shard
-/// needs to process it without recomputing exchange work: the shard-
-/// local id it will receive in its store (assigned at routing time, so
-/// routing order and store order agree by construction), the global
-/// step sequence number, and the join-key hash the exchange already
-/// computed to pick the shard.
-struct RoutedTuple {
+/// \brief Bookkeeping of one input row routed to a shard. The row's
+/// payload lives in the shard's per-side epoch ColumnBatch (scattered
+/// there by the exchange, column slice by column slice); this record
+/// carries everything else the shard needs to process it without
+/// recomputing exchange work: the shard-local id it will receive in
+/// its store (assigned at routing time, so routing order and store
+/// order agree by construction), the row's index in the side batch,
+/// and the global step sequence number. The join-key hash the exchange
+/// computed to pick the shard travels in the batch's hash lane.
+struct RoutedRow {
   exec::Side side = exec::Side::kLeft;
   storage::TupleId local_id = 0;
+  /// Row index into the epoch's per-side ColumnBatch.
+  uint32_t row = 0;
   uint64_t seq = 0;
-  uint64_t key_hash = 0;
-  storage::Tuple tuple;
 };
 
 /// \brief The matches of one global step, as a region of a shard's
@@ -50,12 +54,17 @@ struct CrossMatch {
 /// Partitioning is by join-key hash, so *every exact match is
 /// intra-shard* (equal keys hash equally) and the shard's own step
 /// loop — phase A — finds it with the exact prefix semantics of the
-/// single-threaded engine: the shard processes its tuples in global
+/// single-threaded engine: the shard processes its rows in global
 /// step order, and its stores grow in that order. Approximate matches
 /// may cross partitions; phase B fans each approximate probe out to
 /// the other shards' q-gram indexes after the phase-A barrier, gated
 /// by global sequence so a probe sees exactly the tuples the
 /// single-threaded join would have indexed before it.
+///
+/// Tuple transport is columnar end to end: the exchange scatters
+/// column slices into the shard's per-side pending ColumnBatch (no
+/// Tuple object exists between child scan and shard store), and phase
+/// A ingests `(key view, hash-lane hash, payload slice)` rows.
 ///
 /// Thread contract: phase methods run on one worker at a time. During
 /// phase A a shard touches only its own state. During phase B it reads
@@ -71,12 +80,21 @@ class JoinShard {
 
   /// \name Coordinator-side routing (between phase barriers).
   /// @{
-  /// Accepts one routed tuple for the *next* epoch and records its
-  /// seq/ordinal under the shard-local id it will occupy.
-  void Route(RoutedTuple tuple, uint32_t side_ordinal);
+  /// Stamps the per-side input batches with the children's schemas
+  /// (called once per Open, before any routing; the schemas must
+  /// outlive the shard).
+  void BindSchemas(const storage::Schema* left,
+                   const storage::Schema* right);
 
-  /// Swaps the routed tuples in as the current epoch's input and
-  /// clears the per-epoch output buffers.
+  /// Accepts row `src_row` of `src` for the *next* epoch: scatters the
+  /// row's column slices (and its key-lane hash) into the shard's
+  /// per-side pending batch and records its seq/ordinal under the
+  /// shard-local id it will occupy.
+  void RouteRow(exec::Side side, const storage::ColumnBatch& src,
+                size_t src_row, uint64_t seq, uint32_t side_ordinal);
+
+  /// Swaps the routed rows in as the current epoch's input and clears
+  /// the per-epoch output buffers.
   void BeginEpoch();
   /// @}
 
@@ -87,7 +105,7 @@ class JoinShard {
   /// per-step match regions.
   void RunBuildPhase();
 
-  /// Phase B: for every epoch tuple probing approximately, probe every
+  /// Phase B: for every epoch row probing approximately, probe every
   /// *other* shard's opposite q-gram index, keeping only stored tuples
   /// with an earlier global sequence.
   void RunCrossProbePhase(const std::vector<JoinShard*>& shards);
@@ -104,7 +122,7 @@ class JoinShard {
   join::HybridJoinCore* mutable_core() { return &core_; }
 
   /// Tuples ever routed to this shard from `side` (== the shard-local
-  /// id the next routed tuple of that side will receive).
+  /// id the next routed row of that side will receive).
   size_t routed_count(exec::Side side) const {
     return seq_[static_cast<size_t>(side)].size();
   }
@@ -148,10 +166,13 @@ class JoinShard {
   join::ApproxProbeOptions approx_options_;
   join::HybridJoinCore core_;
 
-  /// Routed-but-not-yet-processed tuples (next epoch), and the epoch
-  /// currently being processed.
-  std::vector<RoutedTuple> pending_input_;
-  std::vector<RoutedTuple> epoch_input_;
+  /// Routed-but-not-yet-processed rows (next epoch) and the epoch
+  /// currently being processed: per-side column batches plus the
+  /// routing bookkeeping, in routing (= global step) order.
+  storage::ColumnBatch pending_rows_[2];
+  storage::ColumnBatch epoch_rows_[2];
+  std::vector<RoutedRow> pending_meta_;
+  std::vector<RoutedRow> epoch_meta_;
 
   /// Shard-local id -> global seq / per-side ordinal, per side.
   /// Appended at routing time; read cross-shard during phase B (frozen

@@ -20,13 +20,26 @@ Result<std::optional<storage::Tuple>> RelationScan::Next() {
   return std::optional<storage::Tuple>(relation_->row(position_++));
 }
 
-Status RelationScan::NextBatch(storage::TupleBatch* out) {
+Status RelationScan::NextColumnBatch(storage::ColumnBatch* out) {
   if (!open_) return Status::FailedPrecondition("RelationScan not open");
   out->Reset(&relation_->schema());
   const size_t end =
       std::min(relation_->size(), position_ + out->capacity());
   // Unchecked row access: position_ < end <= size() by construction,
-  // and this copy loop feeds every join's input path.
+  // and this copy feeds every join's input path. Cells go straight
+  // into the column vectors — no Tuple/Value construction — with one
+  // type dispatch per column for the whole range.
+  const std::vector<storage::Tuple>& rows = relation_->rows();
+  out->AppendTupleRows(rows.data() + position_, end - position_);
+  position_ = end;
+  return Status::OK();
+}
+
+Status RelationScan::NextBatch(storage::TupleBatch* out) {
+  if (!open_) return Status::FailedPrecondition("RelationScan not open");
+  out->Reset(&relation_->schema());
+  const size_t end =
+      std::min(relation_->size(), position_ + out->capacity());
   const std::vector<storage::Tuple>& rows = relation_->rows();
   for (; position_ < end; ++position_) {
     out->Append(rows[position_]);
@@ -53,6 +66,17 @@ Result<std::optional<storage::Tuple>> VectorScan::Next() {
     return std::optional<storage::Tuple>();
   }
   return std::optional<storage::Tuple>(tuples_[position_++]);
+}
+
+Status VectorScan::NextColumnBatch(storage::ColumnBatch* out) {
+  if (!open_) return Status::FailedPrecondition("VectorScan not open");
+  out->Reset(&schema_);
+  const size_t end = std::min(tuples_.size(), position_ + out->capacity());
+  // Cell copies, not tuple copies: the scan stays re-openable and the
+  // batch owns plain bytes (column-major, like RelationScan).
+  out->AppendTupleRows(tuples_.data() + position_, end - position_);
+  position_ = end;
+  return Status::OK();
 }
 
 Status VectorScan::NextBatch(storage::TupleBatch* out) {

@@ -14,6 +14,11 @@ namespace exec {
 ///
 /// Non-owning: the relation must outlive the scan. Scans are always
 /// quiescent (they hold no cross-call per-tuple state).
+///
+/// NextColumnBatch is native: cells are written straight into the
+/// batch's column vectors/string arena, so no Tuple copy (one
+/// `vector<Value>` plus one heap string per row on this schema) ever
+/// happens on the scan→join hot path.
 class RelationScan : public Operator {
  public:
   /// Scans `relation` front to back.
@@ -22,6 +27,7 @@ class RelationScan : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override {
@@ -49,6 +55,7 @@ class VectorScan : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }

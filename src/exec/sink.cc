@@ -10,19 +10,22 @@ Result<size_t> Drain(Operator* op,
                      const DrainOptions& options) {
   AQP_RETURN_IF_ERROR(op->Open());
   size_t delivered = 0;
-  storage::TupleBatch batch(&op->output_schema(),
-                            options.batch_size == 0 ? 64 : options.batch_size);
+  storage::ColumnBatch batch(&op->output_schema(),
+                             options.batch_size == 0 ? 64
+                                                     : options.batch_size);
   bool stop = false;
   while (!stop) {
-    Status s = op->NextBatch(&batch);
+    Status s = op->NextColumnBatch(&batch);
     if (!s.ok()) {
       (void)op->Close();
       return s;
     }
     if (batch.empty()) break;
-    for (const storage::Tuple& tuple : batch) {
+    // The visitor consumes rows, so each delivered row materializes
+    // here — the sink boundary — and nowhere earlier.
+    for (size_t row = 0; row < batch.size(); ++row) {
       ++delivered;
-      if (!visitor(tuple)) {
+      if (!visitor(batch.MaterializeRow(row))) {
         stop = true;
         break;
       }

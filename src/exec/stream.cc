@@ -44,6 +44,21 @@ Result<std::optional<storage::Tuple>> PushSource::Next() {
   return std::optional<storage::Tuple>();
 }
 
+Status PushSource::NextColumnBatch(storage::ColumnBatch* out) {
+  if (!open_) return Status::FailedPrecondition("PushSource not open");
+  out->Reset(&schema_);
+  // Queued tuples decompose into the batch's columns here — the one
+  // row→column boundary of the push path.
+  while (!out->full() && !queue_.empty()) {
+    out->AppendTupleRow(queue_.front());
+    queue_.pop_front();
+  }
+  // Same contract as Next(): an empty result before Finish() means
+  // "no tuple yet", flagged through blocked().
+  blocked_ = out->empty() && !finished_;
+  return Status::OK();
+}
+
 Status PushSource::NextBatch(storage::TupleBatch* out) {
   if (!open_) return Status::FailedPrecondition("PushSource not open");
   out->Reset(&schema_);
@@ -51,8 +66,6 @@ Status PushSource::NextBatch(storage::TupleBatch* out) {
     out->Append(std::move(queue_.front()));
     queue_.pop_front();
   }
-  // Same contract as Next(): an empty result before Finish() means
-  // "no tuple yet", flagged through blocked().
   blocked_ = out->empty() && !finished_;
   return Status::OK();
 }
@@ -76,6 +89,20 @@ Result<std::optional<storage::Tuple>> GeneratorSource::Next() {
   std::optional<storage::Tuple> t = generator_();
   if (!t.has_value()) done_ = true;
   return t;
+}
+
+Status GeneratorSource::NextColumnBatch(storage::ColumnBatch* out) {
+  if (!open_) return Status::FailedPrecondition("GeneratorSource not open");
+  out->Reset(&schema_);
+  while (!out->full() && !done_) {
+    std::optional<storage::Tuple> t = generator_();
+    if (!t.has_value()) {
+      done_ = true;
+      break;
+    }
+    out->AppendTupleRow(*t);
+  }
+  return Status::OK();
 }
 
 Status GeneratorSource::NextBatch(storage::TupleBatch* out) {

@@ -36,6 +36,7 @@ class PushSource : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }
@@ -62,6 +63,7 @@ class GeneratorSource : public Operator {
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override { return schema_; }

@@ -1,5 +1,7 @@
 #include "join/hybrid_core.h"
 
+#include "common/hash.h"
+
 namespace aqp {
 namespace join {
 
@@ -31,18 +33,22 @@ void HybridJoinCore::MaintainLiveIndex(Side side) {
   }
 }
 
+size_t HybridJoinCore::ProcessRowInto(Side side,
+                                      const storage::ColumnBatch& batch,
+                                      size_t row,
+                                      std::vector<JoinMatch>* out) {
+  const size_t s = Idx(side);
+  const uint64_t hash =
+      batch.has_key_hashes()
+          ? batch.key_hash(row)
+          : Fnv1a64(batch.StringAt(stores_[s].join_column(), row));
+  return ProcessAddedTuple(side, stores_[s].AddRow(batch, row, hash), out);
+}
+
 size_t HybridJoinCore::ProcessTupleInto(Side side, storage::Tuple tuple,
                                         std::vector<JoinMatch>* out) {
   const size_t s = Idx(side);
   return ProcessAddedTuple(side, stores_[s].Add(std::move(tuple)), out);
-}
-
-size_t HybridJoinCore::ProcessRoutedTupleInto(Side side, storage::Tuple tuple,
-                                              uint64_t key_hash,
-                                              std::vector<JoinMatch>* out) {
-  const size_t s = Idx(side);
-  return ProcessAddedTuple(side, stores_[s].Add(std::move(tuple), key_hash),
-                           out);
 }
 
 size_t HybridJoinCore::ProcessAddedTuple(Side side, storage::TupleId id,

@@ -59,23 +59,30 @@ class HybridJoinCore {
   explicit HybridJoinCore(const JoinSpec& spec,
                           ApproxProbeOptions approx_options = {});
 
-  /// Ingests one tuple read from `side`: appends it to the side's
-  /// store, maintains the side's live index, and probes the opposite
-  /// side according to `probe_mode(side)`. Appends all matches for the
-  /// tuple (the step's complete output — afterwards the operator is
-  /// quiescent again) to `*out` and returns how many were appended.
-  /// Matched-exactly flags (§3.3) and distinct-match counters are
-  /// updated. The append-style interface lets the batched executor
-  /// reuse one scratch buffer for a whole batch of steps.
+  /// Ingests row `row` of `batch` as one tuple read from `side` — the
+  /// native columnar step: the side's store copies the payload slice
+  /// column-to-column and interns the key view with the hash from the
+  /// batch's key-hash lane (computed once per refill by the operator's
+  /// input path or the routing exchange, and carried along by the
+  /// per-shard column scatter; falls back to hashing the key bytes
+  /// when the lane is absent). A NULL join-key cell is treated as the
+  /// empty string — defined behavior where the row protocol rejects
+  /// NULL keys outright (Tuple::AsString on a NULL cell throws).
+  /// Maintains the side's live index and
+  /// probes the opposite side according to `probe_mode(side)`. Appends
+  /// all matches for the tuple (the step's complete output —
+  /// afterwards the operator is quiescent again) to `*out` and returns
+  /// how many were appended. Matched-exactly flags (§3.3) and
+  /// distinct-match counters are updated. The append-style interface
+  /// lets the batched executor reuse one scratch buffer for a whole
+  /// batch of steps.
+  size_t ProcessRowInto(Side side, const storage::ColumnBatch& batch,
+                        size_t row, std::vector<JoinMatch>* out);
+
+  /// Row-protocol compatibility step (tests, benches, tuple-at-a-time
+  /// callers): same semantics, tuple decomposed by the store.
   size_t ProcessTupleInto(Side side, storage::Tuple tuple,
                           std::vector<JoinMatch>* out);
-
-  /// Same, with the join-key hash already computed (the parallel
-  /// exchange hashed the key to route the tuple; the store caches the
-  /// given hash instead of re-hashing).
-  size_t ProcessRoutedTupleInto(Side side, storage::Tuple tuple,
-                                uint64_t key_hash,
-                                std::vector<JoinMatch>* out);
 
   /// Convenience wrapper returning a fresh vector per step (tests,
   /// tuple-at-a-time callers).

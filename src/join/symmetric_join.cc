@@ -34,6 +34,7 @@ Status SymmetricJoin::Open() {
   output_schema_ = JoinOutputSchema(left_->output_schema(),
                                     right_->output_schema(),
                                     options_.emit_similarity);
+  left_width_ = left_->output_schema().num_fields();
   open_ = true;
   left_done_ = false;
   right_done_ = false;
@@ -47,14 +48,13 @@ Status SymmetricJoin::Open() {
 }
 
 storage::Tuple SymmetricJoin::MaterializeRow(const MatchRef& ref) const {
-  const storage::Tuple& l =
-      core_.store(exec::Side::kLeft).Get(ref.left_id());
-  const storage::Tuple& r =
-      core_.store(exec::Side::kRight).Get(ref.right_id());
+  const storage::TupleStore& l = core_.store(exec::Side::kLeft);
+  const storage::TupleStore& r = core_.store(exec::Side::kRight);
   std::vector<storage::Value> values;
-  values.reserve(l.size() + r.size() + (options_.emit_similarity ? 1 : 0));
-  values.insert(values.end(), l.values().begin(), l.values().end());
-  values.insert(values.end(), r.values().begin(), r.values().end());
+  values.reserve(l.num_columns() + r.num_columns() +
+                 (options_.emit_similarity ? 1 : 0));
+  l.AppendValuesTo(ref.left_id(), &values);
+  r.AppendValuesTo(ref.right_id(), &values);
   if (options_.emit_similarity) {
     values.emplace_back(ref.similarity);
   }
@@ -68,6 +68,24 @@ void SymmetricJoin::MaterializeInto(const MatchBatch& matches,
   }
 }
 
+void SymmetricJoin::MaterializeRefInto(const MatchRef& ref,
+                                       storage::ColumnBatch* out) const {
+  core_.store(exec::Side::kLeft).AppendCellsTo(ref.left_id(), out, 0);
+  core_.store(exec::Side::kRight)
+      .AppendCellsTo(ref.right_id(), out, left_width_);
+  if (options_.emit_similarity) {
+    out->AppendDouble(output_schema_.num_fields() - 1, ref.similarity);
+  }
+  out->CommitRow();
+}
+
+void SymmetricJoin::MaterializeInto(const MatchBatch& matches,
+                                    storage::ColumnBatch* out) const {
+  for (const MatchRef& ref : matches) {
+    MaterializeRefInto(ref, out);
+  }
+}
+
 Status SymmetricJoin::RefillInput(exec::Side side) {
   const size_t i = static_cast<size_t>(side);
   exec::Operator* input = side == exec::Side::kLeft ? left_ : right_;
@@ -77,13 +95,20 @@ Status SymmetricJoin::RefillInput(exec::Side side) {
   // RunStepBatch): the §4.3 weight calibration prices join work, not
   // the children.
   Timer timer;
-  Status status = input->NextBatch(&input_batch_[i]);
+  Status status = input->NextColumnBatch(&input_batch_[i]);
   refill_excluded_ns_ += timer.ElapsedNanos();
+  if (status.ok() && !input_batch_[i].empty()) {
+    // One vectorized hash pass per refill: every step reads its key
+    // hash from the lane, and the store caches it without re-hashing.
+    // Deliberately *outside* the excluded window — key hashing is join
+    // work (the row engine hashed inside the timed step at store Add),
+    // so it must stay priced into the step batch's elapsed_ns.
+    input_batch_[i].ComputeKeyHashes(options_.spec.column(side));
+  }
   return status;
 }
 
-Result<bool> SymmetricJoin::PullNextInput(exec::Side* side,
-                                          storage::Tuple* tuple) {
+Result<bool> SymmetricJoin::PullNextInput(exec::Side* side, size_t* row) {
   while (true) {
     auto next_side = scheduler_.NextSide(left_done_, right_done_);
     if (!next_side.has_value()) return false;
@@ -104,20 +129,21 @@ Result<bool> SymmetricJoin::PullNextInput(exec::Side* side,
       }
     }
     *side = *next_side;
-    *tuple = std::move(input_batch_[i][input_pos_[i]++]);
+    *row = input_pos_[i]++;
     return true;
   }
 }
 
 Result<bool> SymmetricJoin::StepOnce(MatchBatch* out) {
   exec::Side side = exec::Side::kLeft;
-  storage::Tuple tuple;
-  auto pulled = PullNextInput(&side, &tuple);
+  size_t row = 0;
+  auto pulled = PullNextInput(&side, &row);
   if (!pulled.ok()) return pulled.status();
   if (!*pulled) return false;
   scheduler_.OnRead(side);
   match_scratch_.clear();
-  core_.ProcessTupleInto(side, std::move(tuple), &match_scratch_);
+  core_.ProcessRowInto(side, input_batch_[static_cast<size_t>(side)], row,
+                       &match_scratch_);
   ++steps_;
   StepObservables obs;
   // §3.3 attribution snapshots the matched-exactly flags now; by the
@@ -208,29 +234,55 @@ Result<std::optional<storage::Tuple>> SymmetricJoin::Next() {
   return std::optional<storage::Tuple>(std::move(out));
 }
 
-Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
+template <typename Batch>
+Status SymmetricJoin::FillBatch(Batch* out) {
   if (!open_) return Status::FailedPrecondition(name_ + " not open");
   out->Reset(&output_schema_);
-  // Compatibility adapter: pull refs sized to the caller's remaining
-  // room, then materialize straight into the caller's batch — rows are
-  // built exactly once, at the sink boundary.
-  while (!pending_.empty() && !out->full()) {
-    out->Append(MaterializeRow(pending_.front()));
-    pending_.pop_front();
+  // Refs spilled by a previous over-producing step go out first. They
+  // are erased only after the whole call succeeds: on error the
+  // partial batch is discarded (Operator contract) and the refs stay
+  // deliverable, exactly as a failing Next() drive would leave them.
+  size_t drained = 0;
+  while (drained < pending_.size() && !out->full()) {
+    EmitRef(pending_[drained++], out);
   }
   bool exhausted = false;
   while (!out->full() && !exhausted) {
-    AQP_RETURN_IF_ERROR(OnQuiescentPoint());
-    const uint64_t bound = StepsUntilControlPoint();
-    const uint64_t max_steps =
-        std::min<uint64_t>(bound, options_.batch_size);
-    adapter_batch_.Reset(out->capacity() - out->size());
-    AQP_RETURN_IF_ERROR(RunStepBatch(&adapter_batch_,
-                                     std::max<uint64_t>(1, max_steps),
-                                     &exhausted));
+    // Batch boundary: quiescent by construction.
+    Status step_status = OnQuiescentPoint();
+    if (step_status.ok()) {
+      // Round the batch edge to the subclass's next control point, so
+      // the control loop activates at the same step counts as under
+      // tuple-at-a-time execution regardless of batch_size.
+      const uint64_t bound = StepsUntilControlPoint();
+      const uint64_t max_steps =
+          std::min<uint64_t>(bound, options_.batch_size);
+      adapter_batch_.Reset(out->capacity() - out->size());
+      step_status = RunStepBatch(&adapter_batch_,
+                                 std::max<uint64_t>(1, max_steps),
+                                 &exhausted);
+    }
+    if (!step_status.ok()) {
+      out->Clear();
+      return step_status;
+    }
     MaterializeInto(adapter_batch_, out);
   }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(drained));
   return Status::OK();
+}
+
+// Native columnar delivery: output columns are written straight from
+// the stores — no row payload is ever constructed.
+Status SymmetricJoin::NextColumnBatch(storage::ColumnBatch* out) {
+  return FillBatch(out);
+}
+
+// Row-protocol compatibility adapter: rows are built exactly once, at
+// the sink boundary.
+Status SymmetricJoin::NextBatch(storage::TupleBatch* out) {
+  return FillBatch(out);
 }
 
 Status SymmetricJoin::Close() {

@@ -107,6 +107,7 @@ class SymmetricJoin : public exec::Operator, public exec::UnmaterializedCounter 
 
   Status Open() override;
   Result<std::optional<storage::Tuple>> Next() override;
+  Status NextColumnBatch(storage::ColumnBatch* out) override;
   Status NextBatch(storage::TupleBatch* out) override;
   Status Close() override;
   const storage::Schema& output_schema() const override {
@@ -126,14 +127,21 @@ class SymmetricJoin : public exec::Operator, public exec::UnmaterializedCounter 
   Status NextMatchBatch(MatchBatch* out);
 
   /// Concatenates the stored tuples of `ref` (left fields, right
-  /// fields, optional similarity column) — the only place join output
-  /// rows are constructed.
+  /// fields, optional similarity column) — row construction exists
+  /// only here and in the row-batch adapter below.
   storage::Tuple MaterializeRow(const MatchRef& ref) const;
 
   /// Materializes every ref of `matches` into `out`, in order. The
   /// caller ensures `out` has room (soft capacity, as TupleBatch).
   void MaterializeInto(const MatchBatch& matches,
                        storage::TupleBatch* out) const;
+
+  /// Columnar materialization: writes every ref's output cells —
+  /// left store columns, right store columns, optional similarity —
+  /// straight into `out`'s column vectors, arena to arena. No row
+  /// payload is constructed (this is what the columnar sinks drive).
+  void MaterializeInto(const MatchBatch& matches,
+                       storage::ColumnBatch* out) const;
 
   /// exec::UnmaterializedCounter: produce and count up to `max_rows`
   /// output refs without building rows.
@@ -176,12 +184,36 @@ class SymmetricJoin : public exec::Operator, public exec::UnmaterializedCounter 
   HybridJoinCore* mutable_core() { return &core_; }
 
  private:
-  /// Refills `side`'s input buffer with the child's next batch.
+  /// Writes one ref's output cells into `out` (shared body of the
+  /// columnar materialization paths).
+  void MaterializeRefInto(const MatchRef& ref,
+                          storage::ColumnBatch* out) const;
+
+  /// Per-batch-type ref emission (the only difference between the two
+  /// delivery protocols).
+  void EmitRef(const MatchRef& ref, storage::ColumnBatch* out) const {
+    MaterializeRefInto(ref, out);
+  }
+  void EmitRef(const MatchRef& ref, storage::TupleBatch* out) const {
+    out->Append(MaterializeRow(ref));
+  }
+
+  /// Shared drive loop of NextColumnBatch/NextBatch: deliver spilled
+  /// pending refs, then run step batches until the caller's batch is
+  /// full or input is exhausted. On error the partial batch is
+  /// discarded and pending_ is left untouched (drained refs are only
+  /// erased once the call succeeds), so no produced ref is ever lost.
+  template <typename Batch>
+  Status FillBatch(Batch* out);
+
+  /// Refills `side`'s input buffer with the child's next columnar
+  /// batch and precomputes the join-key hash lane over it.
   Status RefillInput(exec::Side side);
 
-  /// Pulls the next scheduler-ordered input tuple into *side/*tuple.
-  /// Returns false when both inputs are exhausted.
-  Result<bool> PullNextInput(exec::Side* side, storage::Tuple* tuple);
+  /// Pulls the next scheduler-ordered input row: *side says which
+  /// input, *row indexes into input_batch_[*side]. Returns false when
+  /// both inputs are exhausted.
+  Result<bool> PullNextInput(exec::Side* side, size_t* row);
 
   /// Executes one step: consume one input tuple, probe, and append the
   /// step's match refs (to `out` while it has room, spilling the rest
@@ -204,9 +236,13 @@ class SymmetricJoin : public exec::Operator, public exec::UnmaterializedCounter 
   /// Produced-but-undelivered match refs: filled by Next()'s one-step
   /// batches and by step outputs overflowing a batch target.
   std::deque<MatchRef> pending_;
-  /// Read-ahead buffers over the children, one per side.
-  storage::TupleBatch input_batch_[2];
+  /// Read-ahead columnar buffers over the children, one per side.
+  /// Rows are consumed in place (the step copies the payload slice
+  /// into the store), so nothing is ever moved out of them.
+  storage::ColumnBatch input_batch_[2];
   size_t input_pos_[2] = {0, 0};
+  /// Left input arity (output column offset of the right fields).
+  size_t left_width_ = 0;
   /// Scratch reused across steps (cleared per step, capacity kept).
   std::vector<JoinMatch> match_scratch_;
   /// Ref batch reused by the row/count adapters (NextBatch,

@@ -1,0 +1,258 @@
+#include "storage/column_batch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace aqp {
+namespace storage {
+
+void ColumnBatch::DieArenaOverflow() {
+  std::fprintf(stderr,
+               "ColumnBatch: string arena exceeds the 4 GiB addressed by "
+               "its 32-bit offsets (batch far beyond intended capacity)\n");
+  std::abort();
+}
+
+void ColumnBatch::Reset(const Schema* schema, size_t capacity) {
+  if (capacity > 0) capacity_ = capacity;
+  if (schema == schema_ && schema != nullptr &&
+      columns_.size() == schema->num_fields()) {
+    // Steady-state refill: same layout, keep every allocation.
+    Clear();
+    return;
+  }
+  schema_ = schema;
+  columns_.clear();
+  arena_.clear();
+  key_hashes_.clear();
+  num_rows_ = 0;
+  if (schema_ == nullptr) return;
+  columns_.resize(schema_->num_fields());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].type = schema_->field(i).type;
+    columns_[i].nulls.reserve(capacity_);
+    switch (columns_[i].type) {
+      case ValueType::kInt64:
+        columns_[i].i64.reserve(capacity_);
+        break;
+      case ValueType::kDouble:
+        columns_[i].f64.reserve(capacity_);
+        break;
+      default:
+        columns_[i].offset.reserve(capacity_);
+        columns_[i].len.reserve(capacity_);
+        break;
+    }
+  }
+}
+
+void ColumnBatch::Clear() {
+  for (Column& c : columns_) {
+    c.nulls.clear();
+    c.i64.clear();
+    c.f64.clear();
+    c.offset.clear();
+    c.len.clear();
+  }
+  arena_.clear();
+  key_hashes_.clear();
+  num_rows_ = 0;
+}
+
+void ColumnBatch::AppendTupleRow(const Tuple& tuple) {
+  assert(tuple.size() == columns_.size() &&
+         "tuple arity does not match batch schema");
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    const Value& v = tuple[col];
+    if (v.is_null()) {
+      AppendNull(col);
+      continue;
+    }
+    switch (columns_[col].type) {
+      case ValueType::kInt64:
+        AppendInt64(col, v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        AppendDouble(col, v.AsDouble());
+        break;
+      default:
+        AppendString(col, v.AsStringView());
+        break;
+    }
+  }
+  CommitRow();
+}
+
+void ColumnBatch::AppendTupleRows(const Tuple* rows, size_t count) {
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    Column& c = columns_[col];
+    switch (c.type) {
+      case ValueType::kInt64:
+        for (size_t i = 0; i < count; ++i) {
+          const Value& v = rows[i][col];
+          if (v.is_null()) {
+            c.nulls.push_back(1);
+            c.i64.push_back(0);
+          } else {
+            c.nulls.push_back(0);
+            c.i64.push_back(v.AsInt64());
+          }
+        }
+        break;
+      case ValueType::kDouble:
+        for (size_t i = 0; i < count; ++i) {
+          const Value& v = rows[i][col];
+          if (v.is_null()) {
+            c.nulls.push_back(1);
+            c.f64.push_back(0.0);
+          } else {
+            c.nulls.push_back(0);
+            c.f64.push_back(v.AsDouble());
+          }
+        }
+        break;
+      default:
+        for (size_t i = 0; i < count; ++i) {
+          const Value& v = rows[i][col];
+          if (v.is_null()) {
+            c.nulls.push_back(1);
+            c.offset.push_back(0);
+            c.len.push_back(0);
+          } else {
+            const std::string_view bytes = v.AsStringView();
+            if (arena_.size() + bytes.size() > UINT32_MAX) {
+              DieArenaOverflow();
+            }
+            c.nulls.push_back(0);
+            c.offset.push_back(static_cast<uint32_t>(arena_.size()));
+            c.len.push_back(static_cast<uint32_t>(bytes.size()));
+            arena_.insert(arena_.end(), bytes.begin(), bytes.end());
+          }
+        }
+        break;
+    }
+  }
+  num_rows_ += count;
+}
+
+void ColumnBatch::AppendRowFrom(const ColumnBatch& src, size_t row) {
+  assert(src.num_columns() == num_columns() &&
+         "column scatter between different layouts");
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    if (src.IsNull(col, row)) {
+      AppendNull(col);
+      continue;
+    }
+    switch (columns_[col].type) {
+      case ValueType::kInt64:
+        AppendInt64(col, src.Int64At(col, row));
+        break;
+      case ValueType::kDouble:
+        AppendDouble(col, src.DoubleAt(col, row));
+        break;
+      default:
+        AppendString(col, src.StringAt(col, row));
+        break;
+    }
+  }
+  if (!src.key_hashes_.empty()) {
+    key_hashes_.push_back(src.key_hashes_[row]);
+  }
+  CommitRow();
+}
+
+Value ColumnBatch::ValueAt(size_t col, size_t row) const {
+  if (IsNull(col, row)) return Value();
+  switch (columns_[col].type) {
+    case ValueType::kInt64:
+      return Value(Int64At(col, row));
+    case ValueType::kDouble:
+      return Value(DoubleAt(col, row));
+    default:
+      return Value(std::string(StringAt(col, row)));
+  }
+}
+
+void ColumnBatch::MaterializeRowInto(size_t row,
+                                     std::vector<Value>* out) const {
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    out->push_back(ValueAt(col, row));
+  }
+}
+
+Tuple ColumnBatch::MaterializeRow(size_t row) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  MaterializeRowInto(row, &values);
+  return Tuple(std::move(values));
+}
+
+void ColumnBatch::ComputeKeyHashes(size_t col) {
+  key_hashes_.clear();
+  key_hashes_.reserve(num_rows_);
+  const Column& c = columns_[col];
+  assert(c.type == ValueType::kString && "join-key column must be string");
+  for (size_t row = 0; row < num_rows_; ++row) {
+    key_hashes_.push_back(Fnv1a64(
+        std::string_view(arena_.data() + c.offset[row], c.len[row])));
+  }
+}
+
+Status ColumnBatch::Validate() const {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("ColumnBatch has no schema");
+  }
+  if (columns_.size() != schema_->num_fields()) {
+    return Status::Internal("column count does not match schema");
+  }
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    const Column& c = columns_[col];
+    if (c.nulls.size() != num_rows_) {
+      return Status::Internal("column " + std::to_string(col) +
+                              " null lane misaligned");
+    }
+    size_t lane = 0;
+    switch (c.type) {
+      case ValueType::kInt64:
+        lane = c.i64.size();
+        break;
+      case ValueType::kDouble:
+        lane = c.f64.size();
+        break;
+      default:
+        lane = c.offset.size();
+        if (c.len.size() != lane) {
+          return Status::Internal("column " + std::to_string(col) +
+                                  " string lanes misaligned");
+        }
+        break;
+    }
+    if (lane != num_rows_) {
+      return Status::Internal("column " + std::to_string(col) +
+                              " value lane misaligned");
+    }
+  }
+  if (!key_hashes_.empty() && key_hashes_.size() != num_rows_) {
+    return Status::Internal("key-hash lane misaligned");
+  }
+  return Status::OK();
+}
+
+std::string ColumnBatch::ToString(size_t limit) const {
+  std::ostringstream os;
+  os << "ColumnBatch(" << num_rows_ << "/" << capacity_ << ")";
+  const size_t shown = limit == 0 ? num_rows_ : std::min(limit, num_rows_);
+  for (size_t row = 0; row < shown; ++row) {
+    os << "\n  " << MaterializeRow(row).ToString();
+  }
+  if (shown < num_rows_) {
+    os << "\n  ... " << (num_rows_ - shown) << " more";
+  }
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace aqp

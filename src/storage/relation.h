@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/column_batch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "storage/tuple_batch.h"
@@ -44,13 +45,23 @@ class Relation {
   void AppendUnchecked(Tuple tuple) { rows_.push_back(std::move(tuple)); }
 
   /// Splices a batch's rows onto the relation without validation,
-  /// leaving the batch empty (batched CollectAll hot path).
+  /// leaving the batch empty (row-protocol compatibility path).
   void AppendBatchUnchecked(TupleBatch* batch) {
     rows_.reserve(rows_.size() + batch->size());
     for (Tuple& tuple : *batch) {
       rows_.push_back(std::move(tuple));
     }
     batch->Clear();
+  }
+
+  /// Materializes a columnar batch's rows onto the relation without
+  /// validation (batched CollectAll sink: the only place the columnar
+  /// pipeline constructs row payloads).
+  void AppendColumnBatchUnchecked(const ColumnBatch& batch) {
+    rows_.reserve(rows_.size() + batch.size());
+    for (size_t row = 0; row < batch.size(); ++row) {
+      rows_.push_back(batch.MaterializeRow(row));
+    }
   }
 
   /// Reserves row capacity.

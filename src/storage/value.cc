@@ -1,6 +1,6 @@
 #include "storage/value.h"
 
-#include <sstream>
+#include "common/string_util.h"
 
 namespace aqp {
 namespace storage {
@@ -19,31 +19,17 @@ const char* ValueTypeName(ValueType type) {
   return "?";
 }
 
-ValueType Value::type() const {
-  switch (data_.index()) {
-    case 0:
-      return ValueType::kNull;
-    case 1:
-      return ValueType::kInt64;
-    case 2:
-      return ValueType::kDouble;
-    case 3:
-      return ValueType::kString;
-  }
-  return ValueType::kNull;
-}
-
 std::string Value::ToString() const {
   switch (type()) {
     case ValueType::kNull:
       return "NULL";
     case ValueType::kInt64:
       return std::to_string(AsInt64());
-    case ValueType::kDouble: {
-      std::ostringstream os;
-      os << AsDouble();
-      return os.str();
-    }
+    case ValueType::kDouble:
+      // Shortest round-trip form, shared with CsvWriter::Field(double)
+      // — the two renderings previously disagreed (ostream default
+      // precision 6 here vs std::to_chars there).
+      return FormatDoubleShortest(AsDouble());
     case ValueType::kString:
       return AsString();
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <variant>
 
 namespace aqp {
@@ -44,10 +45,12 @@ class Value {
   Value& operator=(const Value&) = default;
   Value& operator=(Value&&) noexcept = default;
 
-  /// The runtime type of the value.
-  ValueType type() const;
+  /// The runtime type of the value. Inline: the variant's alternative
+  /// order mirrors ValueType (checked below), and the batch-fill loops
+  /// ask per cell.
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
 
-  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_null() const { return data_.index() == 0; }
 
   /// \name Typed accessors. Calling the wrong accessor is a programming
   /// error (asserts in debug builds, undefined otherwise).
@@ -71,7 +74,26 @@ class Value {
   friend bool operator<(const Value& a, const Value& b);
 
  private:
-  std::variant<std::monostate, int64_t, double, std::string> data_;
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  Data data_;
+
+  // type() casts the variant index straight to ValueType; keep the
+  // alternative order and the enum in lockstep.
+  static_assert(std::is_same_v<std::variant_alternative_t<
+                                   static_cast<size_t>(ValueType::kNull), Data>,
+                               std::monostate>);
+  static_assert(
+      std::is_same_v<std::variant_alternative_t<
+                         static_cast<size_t>(ValueType::kInt64), Data>,
+                     int64_t>);
+  static_assert(
+      std::is_same_v<std::variant_alternative_t<
+                         static_cast<size_t>(ValueType::kDouble), Data>,
+                     double>);
+  static_assert(
+      std::is_same_v<std::variant_alternative_t<
+                         static_cast<size_t>(ValueType::kString), Data>,
+                     std::string>);
 };
 
 }  // namespace storage

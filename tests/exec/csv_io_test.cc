@@ -1,0 +1,181 @@
+#include "exec/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/scan.h"
+#include "storage/relation.h"
+#include "storage/relation_io.h"
+
+namespace aqp {
+namespace exec {
+namespace {
+
+using storage::Field;
+using storage::Relation;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"loc", ValueType::kString},
+                 {"lat", ValueType::kDouble}});
+}
+
+TEST(CsvSourceTest, ParsesTypedColumnsDirectly) {
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "1,alpha,0.5\n"
+                   "2,\"beta, quoted\",-1.25\n"
+                   "3,gamma,\n");
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  ASSERT_TRUE(source.NextColumnBatch(&batch).ok());
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.Int64At(0, 0), 1);
+  EXPECT_EQ(batch.StringAt(1, 1), "beta, quoted");
+  EXPECT_DOUBLE_EQ(batch.DoubleAt(2, 1), -1.25);
+  EXPECT_TRUE(batch.IsNull(2, 2));  // empty non-string cell is NULL
+  // End-of-stream: an empty batch.
+  ASSERT_TRUE(source.NextColumnBatch(&batch).ok());
+  EXPECT_TRUE(batch.empty());
+  ASSERT_TRUE(source.Close().ok());
+}
+
+TEST(CsvSourceTest, AgreesWithReadRelationCsv) {
+  const std::string text =
+      "id,loc,lat\n"
+      "10,\"has \"\"quotes\"\"\",3.25\n"
+      "11,plain,0\n"
+      "12,crlf line,-7.5\r\n"
+      "13,last,2\n";
+  std::istringstream in(text);
+  auto relation = storage::ReadRelationCsv(TestSchema(), &in);
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+
+  CsvSource source(TestSchema(), text);
+  auto collected = CollectAll(&source);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  ASSERT_EQ(collected->size(), relation->size());
+  for (size_t i = 0; i < relation->size(); ++i) {
+    EXPECT_EQ(collected->row(i), relation->row(i)) << "row " << i;
+  }
+}
+
+TEST(CsvSourceTest, NextAdapterMatchesColumnarRows) {
+  const std::string text = "id,loc,lat\n1,a,0.5\n2,b,1.5\n";
+  CsvSource columnar(TestSchema(), text);
+  auto rows = CollectAll(&columnar);
+  ASSERT_TRUE(rows.ok());
+
+  CsvSource tuple_wise(TestSchema(), text);
+  ASSERT_TRUE(tuple_wise.Open().ok());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    auto next = tuple_wise.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    EXPECT_EQ(**next, rows->row(i)) << "row " << i;
+  }
+  auto end = tuple_wise.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+  ASSERT_TRUE(tuple_wise.Close().ok());
+}
+
+TEST(CsvSourceTest, SkipsBlankLinesLikeParseCsv) {
+  // ParseCsv (and therefore ReadRelationCsv) silently skips blank
+  // lines; the columnar reader must load such feeds identically.
+  const std::string text = "id,loc,lat\n1,a,0.5\n\n2,b,1.5\r\n\n\n3,c,2.5\n\n";
+  std::istringstream in(text);
+  auto relation = storage::ReadRelationCsv(TestSchema(), &in);
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+  ASSERT_EQ(relation->size(), 3u);
+
+  CsvSource source(TestSchema(), text);
+  auto collected = CollectAll(&source);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  ASSERT_EQ(collected->size(), relation->size());
+  for (size_t i = 0; i < relation->size(); ++i) {
+    EXPECT_EQ(collected->row(i), relation->row(i)) << "row " << i;
+  }
+}
+
+TEST(CsvSourceTest, QuotedNewlinesAreContentAndKeepLineNumbersRight) {
+  // A quoted field may span physical lines; the embedded newline is
+  // content, and diagnostics after it must still report the right
+  // physical line.
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "1,\"two\nlines\",0.5\n"
+                   "bad,x,1\n");
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  const Status s = source.NextColumnBatch(&batch);
+  ASSERT_FALSE(s.ok());
+  // The malformed record starts on physical line 4 (the quoted field
+  // consumed lines 2-3).
+  EXPECT_NE(s.message().find("line 4"), std::string::npos) << s.ToString();
+
+  CsvSource good(TestSchema(), "id,loc,lat\n1,\"two\nlines\",0.5\n");
+  auto rows = CollectAll(&good);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->row(0).at(1).AsString(), "two\nlines");
+}
+
+TEST(CsvSourceTest, RejectsHeaderMismatch) {
+  CsvSource source(TestSchema(), "id,wrong,lat\n1,a,0.5\n");
+  EXPECT_FALSE(source.Open().ok());
+}
+
+TEST(CsvSourceTest, RejectsBadCellsWithLineNumbers) {
+  CsvSource source(TestSchema(), "id,loc,lat\n1,a,0.5\nnope,b,1\n");
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  const Status s = source.NextColumnBatch(&batch);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  EXPECT_TRUE(batch.empty());  // partial batch discarded
+}
+
+TEST(CsvSourceTest, RejectsArityMismatch) {
+  CsvSource source(TestSchema(), "id,loc,lat\n1,a\n");
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  EXPECT_FALSE(source.NextColumnBatch(&batch).ok());
+}
+
+TEST(WriteOperatorCsvTest, MatchesWriteRelationCsv) {
+  Relation relation(TestSchema());
+  ASSERT_TRUE(relation.Append(Tuple{Value(1), Value("alpha"), Value(0.5)}).ok());
+  ASSERT_TRUE(
+      relation.Append(Tuple{Value(2), Value("with, comma"), Value()}).ok());
+  ASSERT_TRUE(
+      relation.Append(Tuple{Value(3), Value("q\"uote"), Value(1e-9)}).ok());
+
+  std::ostringstream expected;
+  storage::WriteRelationCsv(relation, &expected);
+
+  RelationScan scan(&relation);
+  std::ostringstream actual;
+  auto written = WriteOperatorCsv(&scan, &actual);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, relation.size());
+  // The operator sink writes shortest-round-trip doubles like
+  // CsvWriter::Field; WriteRelationCsv uses precision-17 ostream
+  // formatting, so compare by re-parsing instead of bytes.
+  CsvSource reparse(TestSchema(), actual.str());
+  auto round_trip = CollectAll(&reparse);
+  ASSERT_TRUE(round_trip.ok()) << round_trip.status().ToString();
+  ASSERT_EQ(round_trip->size(), relation.size());
+  for (size_t i = 0; i < relation.size(); ++i) {
+    EXPECT_EQ(round_trip->row(i), relation.row(i)) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aqp

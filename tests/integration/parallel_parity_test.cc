@@ -181,6 +181,37 @@ TEST(ParallelParityTest, DriveModesAgreeAtFourShards) {
   }
 }
 
+TEST(ParallelParityTest, ColumnarProtocolMatchesRowAdapterEveryShardCount) {
+  // The native columnar drive (NextColumnBatch, cells written straight
+  // from the shard stores' columns) must agree with the row adapter —
+  // and therefore with the single-threaded reference — for every shard
+  // count: byte-identical row sequences and adaptation traces.
+  const datagen::TestCase tc = PaperCase();
+  const ReferenceRun reference = RunSingleThreaded(tc, BaseOptions(tc));
+  ASSERT_GT(reference.result.size(), 0u);
+  for (size_t shards : kShardCounts) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelJoinOptions options;
+    options.base = BaseOptions(tc);
+    options.num_shards = shards;
+    ParallelAdaptiveJoin join(&child, &parent, options);
+    ASSERT_TRUE(join.Open().ok());
+    storage::Relation collected(join.output_schema());
+    storage::ColumnBatch batch(&join.output_schema(), 97);
+    while (true) {
+      ASSERT_TRUE(join.NextColumnBatch(&batch).ok());
+      if (batch.empty()) break;
+      ASSERT_TRUE(batch.Validate().ok());
+      collected.AppendColumnBatchUnchecked(batch);
+    }
+    ASSERT_TRUE(join.Close().ok());
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectSameRows(collected, reference.result);
+    ExpectSameTrace(join.trace(), reference.trace);
+  }
+}
+
 TEST(ParallelParityTest, ChildBatchSizesDoNotChangeResults) {
   const datagen::TestCase tc = PaperCase();
   const ReferenceRun reference = RunSingleThreaded(tc, BaseOptions(tc));

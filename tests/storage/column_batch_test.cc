@@ -1,0 +1,164 @@
+#include "storage/column_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace aqp {
+namespace storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"loc", ValueType::kString},
+                 {"lat", ValueType::kDouble}});
+}
+
+TEST(ColumnBatchTest, CellWiseAppendAndTypedAccess) {
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 8);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.num_columns(), 3u);
+
+  batch.AppendInt64(0, 7);
+  batch.AppendString(1, "SANTA CRISTINA");
+  batch.AppendDouble(2, 1.5);
+  batch.CommitRow();
+  batch.AppendInt64(0, 8);
+  batch.AppendString(1, "PROLOQUIO");
+  batch.AppendNull(2);
+  batch.CommitRow();
+
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.Int64At(0, 0), 7);
+  EXPECT_EQ(batch.StringAt(1, 0), "SANTA CRISTINA");
+  EXPECT_DOUBLE_EQ(batch.DoubleAt(2, 0), 1.5);
+  EXPECT_FALSE(batch.IsNull(2, 0));
+  EXPECT_TRUE(batch.IsNull(2, 1));
+  EXPECT_EQ(batch.StringAt(1, 1), "PROLOQUIO");
+  EXPECT_TRUE(batch.Validate().ok());
+}
+
+TEST(ColumnBatchTest, TupleRowRoundTrip) {
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 4);
+  const Tuple a{Value(1), Value("alpha"), Value(0.25)};
+  const Tuple b{Value(2), Value(""), Value()};
+  const Tuple c{Value(), Value("gamma"), Value(-3.5)};
+  batch.AppendTupleRow(a);
+  batch.AppendTupleRow(b);
+  batch.AppendTupleRow(c);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.MaterializeRow(0), a);
+  EXPECT_EQ(batch.MaterializeRow(1), b);
+  EXPECT_EQ(batch.MaterializeRow(2), c);
+}
+
+TEST(ColumnBatchTest, StringArenaIsShared) {
+  Schema schema({{"a", ValueType::kString}, {"b", ValueType::kString}});
+  ColumnBatch batch(&schema, 4);
+  batch.AppendString(0, "one");
+  batch.AppendString(1, "two");
+  batch.CommitRow();
+  // Both columns' bytes live in one arena, in append order.
+  EXPECT_EQ(batch.StringAt(0, 0).data() + 3, batch.StringAt(1, 0).data());
+}
+
+TEST(ColumnBatchTest, KeyHashLaneMatchesFnv1a) {
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 4);
+  batch.AppendTupleRow(Tuple{Value(1), Value("alpha"), Value(0.0)});
+  batch.AppendTupleRow(Tuple{Value(2), Value("beta"), Value(0.0)});
+  EXPECT_FALSE(batch.has_key_hashes());
+  batch.ComputeKeyHashes(1);
+  ASSERT_TRUE(batch.has_key_hashes());
+  EXPECT_EQ(batch.key_hash(0), Fnv1a64("alpha"));
+  EXPECT_EQ(batch.key_hash(1), Fnv1a64("beta"));
+  EXPECT_TRUE(batch.Validate().ok());
+}
+
+TEST(ColumnBatchTest, AppendRowFromScattersSliceAndHash) {
+  Schema schema = TestSchema();
+  ColumnBatch src(&schema, 4);
+  src.AppendTupleRow(Tuple{Value(1), Value("alpha"), Value(0.5)});
+  src.AppendTupleRow(Tuple{Value(2), Value("beta"), Value()});
+  src.ComputeKeyHashes(1);
+
+  ColumnBatch dst(&schema, 4);
+  dst.AppendRowFrom(src, 1);
+  dst.AppendRowFrom(src, 0);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.MaterializeRow(0), src.MaterializeRow(1));
+  EXPECT_EQ(dst.MaterializeRow(1), src.MaterializeRow(0));
+  ASSERT_TRUE(dst.has_key_hashes());
+  EXPECT_EQ(dst.key_hash(0), Fnv1a64("beta"));
+  EXPECT_EQ(dst.key_hash(1), Fnv1a64("alpha"));
+}
+
+TEST(ColumnBatchTest, ResetSameSchemaKeepsLayoutAndClearsRows) {
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 4);
+  batch.AppendTupleRow(Tuple{Value(1), Value("alpha"), Value(0.5)});
+  batch.ComputeKeyHashes(1);
+  batch.Reset(&schema);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.num_columns(), 3u);
+  EXPECT_EQ(batch.capacity(), 4u);
+  // Lane cleared with the rows.
+  batch.AppendTupleRow(Tuple{Value(2), Value("beta"), Value(1.5)});
+  EXPECT_FALSE(batch.has_key_hashes());
+  EXPECT_EQ(batch.StringAt(1, 0), "beta");
+}
+
+TEST(ColumnBatchTest, ResetDifferentSchemaRebuildsColumns) {
+  Schema first = TestSchema();
+  Schema second({{"x", ValueType::kString}});
+  ColumnBatch batch(&first, 4);
+  batch.AppendTupleRow(Tuple{Value(1), Value("alpha"), Value(0.5)});
+  batch.Reset(&second, 2);
+  EXPECT_EQ(batch.num_columns(), 1u);
+  EXPECT_EQ(batch.capacity(), 2u);
+  batch.AppendString(0, "solo");
+  batch.CommitRow();
+  EXPECT_EQ(batch.StringAt(0, 0), "solo");
+}
+
+TEST(ColumnBatchTest, SoftCapacityGrowsPastFull) {
+  Schema schema({{"x", ValueType::kInt64}});
+  ColumnBatch batch(&schema, 2);
+  for (int i = 0; i < 5; ++i) {
+    batch.AppendInt64(0, i);
+    batch.CommitRow();
+  }
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_TRUE(batch.full());
+  EXPECT_EQ(batch.Int64At(0, 4), 4);
+}
+
+TEST(ColumnBatchTest, ValidateCatchesMisalignedColumns) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  ColumnBatch batch(&schema, 2);
+  EXPECT_TRUE(batch.Validate().ok());
+  ColumnBatch no_schema;
+  EXPECT_FALSE(no_schema.Validate().ok());
+}
+
+TEST(ColumnBatchTest, ToStringShowsRowsAndTruncates) {
+  Schema schema({{"x", ValueType::kInt64}});
+  ColumnBatch batch(&schema, 8);
+  for (int i = 0; i < 7; ++i) {
+    batch.AppendInt64(0, i);
+    batch.CommitRow();
+  }
+  const std::string s = batch.ToString(2);
+  EXPECT_NE(s.find("ColumnBatch(7/8)"), std::string::npos);
+  EXPECT_NE(s.find("... 5 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aqp

@@ -17,7 +17,7 @@ TEST(TupleStoreTest, AddAssignsDenseIds) {
   EXPECT_EQ(store.Add(Tuple{Value("a")}), 0u);
   EXPECT_EQ(store.Add(Tuple{Value("b")}), 1u);
   EXPECT_EQ(store.size(), 2u);
-  EXPECT_EQ(store.Get(1).at(0).AsString(), "b");
+  EXPECT_EQ(store.GetTuple(1).at(0).AsString(), "b");
 }
 
 TEST(TupleStoreTest, JoinKeyUsesConfiguredColumn) {
@@ -103,9 +103,10 @@ TEST(TupleStoreTest, MemoryUsageAccountsArenaAndKeyRecords) {
     store.Add(Tuple{Value(key)});
   }
   const size_t usage = store.ApproximateMemoryUsage();
-  // Key bytes are stored twice (payload string + arena copy) plus a
-  // 24-byte key record; anything below that undercounts §2.3 space.
-  EXPECT_GT(usage, empty + kTuples * (2 * key.size() + 24));
+  // Key bytes are stored exactly once (the arena copy — the columnar
+  // payload no longer duplicates the join column) plus a 24-byte key
+  // record; anything below that undercounts §2.3 space.
+  EXPECT_GT(usage, empty + kTuples * (key.size() + 24));
 }
 
 TEST(TupleStoreTest, GramCacheMemoizedAndAccounted) {
@@ -125,6 +126,66 @@ TEST(TupleStoreTest, GramCacheMemoizedAndAccounted) {
 TEST(TupleStoreTest, PlainStoreHasNoGramCache) {
   TupleStore store(0);
   EXPECT_FALSE(store.gram_cache_enabled());
+}
+
+// The native columnar ingest path must agree with the row adapter in
+// every artifact: ids, keys, hashes, and materialized payloads.
+TEST(TupleStoreTest, AddRowMatchesTupleAdapter) {
+  Schema schema({{"id", ValueType::kInt64},
+                 {"loc", ValueType::kString},
+                 {"lat", ValueType::kDouble}});
+  ColumnBatch batch(&schema, 4);
+  batch.AppendTupleRow(Tuple{Value(7), Value("SANTA CRISTINA"), Value(1.5)});
+  batch.AppendTupleRow(Tuple{Value(8), Value("PROLOQUIO"), Value()});
+  batch.ComputeKeyHashes(1);
+
+  TupleStore columnar(/*join_column=*/1);
+  TupleStore rowwise(/*join_column=*/1);
+  for (size_t r = 0; r < batch.size(); ++r) {
+    const TupleId a = columnar.AddRow(batch, r, batch.key_hash(r));
+    const TupleId b = rowwise.Add(batch.MaterializeRow(r));
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(columnar.JoinKey(a), rowwise.JoinKey(b));
+    EXPECT_EQ(columnar.KeyHash(a), rowwise.KeyHash(b));
+    EXPECT_EQ(columnar.GetTuple(a), rowwise.GetTuple(b));
+  }
+  EXPECT_EQ(columnar.GetTuple(0).at(0).AsInt64(), 7);
+  EXPECT_EQ(columnar.GetTuple(1).at(1).AsString(), "PROLOQUIO");
+  EXPECT_TRUE(columnar.GetTuple(1).at(2).is_null());
+}
+
+// AppendCellsTo writes the stored payload slice into an output batch
+// (the late-materialization sink path) byte-identically to GetTuple.
+TEST(TupleStoreTest, AppendCellsToMatchesGetTuple) {
+  TupleStore store(/*join_column=*/0);
+  store.Add(Tuple{Value("key-a"), Value(1), Value(0.5)});
+  store.Add(Tuple{Value("key-b"), Value(), Value(2.25)});
+
+  Schema out_schema({{"loc", ValueType::kString},
+                     {"n", ValueType::kInt64},
+                     {"x", ValueType::kDouble}});
+  ColumnBatch out(&out_schema, 4);
+  for (TupleId id = 0; id < store.size(); ++id) {
+    store.AppendCellsTo(id, &out, 0);
+    out.CommitRow();
+  }
+  ASSERT_EQ(out.size(), 2u);
+  for (TupleId id = 0; id < store.size(); ++id) {
+    EXPECT_EQ(out.MaterializeRow(id), store.GetTuple(id)) << "row " << id;
+  }
+}
+
+// A column whose first rows are NULL latches its type on the first
+// typed cell and backfills placeholders — later reads of the early
+// rows stay NULL.
+TEST(TupleStoreTest, LeadingNullsLatchColumnTypeLate) {
+  TupleStore store(/*join_column=*/0);
+  store.Add(Tuple{Value("a"), Value()});
+  store.Add(Tuple{Value("b"), Value()});
+  store.Add(Tuple{Value("c"), Value(42)});
+  EXPECT_TRUE(store.GetTuple(0).at(1).is_null());
+  EXPECT_TRUE(store.GetTuple(1).at(1).is_null());
+  EXPECT_EQ(store.GetTuple(2).at(1).AsInt64(), 42);
 }
 
 }  // namespace

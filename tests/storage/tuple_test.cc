@@ -72,6 +72,14 @@ TEST(TupleTest, EqualityAndToString) {
   EXPECT_EQ(Tuple().ToString(), "()");
 }
 
+// Regression: tuple rendering inherits Value's shortest-round-trip
+// double formatting (previously ostream precision 6, which truncated
+// and disagreed with CsvWriter::Field).
+TEST(TupleTest, ToStringRendersDoublesShortestRoundTrip) {
+  Tuple t{Value(0.1234567890123), Value(2.5)};
+  EXPECT_EQ(t.ToString(), "(0.1234567890123, 2.5)");
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace aqp

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/csv.h"
+
 namespace aqp {
 namespace storage {
 namespace {
@@ -30,6 +34,27 @@ TEST(ValueTest, DoubleRoundTrip) {
   Value v(2.5);
   EXPECT_EQ(v.type(), ValueType::kDouble);
   EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+// Regression: ToString must render doubles as the shortest form that
+// parses back to the same bits, matching CsvWriter::Field(double) —
+// the two paths previously disagreed (ostream precision 6 here).
+TEST(ValueTest, DoubleToStringIsShortestRoundTrip) {
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(0.1).ToString(), "0.1");
+  // Precision-6 ostream formatting would have emitted "0.123457".
+  EXPECT_EQ(Value(0.1234567890123).ToString(), "0.1234567890123");
+  EXPECT_EQ(Value(1e300).ToString(), "1e+300");
+  for (double d : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 12345.678901}) {
+    const std::string rendered = Value(d).ToString();
+    EXPECT_EQ(std::stod(rendered), d) << rendered;
+  }
+}
+
+TEST(ValueTest, DoubleToStringMatchesCsvField) {
+  for (double d : {2.755, 1e-9, 3.141592653589793, -42.5}) {
+    EXPECT_EQ(Value(d).ToString(), CsvWriter::Field(d));
+  }
 }
 
 TEST(ValueTest, StringRoundTrip) {
