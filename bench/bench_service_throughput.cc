@@ -1,0 +1,200 @@
+// Multi-query serving throughput: wall time to push a fixed batch of
+// linkage queries through a LinkageService, sweeping how many the
+// admission controller lets run concurrently, against the no-service
+// baseline of running the same queries back-to-back solo.
+//
+// Interpreting checked-in numbers: on a single-core host the
+// concurrent configurations can only measure coordination overhead
+// (runner threads and the shared pool time-slice one core); the
+// concurrency win needs multicore hardware. Read the JSON's
+// "aqp_host_cpus" context first.
+//
+//   $ ./bench_service_throughput --benchmark_out=BENCH_service.json \
+//         --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "service/linkage_service.h"
+
+namespace {
+
+using namespace aqp;  // NOLINT
+
+constexpr size_t kQueriesPerBatch = 6;
+
+const datagen::TestCase& SharedCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.atlas.size = 1000;
+    options.accidents.size = 2000;
+    options.variant_rate = 0.10;
+    options.seed = 9;
+    auto generated = datagen::GenerateTestCase(options);
+    if (!generated.ok()) std::abort();
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+exec::parallel::ParallelJoinOptions QueryOptionsFor(
+    const datagen::TestCase& tc, size_t flavor) {
+  exec::parallel::ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.join.left_size_hint = tc.child.size();
+  options.base.join.right_size_hint = tc.parent.size();
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.num_shards = 2;
+  // Alternate adaptive and pinned-exact tenants.
+  if (flavor % 2 == 1) {
+    options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+    options.base.adaptive.initial_state = adaptive::ProcessorState::kLexRex;
+  }
+  return options;
+}
+
+/// Baseline: the same queries, run to completion one after another
+/// with each join owning its private pool (the pre-service engine).
+void BM_Service_SoloSequential(benchmark::State& state) {
+  const datagen::TestCase& tc = SharedCase();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t i = 0; i < kQueriesPerBatch; ++i) {
+      exec::RelationScan child(&tc.child);
+      exec::RelationScan parent(&tc.parent);
+      exec::parallel::ParallelAdaptiveJoin join(&child, &parent,
+                                                QueryOptionsFor(tc, i));
+      auto count = exec::CountAll(&join);
+      if (!count.ok()) {
+        state.SkipWithError("join failed");
+        return;
+      }
+      total += *count;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["queries"] = kQueriesPerBatch;
+}
+BENCHMARK(BM_Service_SoloSequential)->Unit(benchmark::kMillisecond);
+
+/// The service: one shared pool, admission at `concurrent` running
+/// queries, all queries submitted up front.
+void BM_Service_SharedPool(benchmark::State& state) {
+  const datagen::TestCase& tc = SharedCase();
+  const auto concurrent = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    service::ServiceOptions so;
+    so.worker_threads = 2;
+    so.admission.max_concurrent_queries = concurrent;
+    so.admission.max_total_shards = 2 * concurrent;
+    service::LinkageService service(so);
+    std::vector<std::unique_ptr<exec::RelationScan>> scans;
+    std::vector<service::QueryId> ids;
+    for (size_t i = 0; i < kQueriesPerBatch; ++i) {
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+      service::QueryOptions qo;
+      qo.join = QueryOptionsFor(tc, i);
+      auto id = service.Submit(scans[scans.size() - 2].get(),
+                               scans[scans.size() - 1].get(), qo);
+      if (!id.ok()) {
+        state.SkipWithError("submit failed");
+        return;
+      }
+      ids.push_back(*id);
+    }
+    size_t total = 0;
+    for (service::QueryId id : ids) {
+      auto stats = service.Wait(id);
+      if (!stats.ok() || stats->state != service::QueryState::kDone) {
+        state.SkipWithError("query failed");
+        return;
+      }
+      total += stats->pairs_emitted;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["queries"] = kQueriesPerBatch;
+  state.counters["concurrent"] = static_cast<double>(concurrent);
+}
+BENCHMARK(BM_Service_SharedPool)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/// Deadline knee: the same batch with a hard step budget per query —
+/// the time-completeness trade-off as a serving-side throughput lever.
+void BM_Service_HardDeadline(benchmark::State& state) {
+  const datagen::TestCase& tc = SharedCase();
+  const auto budget_steps = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    service::ServiceOptions so;
+    so.worker_threads = 2;
+    so.admission.max_concurrent_queries = 2;
+    so.admission.max_total_shards = 4;
+    service::LinkageService service(so);
+    std::vector<std::unique_ptr<exec::RelationScan>> scans;
+    std::vector<service::QueryId> ids;
+    for (size_t i = 0; i < kQueriesPerBatch; ++i) {
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+      service::QueryOptions qo;
+      qo.join = QueryOptionsFor(tc, 0);  // all adaptive
+      qo.deadline.hard_deadline_steps = budget_steps;
+      auto id = service.Submit(scans[scans.size() - 2].get(),
+                               scans[scans.size() - 1].get(), qo);
+      if (!id.ok()) {
+        state.SkipWithError("submit failed");
+        return;
+      }
+      ids.push_back(*id);
+    }
+    double completeness = 0;
+    for (service::QueryId id : ids) {
+      auto stats = service.Wait(id);
+      if (!stats.ok() || stats->state != service::QueryState::kDone) {
+        state.SkipWithError("query failed");
+        return;
+      }
+      completeness += stats->completeness.ratio;
+    }
+    state.counters["completeness"] =
+        completeness / static_cast<double>(kQueriesPerBatch);
+  }
+  state.counters["budget_steps"] = static_cast<double>(budget_steps);
+}
+BENCHMARK(BM_Service_HardDeadline)
+    ->Arg(500)
+    ->Arg(1500)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("aqp_build_type", aqp::bench::BuildTypeName());
+  const unsigned cpus = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("aqp_host_cpus", std::to_string(cpus));
+  if (cpus <= 1) {
+    benchmark::AddCustomContext(
+        "aqp_host_note",
+        "single-core host: concurrent serving measures coordination "
+        "overhead only; the concurrency win requires a multicore machine");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

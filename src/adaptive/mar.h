@@ -236,6 +236,9 @@ struct Decision {
 
   /// Marker for futility-revert transitions in traces.
   static constexpr int kFutilityRevert = 4;
+  /// Marker for transitions forced by a deadline governor (the
+  /// soft-deadline clamp into lex/rex), not by any ϕ predicate.
+  static constexpr int kDeadlineClamp = 5;
 };
 
 /// \brief The responder: maps (state, assessment) to the transitions of

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

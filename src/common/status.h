@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kCancelled,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -73,6 +74,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   /// @}
 
   /// True iff the status is OK.
@@ -100,6 +104,7 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -100,6 +100,33 @@ class Operator {
   virtual std::string name() const = 0;
 };
 
+/// \brief Scope guard pairing a successful child Open() with a Close()
+/// on error exits.
+///
+/// A composite operator that opens several children must not leave the
+/// already-opened ones open when a later child's Open() (or any later
+/// validation) fails: the composite's own open_ flag stays false, so
+/// its Close() refuses to run and the children leak their open state.
+/// Construct one guard right after each successful child Open(); call
+/// Dismiss() on all of them once the composite's Open() can no longer
+/// fail. The Close() status is intentionally dropped — the triggering
+/// error is the one the caller must see.
+class OpenGuard {
+ public:
+  explicit OpenGuard(Operator* op) : op_(op) {}
+  ~OpenGuard() {
+    if (op_ != nullptr) (void)op_->Close();
+  }
+  OpenGuard(const OpenGuard&) = delete;
+  OpenGuard& operator=(const OpenGuard&) = delete;
+
+  /// Defuses the guard: the open succeeded end to end.
+  void Dismiss() { op_ = nullptr; }
+
+ private:
+  Operator* op_;
+};
+
 /// \brief Optional capability of late-materializing operators: advance
 /// execution and count output rows without constructing any row
 /// payloads.

@@ -1,6 +1,8 @@
 #include "exec/parallel/exchange.h"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "common/hash.h"
@@ -65,6 +67,17 @@ Result<uint64_t> RadixExchange::RouteEpoch(
         done_[i] = true;
         continue;
       }
+    }
+    // RouteEntry::ordinal, RoutedRow::row, and shard-local TupleIds
+    // are all 32-bit and bounded by the per-side routed count; past
+    // 2^32 - 1 rows they would silently truncate and alias earlier
+    // tuples' flags/stores. Checked in every build type — one compare
+    // per routed row.
+    if (side_count_[i] > std::numeric_limits<uint32_t>::max()) {
+      return Status::ResourceExhausted(
+          "RadixExchange: " + std::string(exec::SideName(side)) +
+          " side exceeds 2^32 routed tuples; 32-bit ordinals would "
+          "truncate");
     }
     const size_t row = input_pos_[i]++;
     scheduler_.OnRead(side);

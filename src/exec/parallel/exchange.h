@@ -65,6 +65,18 @@ class RadixExchange {
   /// Global steps routed so far.
   uint64_t steps() const { return steps_; }
 
+  /// Rolls the step/side counters back past an aborted epoch's
+  /// partially routed rows (the coordinator discards the shards'
+  /// matching pending state). The scheduler position is NOT rewound —
+  /// the exchange is unusable afterwards; callers must stop routing
+  /// (the parallel join goes into a sticky error state).
+  void RollbackCounts(uint64_t steps, uint64_t left_rows,
+                      uint64_t right_rows) {
+    steps_ -= steps;
+    side_count_[0] -= left_rows;
+    side_count_[1] -= right_rows;
+  }
+
   /// Tuples routed so far from `side`.
   uint64_t side_count(exec::Side side) const {
     return side_count_[static_cast<size_t>(side)];

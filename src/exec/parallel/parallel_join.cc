@@ -54,7 +54,9 @@ Status ParallelAdaptiveJoin::Open() {
   AQP_RETURN_IF_ERROR(join_options.spec.ValidateAgainstSchemas(
       left_->output_schema(), right_->output_schema()));
   AQP_RETURN_IF_ERROR(left_->Open());
+  exec::OpenGuard left_guard(left_);
   AQP_RETURN_IF_ERROR(right_->Open());
+  exec::OpenGuard right_guard(right_);
   output_schema_ =
       join::JoinOutputSchema(left_->output_schema(), right_->output_schema(),
                              join_options.emit_similarity);
@@ -84,9 +86,16 @@ Status ParallelAdaptiveJoin::Open() {
       join_options.left_size_hint, join_options.right_size_hint,
       join_options.batch_size, n);
   exchange_->Reset();
-  // The coordinator participates in every Run() batch, so n - 1
-  // workers give exactly n execution lanes for n per-shard tasks.
-  pool_ = n > 1 ? std::make_unique<ThreadPool>(n - 1) : nullptr;
+  if (options_.shared_pool != nullptr) {
+    // Serving mode: phase task groups go to the injected pool, which
+    // interleaves them fairly with other queries' groups.
+    active_pool_ = options_.shared_pool;
+  } else {
+    // The coordinator participates in every phase group, so n - 1
+    // workers give exactly n execution lanes for n per-shard tasks.
+    pool_ = n > 1 ? std::make_unique<ThreadPool>(n - 1) : nullptr;
+    active_pool_ = pool_.get();
+  }
 
   merge_cursor_.assign(n, 0);
   cross_cursor_.assign(n, 0);
@@ -101,8 +110,14 @@ Status ParallelAdaptiveJoin::Open() {
   out_buffer_.clear();
   out_pos_ = 0;
   stream_done_ = false;
+  exact_only_ = false;
+  finalize_requested_ = false;
+  finalized_early_ = false;
+  pump_error_ = Status::OK();
   last_assessment_step_ = 0;
   script_position_ = 0;
+  left_guard.Dismiss();
+  right_guard.Dismiss();
   open_ = true;
   return Status::OK();
 }
@@ -111,6 +126,7 @@ Status ParallelAdaptiveJoin::Close() {
   if (!open_) return Status::FailedPrecondition(name() + " not open");
   open_ = false;
   pool_.reset();
+  active_pool_ = nullptr;
   AQP_RETURN_IF_ERROR(left_->Close());
   AQP_RETURN_IF_ERROR(right_->Close());
   return Status::OK();
@@ -164,11 +180,9 @@ void ParallelAdaptiveJoin::ControlPoint() {
   }
 }
 
-void ParallelAdaptiveJoin::RunControlLoop() {
+stats::JoinProgress ParallelAdaptiveJoin::Progress() const {
   const adaptive::AdaptiveOptions& adaptive = options_.base.adaptive;
-  last_assessment_step_ = exchange_->steps();
   const exec::Side child_side = exec::OtherSide(adaptive.parent_side);
-
   // The global join progress the single-threaded monitor would read
   // off its one core, aggregated across shards by the coordinator.
   stats::JoinProgress progress;
@@ -179,9 +193,34 @@ void ParallelAdaptiveJoin::RunControlLoop() {
           ? pairs_emitted_
           : matched_any_count_[static_cast<size_t>(child_side)];
   progress.parent_exhausted = exchange_->input_exhausted(adaptive.parent_side);
+  return progress;
+}
 
+CompletenessStats ParallelAdaptiveJoin::Completeness() const {
+  CompletenessStats out;
+  if (exchange_ == nullptr) return out;
+  const stats::JoinProgress progress = Progress();
+  out.expected_matches = assessor_->model().ExpectedMatches(progress);
+  out.observed_matches = progress.children_matched;
+  out.ratio = out.expected_matches > 0.0
+                  ? std::min(1.0, static_cast<double>(out.observed_matches) /
+                                      out.expected_matches)
+                  : 1.0;
+  return out;
+}
+
+void ParallelAdaptiveJoin::RunControlLoop() {
+  last_assessment_step_ = exchange_->steps();
+  const stats::JoinProgress progress = Progress();
   const Assessment assessment = assessor_->Assess(*monitor_, progress);
-  const Decision decision = responder_->Decide(state_, assessment);
+  Decision decision = responder_->Decide(state_, assessment);
+  if (exact_only_ && decision.next != ProcessorState::kLexRex) {
+    // Past the soft deadline the responder may not choose approximate
+    // states; the PumpEpoch clamp already forced lex/rex, so this can
+    // only turn a would-be switch into a stay.
+    decision.next = ProcessorState::kLexRex;
+    decision.phi = Decision::kDeadlineClamp;
+  }
   if (decision.phi == Decision::kFutilityRevert) {
     const double deficit =
         assessment.expected_matches -
@@ -236,12 +275,67 @@ void ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
 
 Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
   *stream_ended = false;
-  // Epoch boundary: every shard is quiescent, adaptation is safe.
+  if (!pump_error_.ok()) return pump_error_;
+  // Epoch boundary: every shard is quiescent — safe for adaptation,
+  // deadline enforcement, and teardown alike.
+  if (options_.governor) {
+    EpochView view;
+    view.steps = exchange_->steps();
+    view.pairs_emitted = pairs_emitted_;
+    view.state = state_;
+    switch (options_.governor(view)) {
+      case EpochDirective::kProceed:
+        break;
+      case EpochDirective::kForceExactOnly:
+        exact_only_ = true;
+        break;
+      case EpochDirective::kFinalize:
+        finalize_requested_ = true;
+        break;
+      case EpochDirective::kCancel:
+        pump_error_ = Status::Cancelled(name() + " cancelled at step " +
+                                        std::to_string(exchange_->steps()));
+        return pump_error_;
+    }
+  }
+  if (finalize_requested_) {
+    finalized_early_ = finalized_early_ ||
+                       !exchange_->input_exhausted(exec::Side::kLeft) ||
+                       !exchange_->input_exhausted(exec::Side::kRight);
+    *stream_ended = true;
+    stream_done_ = true;
+    return Status::OK();
+  }
   ControlPoint();
+  if (exact_only_ && state_ != ProcessorState::kLexRex) {
+    // Soft-deadline clamp: enter the cheapest exact state before any
+    // step of this epoch runs (RunControlLoop keeps it pinned there).
+    Assessment forced;
+    forced.step = exchange_->steps();
+    ApplyTransition(ProcessorState::kLexRex, forced,
+                    Decision::kDeadlineClamp);
+  }
   const uint64_t budget = std::max<uint64_t>(1, StepsToNextControlPoint());
   route_.clear();
   auto routed = exchange_->RouteEpoch(budget, shard_ptrs_, &route_);
-  if (!routed.ok()) return routed.status();
+  if (!routed.ok()) {
+    // Mid-epoch routing failure: rows of the aborted epoch are already
+    // scattered into the shards' pending batches, and the exchange's
+    // scheduler position cannot be rewound. Discard the partial
+    // routing so no shard ever ingests it (counters rolled back to the
+    // last completed epoch), and hard-fail every subsequent pump with
+    // the original error instead of double-ingesting a retried epoch.
+    for (JoinShard* shard : shard_ptrs_) shard->DiscardPending();
+    uint64_t aborted_rows[2] = {0, 0};
+    for (const RouteEntry& entry : route_) {
+      ++aborted_rows[static_cast<size_t>(entry.side)];
+    }
+    exchange_->RollbackCounts(route_.size(), aborted_rows[0],
+                              aborted_rows[1]);
+    route_.clear();
+    pump_error_ = routed.status();
+    return pump_error_;
+  }
   if (*routed == 0) {
     *stream_ended = true;
     stream_done_ = true;
@@ -272,19 +366,27 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
     RunTasks(std::move(tasks));
   }
 
-  MergeEpoch();
+  Status merged = MergeEpoch();
+  if (!merged.ok()) {
+    // A broken merge invariant means global state (flags, monitor) may
+    // already be partially updated; no epoch may run after it.
+    pump_error_ = merged;
+    return pump_error_;
+  }
   return Status::OK();
 }
 
 void ParallelAdaptiveJoin::RunTasks(std::vector<std::function<void()>> tasks) {
-  if (pool_ != nullptr) {
-    pool_->Run(std::move(tasks));
+  if (active_pool_ != nullptr) {
+    // One task group per phase; Wait()-participation keeps the
+    // coordinator an execution lane, shared pool or not.
+    active_pool_->Run(std::move(tasks));
     return;
   }
   for (auto& task : tasks) task();
 }
 
-void ParallelAdaptiveJoin::MergeEpoch() {
+Status ParallelAdaptiveJoin::MergeEpoch() {
   const uint64_t epoch_start = exchange_->steps() - route_.size();
   std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
   std::fill(cross_cursor_.begin(), cross_cursor_.end(), 0);
@@ -309,10 +411,26 @@ void ParallelAdaptiveJoin::MergeEpoch() {
 
     merge_scratch_.clear();
 
-    // Intra-shard matches of this step (phase A).
+    // Intra-shard matches of this step (phase A). The shard must have
+    // produced exactly one StepOutputs per routed row, in routing
+    // order — a mismatch would silently misattribute matches to the
+    // wrong global steps, so it is checked in every build type.
+    if (merge_cursor_[entry.shard] >= shard->step_outputs().size()) {
+      return Status::Internal(
+          "parallel join merge: shard " + std::to_string(entry.shard) +
+          " produced " + std::to_string(shard->step_outputs().size()) +
+          " phase-A steps but the route expects more (global step " +
+          std::to_string(seq) + ")");
+    }
     const StepOutputs& step =
         shard->step_outputs()[merge_cursor_[entry.shard]++];
-    assert(step.seq == seq && "phase-A outputs out of order");
+    if (step.seq != seq) {
+      return Status::Internal(
+          "parallel join merge: phase-A outputs out of order on shard " +
+          std::to_string(entry.shard) + " (got step " +
+          std::to_string(step.seq) + ", expected " + std::to_string(seq) +
+          ")");
+    }
     for (uint32_t m = step.begin; m < step.end; ++m) {
       const join::JoinMatch& match = shard->matches()[m];
       MergedMatch merged;
@@ -415,6 +533,7 @@ void ParallelAdaptiveJoin::MergeEpoch() {
 
   cost_.AddSteps(state_, route_.size());
   monitor_->OnBatch(epoch_observables_, state_);
+  return Status::OK();
 }
 
 Status ParallelAdaptiveJoin::EnsureOutput(bool* have_output) {

@@ -21,6 +21,48 @@ namespace aqp {
 namespace exec {
 namespace parallel {
 
+/// \brief What an epoch governor tells the coordinator to do at a
+/// control point (see ParallelJoinOptions::governor).
+enum class EpochDirective {
+  /// Run the epoch normally.
+  kProceed,
+  /// Soft-deadline response: force the processor into the cheapest
+  /// exact state (lex/rex) and pin it there — the MAR loop keeps
+  /// assessing, but may no longer choose approximate states. Sticky.
+  kForceExactOnly,
+  /// Hard-deadline response: stop consuming input. Output already
+  /// produced stays deliverable; the stream then ends, reporting the
+  /// partial result (the paper's time knob — completeness is whatever
+  /// Completeness() says it is at that point).
+  kFinalize,
+  /// Abandon the query: the coordinator returns Status::Cancelled
+  /// without routing another step and stays in that sticky error
+  /// state. Buffered output is not delivered.
+  kCancel,
+};
+
+/// \brief Progress snapshot handed to the epoch governor.
+struct EpochView {
+  uint64_t steps = 0;
+  uint64_t pairs_emitted = 0;
+  adaptive::ProcessorState state = adaptive::ProcessorState::kLexRex;
+};
+
+/// \brief Result-completeness snapshot (the paper's time-completeness
+/// trade-off, measured): how much of the statistically expected result
+/// the run has actually produced.
+struct CompletenessStats {
+  /// Expected matched children under the completeness model at the
+  /// current progress point.
+  double expected_matches = 0.0;
+  /// Observed statistic (distinct matched children, or emitted pairs
+  /// under use_pairs_statistic).
+  uint64_t observed_matches = 0;
+  /// observed / expected, clamped to [0, 1]; 1 when nothing was
+  /// expected.
+  double ratio = 1.0;
+};
+
 /// \brief Configuration of the partition-parallel adaptive join.
 struct ParallelJoinOptions {
   /// Join spec, interleaving, MAR thresholds, weights — exactly the
@@ -33,6 +75,18 @@ struct ParallelJoinOptions {
   /// policy, or a scripted policy past its last entry). Only
   /// throughput-relevant: results and traces do not depend on it.
   uint64_t unbounded_epoch_steps = 4096;
+  /// Shared worker pool (borrowed, e.g. a LinkageService's; must
+  /// outlive the operator). Null = the operator creates its own
+  /// (num_shards - 1)-worker pool at Open. Pool choice never changes
+  /// results or traces — epochs are barrier-synchronized either way.
+  ThreadPool* shared_pool = nullptr;
+  /// Called by the coordinator at every epoch control point (all
+  /// shards quiescent), *before* the MAR control loop runs. This is
+  /// where per-query deadline budgets plug into the adaptation cycle:
+  /// a service returns kForceExactOnly past a soft deadline, kFinalize
+  /// past a hard one, kCancel on teardown. Null = always proceed
+  /// (byte-identical to the governor-less engine).
+  std::function<EpochDirective(const EpochView&)> governor;
 };
 
 /// \brief One late-materialized output match of the parallel join:
@@ -125,6 +179,27 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// exec::UnmaterializedCounter.
   Result<size_t> AdvanceUnmaterialized(size_t max_rows) override;
 
+  /// \name Deadline controls (also reachable via options().governor).
+  /// @{
+  /// Forces the processor into lex/rex at the next epoch boundary and
+  /// pins it there (soft-deadline semantics; sticky).
+  void ForceExactOnly() { exact_only_ = true; }
+  /// Stops consuming input at the next epoch boundary: buffered output
+  /// is still delivered, then the stream ends (hard-deadline
+  /// semantics; sticky).
+  void FinalizeEarly() { finalize_requested_ = true; }
+  /// True iff the stream was ended by FinalizeEarly / kFinalize while
+  /// input remained.
+  bool finalized_early() const { return finalized_early_; }
+  /// True once no further input will be consumed (exhausted or
+  /// finalized). Buffered output may still be undelivered.
+  bool stream_done() const { return stream_done_; }
+  /// Completeness of the result produced so far, under the configured
+  /// completeness model — the number a deadline-expired query reports
+  /// alongside its partial result.
+  CompletenessStats Completeness() const;
+  /// @}
+
   /// \name Run introspection (valid during and after execution).
   /// @{
   adaptive::ProcessorState state() const { return state_; }
@@ -193,8 +268,12 @@ class ParallelAdaptiveJoin : public exec::Operator,
   void ApplyTransition(adaptive::ProcessorState next,
                        const adaptive::Assessment& assessment, int phi);
   /// Serial coordinator merge of one routed epoch: global observation
-  /// stream, matched-flag replay, monitor feed, output append.
-  void MergeEpoch();
+  /// stream, matched-flag replay, monitor feed, output append. Errors
+  /// only on broken phase invariants (misordered shard outputs).
+  Status MergeEpoch();
+  /// Aggregates the global JoinProgress snapshot the completeness
+  /// model consumes (shared by RunControlLoop and Completeness).
+  stats::JoinProgress Progress() const;
   /// Runs one task batch on the pool (coordinator participates), or
   /// inline when single-sharded.
   void RunTasks(std::vector<std::function<void()>> tasks);
@@ -209,7 +288,11 @@ class ParallelAdaptiveJoin : public exec::Operator,
   std::vector<std::unique_ptr<JoinShard>> shards_;
   std::vector<JoinShard*> shard_ptrs_;
   std::unique_ptr<RadixExchange> exchange_;
+  /// Owned pool when no shared_pool was injected.
   std::unique_ptr<ThreadPool> pool_;
+  /// The pool phase task groups actually run on: options_.shared_pool,
+  /// else pool_.get(), else null (single shard runs inline).
+  ThreadPool* active_pool_ = nullptr;
 
   /// Global MAR state (the coordinator is the only writer).
   std::unique_ptr<adaptive::Monitor> monitor_;
@@ -247,6 +330,15 @@ class ParallelAdaptiveJoin : public exec::Operator,
 
   bool open_ = false;
   bool stream_done_ = false;
+  /// Deadline state (see ForceExactOnly / FinalizeEarly).
+  bool exact_only_ = false;
+  bool finalize_requested_ = false;
+  bool finalized_early_ = false;
+  /// Sticky failure: a mid-epoch routing or merge error leaves the
+  /// exchange's scheduler position unrecoverable, so the operator
+  /// hard-fails every subsequent pump with the original status instead
+  /// of double-ingesting a retried epoch.
+  Status pump_error_;
 };
 
 }  // namespace parallel

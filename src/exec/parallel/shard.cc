@@ -46,6 +46,21 @@ void JoinShard::RouteRow(exec::Side side, const storage::ColumnBatch& src,
   pending_meta_.push_back(meta);
 }
 
+void JoinShard::DiscardPending() {
+  size_t dropped[2] = {0, 0};
+  for (const RoutedRow& routed : pending_meta_) {
+    ++dropped[static_cast<size_t>(routed.side)];
+  }
+  for (size_t s = 0; s < 2; ++s) {
+    // Routed ids are assigned densely at RouteRow, so the pending rows
+    // of a side are exactly the trailing entries of its maps.
+    seq_[s].resize(seq_[s].size() - dropped[s]);
+    ordinal_[s].resize(ordinal_[s].size() - dropped[s]);
+    pending_rows_[s].Clear();
+  }
+  pending_meta_.clear();
+}
+
 void JoinShard::BeginEpoch() {
   for (size_t s = 0; s < 2; ++s) {
     std::swap(epoch_rows_[s], pending_rows_[s]);

@@ -96,6 +96,12 @@ class JoinShard {
   /// Swaps the routed rows in as the current epoch's input and clears
   /// the per-epoch output buffers.
   void BeginEpoch();
+
+  /// Drops every routed-but-unprocessed row (a mid-epoch routing
+  /// failure abandons the epoch): clears the pending batches and pops
+  /// the seq/ordinal records those rows were assigned, so the shard's
+  /// routed counts return to the last completed epoch's state.
+  void DiscardPending();
   /// @}
 
   /// \name Phase runners (worker threads).

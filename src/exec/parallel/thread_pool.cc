@@ -6,6 +6,11 @@ namespace aqp {
 namespace exec {
 namespace parallel {
 
+void TaskGroupHandle::Wait() {
+  if (group_ == nullptr) return;
+  pool_->WaitGroup(group_);
+}
+
 ThreadPool::ThreadPool(size_t threads) {
   const size_t n = std::max<size_t>(1, threads);
   workers_.reserve(n);
@@ -25,44 +30,89 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  queue_ = std::move(tasks);
-  next_task_ = 0;
-  in_flight_ = queue_.size();
+TaskGroupHandle ThreadPool::Submit(std::vector<std::function<void()>> tasks) {
+  auto group = std::make_shared<internal::TaskGroup>();
+  group->tasks = std::move(tasks);
+  group->remaining = group->tasks.size();
+  if (group->remaining == 0) {
+    // Empty group: already complete, never enters the ring.
+    return TaskGroupHandle(this, std::move(group));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(group);
+  }
   work_available_.notify_all();
-  // The caller works too instead of blocking: one more execution lane
-  // on multicore, and on a single-core host the batch typically runs
-  // entirely inline, skipping the context-switch tax.
-  while (next_task_ < queue_.size()) {
-    std::function<void()> task = std::move(queue_[next_task_]);
-    ++next_task_;
+  return TaskGroupHandle(this, std::move(group));
+}
+
+void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  Submit(std::move(tasks)).Wait();
+}
+
+void ThreadPool::RemoveFromRingLocked(
+    const std::shared_ptr<internal::TaskGroup>& group) {
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i] == group) {
+      ring_.erase(ring_.begin() + i);
+      // Keep the cursor pointing at the same *next* group: entries at
+      // or past the erased slot shifted down by one.
+      if (cursor_ > i) --cursor_;
+      return;
+    }
+  }
+}
+
+void ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Participate: drain the group's own undispatched tasks. The waiter
+  // never takes another group's task, so its latency is bounded by its
+  // own group's work.
+  while (group->next < group->tasks.size()) {
+    std::function<void()> task = std::move(group->tasks[group->next]);
+    ++group->next;
+    if (group->next == group->tasks.size()) {
+      RemoveFromRingLocked(group);
+    }
     lock.unlock();
     task();
     lock.lock();
-    --in_flight_;  // the caller is the waiter; no notify needed
+    if (--group->remaining == 0) {
+      group->done.notify_all();
+    }
   }
-  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
-  queue_.clear();
+  // Tasks taken by workers may still be in flight; the group is only
+  // complete when every task has *finished*.
+  group->done.wait(lock, [&group] { return group->remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_available_.wait(
-        lock, [this] { return shutdown_ || next_task_ < queue_.size(); });
-    if (next_task_ >= queue_.size()) {
+    work_available_.wait(lock,
+                         [this] { return shutdown_ || !ring_.empty(); });
+    if (ring_.empty()) {
       if (shutdown_) return;
       continue;
     }
-    std::function<void()> task = std::move(queue_[next_task_]);
-    ++next_task_;
+    // FIFO-fair dispatch: one task from the cursor's group, then
+    // advance to the next group, so concurrent groups interleave
+    // instead of the oldest group draining completely first.
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    std::shared_ptr<internal::TaskGroup> group = ring_[cursor_];
+    std::function<void()> task = std::move(group->tasks[group->next]);
+    ++group->next;
+    if (group->next == group->tasks.size()) {
+      // Erasing at the cursor leaves it on the following group.
+      ring_.erase(ring_.begin() + cursor_);
+    } else {
+      ++cursor_;
+    }
     lock.unlock();
     task();
     lock.lock();
-    if (--in_flight_ == 0) {
-      batch_done_.notify_all();
+    if (--group->remaining == 0) {
+      group->done.notify_all();
     }
   }
 }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -12,45 +13,116 @@ namespace aqp {
 namespace exec {
 namespace parallel {
 
-/// \brief Fixed-size worker pool for the epoch phases of the parallel
-/// join.
+class ThreadPool;
+
+namespace internal {
+
+/// \brief One submitted batch of tasks, tracked until every task has
+/// *completed* (not merely been dispatched). All fields are guarded by
+/// the owning pool's mutex; `done` waits on that mutex.
+struct TaskGroup {
+  std::vector<std::function<void()>> tasks;
+  /// Index of the next undispatched task.
+  size_t next = 0;
+  /// Tasks not yet completed (dispatched or not).
+  size_t remaining = 0;
+  /// Signalled when `remaining` reaches zero.
+  std::condition_variable done;
+};
+
+}  // namespace internal
+
+/// \brief Completion handle of one submitted task group.
 ///
-/// The coordinator submits one task batch per phase (one task per
-/// shard) and blocks until all of them finish — Run() is the epoch
-/// barrier the globally coordinated MAR loop relies on: every shard
-/// write of phase k happens-before every read of phase k+1, through
-/// the pool's mutex.
+/// Wait() is the group's barrier: it returns only once every task of
+/// the group has finished executing. The waiting thread participates
+/// by running *its own group's* undispatched tasks (never another
+/// group's — a waiter's latency is bounded by its own work, and on a
+/// single-core host a lone group still runs entirely inline, exactly
+/// like the old Run()). Waiting twice is harmless; a default-
+/// constructed handle is an already-completed empty group.
+class TaskGroupHandle {
+ public:
+  TaskGroupHandle() = default;
+
+  /// Blocks until every task of the group has completed, executing the
+  /// group's own undispatched tasks on the calling thread meanwhile.
+  void Wait();
+
+  /// True iff the handle refers to a submitted group.
+  bool valid() const { return group_ != nullptr; }
+
+ private:
+  friend class ThreadPool;
+  TaskGroupHandle(ThreadPool* pool, std::shared_ptr<internal::TaskGroup> group)
+      : pool_(pool), group_(std::move(group)) {}
+
+  ThreadPool* pool_ = nullptr;
+  std::shared_ptr<internal::TaskGroup> group_;
+};
+
+/// \brief Shared worker pool with task-group submission.
 ///
-/// Workers are started once and parked between phases; per-epoch cost
-/// is two lock/notify handshakes per worker, not thread creation.
+/// Multiple clients — e.g. the epoch coordinators of concurrent
+/// linkage queries — each submit one task *group* per phase and wait
+/// on the group's handle. Groups from different submitters coexist:
+/// dispatch cycles round-robin over the live groups in FIFO arrival
+/// order, one task at a time, so a group with many tasks (a wide
+/// all-approximate query) cannot monopolize the workers while a
+/// two-task group waits behind it.
+///
+/// Wait() is each group's completion barrier: every task write of a
+/// phase happens-before every read after the matching Wait(), through
+/// the pool's mutex — the epoch-barrier guarantee the globally
+/// coordinated MAR loop relies on, per group instead of pool-wide, so
+/// one pool can carry N concurrent queries' epochs.
+///
+/// Workers are started once and parked when no group has undispatched
+/// tasks; per-phase cost is the lock/notify handshakes, not thread
+/// creation.
 class ThreadPool {
  public:
   /// Starts `threads` workers (clamped to >= 1).
   explicit ThreadPool(size_t threads);
 
-  /// Drains and joins the workers. Outstanding tasks complete first.
+  /// Joins the workers. Outstanding tasks complete first. Destroying
+  /// the pool while a TaskGroupHandle is still being waited on is a
+  /// caller bug.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Executes every task (in any order, on any worker or on the
-  /// calling thread, which participates instead of blocking) and
-  /// returns when all have completed. Tasks must not call Run()
-  /// themselves.
+  /// Enqueues `tasks` as one group and returns its completion handle.
+  /// Tasks may start on workers immediately; call Wait() on the handle
+  /// to both contribute the calling thread and block for completion.
+  /// Tasks must not call Submit()+Wait() on the same pool (a task
+  /// occupying a worker while waiting can deadlock the pool).
+  TaskGroupHandle Submit(std::vector<std::function<void()>> tasks);
+
+  /// Submit + Wait: executes every task (in any order, on any worker
+  /// or on the calling thread) and returns when all have completed.
   void Run(std::vector<std::function<void()>> tasks);
 
   size_t thread_count() const { return workers_.size(); }
 
  private:
+  friend class TaskGroupHandle;
+
   void WorkerLoop();
+  /// Drops `group` from the dispatch ring (all tasks dispatched).
+  /// Caller holds mutex_.
+  void RemoveFromRingLocked(const std::shared_ptr<internal::TaskGroup>& group);
+  /// Runs the group's own tasks on the calling thread, then blocks
+  /// until the group completes.
+  void WaitGroup(const std::shared_ptr<internal::TaskGroup>& group);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
-  std::condition_variable batch_done_;
-  std::vector<std::function<void()>> queue_;
-  size_t next_task_ = 0;
-  size_t in_flight_ = 0;
+  /// Groups with undispatched tasks, in arrival order; cursor_ cycles
+  /// over them round-robin, one task per visit.
+  std::vector<std::shared_ptr<internal::TaskGroup>> ring_;
+  size_t cursor_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

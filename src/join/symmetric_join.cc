@@ -30,11 +30,15 @@ Status SymmetricJoin::Open() {
   AQP_RETURN_IF_ERROR(options_.spec.ValidateAgainstSchemas(
       left_->output_schema(), right_->output_schema()));
   AQP_RETURN_IF_ERROR(left_->Open());
+  exec::OpenGuard left_guard(left_);
   AQP_RETURN_IF_ERROR(right_->Open());
+  exec::OpenGuard right_guard(right_);
   output_schema_ = JoinOutputSchema(left_->output_schema(),
                                     right_->output_schema(),
                                     options_.emit_similarity);
   left_width_ = left_->output_schema().num_fields();
+  left_guard.Dismiss();
+  right_guard.Dismiss();
   open_ = true;
   left_done_ = false;
   right_done_ = false;

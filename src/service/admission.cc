@@ -1,0 +1,42 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace aqp {
+namespace service {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.max_concurrent_queries == 0) {
+    options_.max_concurrent_queries = 1;
+  }
+}
+
+size_t AdmissionController::ClampShards(size_t requested) const {
+  if (options_.max_total_shards == 0) return std::max<size_t>(1, requested);
+  return std::max<size_t>(1, std::min(requested, options_.max_total_shards));
+}
+
+bool AdmissionController::CanAdmit(size_t shards) const {
+  if (running_ >= options_.max_concurrent_queries) return false;
+  if (options_.max_total_shards != 0 &&
+      shards_in_use_ + shards > options_.max_total_shards) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::Admit(size_t shards) {
+  ++running_;
+  shards_in_use_ += shards;
+  peak_running_ = std::max(peak_running_, running_);
+  peak_shards_ = std::max(peak_shards_, shards_in_use_);
+}
+
+void AdmissionController::Release(size_t shards) {
+  --running_;
+  shards_in_use_ -= shards;
+}
+
+}  // namespace service
+}  // namespace aqp

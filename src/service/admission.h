@@ -1,0 +1,61 @@
+#ifndef AQP_SERVICE_ADMISSION_H_
+#define AQP_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+
+namespace aqp {
+namespace service {
+
+/// \brief Admission knobs of a LinkageService.
+struct AdmissionOptions {
+  /// Queries allowed to run concurrently; later submissions queue
+  /// (FIFO) until a slot frees.
+  size_t max_concurrent_queries = 2;
+  /// Total shards runnable at once across all running queries, and
+  /// the per-query shard cap (a single query asking for more is
+  /// clamped — shard count never changes results, only parallelism).
+  /// This is what stops one wide all-approximate query from
+  /// monopolizing the pool: it can hold at most this many of the
+  /// budget's lanes, and the pool's FIFO-fair group dispatch
+  /// interleaves whatever it does hold with everyone else. 0 = no
+  /// shard budget.
+  size_t max_total_shards = 0;
+};
+
+/// \brief Book-keeper of the service's concurrency budget.
+///
+/// Pure accounting — NOT internally synchronized. The service calls it
+/// under its own registry mutex; the high-water marks exist so tests
+/// and operators can verify the caps were actually enforced.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Per-query shard clamp (>= 1).
+  size_t ClampShards(size_t requested) const;
+
+  /// True iff a query needing `shards` may start now.
+  bool CanAdmit(size_t shards) const;
+
+  void Admit(size_t shards);
+  void Release(size_t shards);
+
+  size_t running_queries() const { return running_; }
+  size_t shards_in_use() const { return shards_in_use_; }
+  /// High-water marks since construction.
+  size_t peak_running_queries() const { return peak_running_; }
+  size_t peak_shards_in_use() const { return peak_shards_; }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  size_t running_ = 0;
+  size_t shards_in_use_ = 0;
+  size_t peak_running_ = 0;
+  size_t peak_shards_ = 0;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_ADMISSION_H_

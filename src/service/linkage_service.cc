@@ -1,0 +1,343 @@
+#include "service/linkage_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aqp {
+namespace service {
+
+using exec::parallel::EpochDirective;
+using exec::parallel::EpochView;
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+using exec::parallel::ParallelMatchRef;
+
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, hw);
+}
+
+size_t ResolveShards(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, std::min<unsigned>(hw == 0 ? 1 : hw, 64));
+}
+
+}  // namespace
+
+LinkageService::LinkageService(ServiceOptions options)
+    : options_(options),
+      pool_(ResolveWorkers(options.worker_threads)),
+      admission_(options.admission) {
+  const size_t runners = admission_.options().max_concurrent_queries;
+  runners_.reserve(runners);
+  for (size_t i = 0; i < runners; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+LinkageService::~LinkageService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Queued queries never run; running ones see the cancel flag at
+    // their next epoch control point.
+    for (auto& [id, q] : queries_) {
+      if (!IsTerminalState(q->state)) {
+        q->cancel_requested.store(true, std::memory_order_relaxed);
+        if (q->state == QueryState::kQueued) {
+          q->state = QueryState::kCancelled;
+          q->final_status = Status::Cancelled("service shut down");
+          q->stats.state = q->state;
+          q->stats.status = q->final_status;
+        }
+      }
+    }
+    queue_.clear();
+  }
+  state_changed_.notify_all();
+  for (std::thread& runner : runners_) {
+    runner.join();
+  }
+}
+
+Result<QueryId> LinkageService::Submit(exec::Operator* left,
+                                       exec::Operator* right,
+                                       QueryOptions options) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument(
+        "LinkageService::Submit: null child operator");
+  }
+  auto record = std::make_unique<QueryRecord>();
+  record->options = std::move(options);
+  record->left = left;
+  record->right = right;
+  // Resolve and clamp the shard budget up front: admission accounting
+  // needs the real number, and shard count never changes results.
+  record->shards = admission_.ClampShards(
+      ResolveShards(record->options.join.num_shards));
+  record->options.join.num_shards = record->shards;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition(
+        "LinkageService::Submit: service is shutting down");
+  }
+  const QueryId id = next_id_++;
+  record->id = id;
+  record->stats.shards = record->shards;
+  queries_.emplace(id, std::move(record));
+  queue_.push_back(id);
+  state_changed_.notify_all();
+  return id;
+}
+
+Status LinkageService::Cancel(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("LinkageService::Cancel: unknown query " +
+                            std::to_string(id));
+  }
+  QueryRecord* q = it->second.get();
+  if (IsTerminalState(q->state)) return Status::OK();
+  q->cancel_requested.store(true, std::memory_order_relaxed);
+  if (q->state == QueryState::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                 queue_.end());
+    q->state = QueryState::kCancelled;
+    q->final_status = Status::Cancelled("cancelled while queued");
+    q->stats.state = q->state;
+    q->stats.status = q->final_status;
+    state_changed_.notify_all();
+  }
+  // A running query tears down at its next epoch control point, via
+  // the governor — between epochs every shard is quiescent, so no
+  // phase task of this query is left behind on the pool.
+  return Status::OK();
+}
+
+Result<QueryStats> LinkageService::Wait(QueryId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("LinkageService::Wait: unknown query " +
+                            std::to_string(id));
+  }
+  QueryRecord* q = it->second.get();
+  state_changed_.wait(lock, [q] { return IsTerminalState(q->state); });
+  return q->stats;
+}
+
+Result<storage::Relation> LinkageService::TakeResult(QueryId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("LinkageService::TakeResult: unknown query " +
+                            std::to_string(id));
+  }
+  QueryRecord* q = it->second.get();
+  state_changed_.wait(lock, [q] { return IsTerminalState(q->state); });
+  if (q->state != QueryState::kDone) {
+    return q->final_status.ok()
+               ? Status::FailedPrecondition("query did not complete")
+               : q->final_status;
+  }
+  if (q->result_taken || !q->result.has_value()) {
+    return Status::FailedPrecondition(
+        "LinkageService::TakeResult: result already taken for query " +
+        std::to_string(id));
+  }
+  q->result_taken = true;
+  storage::Relation out = std::move(*q->result);
+  q->result.reset();
+  return out;
+}
+
+Result<QueryState> LinkageService::state(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("LinkageService::state: unknown query " +
+                            std::to_string(id));
+  }
+  return it->second->state;
+}
+
+size_t LinkageService::running_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.running_queries();
+}
+
+size_t LinkageService::queued_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t LinkageService::peak_running_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.peak_running_queries();
+}
+
+size_t LinkageService::peak_shards_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.peak_shards_in_use();
+}
+
+LinkageService::QueryRecord* LinkageService::FrontRunnableLocked() {
+  // Strict FIFO: only the front of the queue is considered. Skipping
+  // ahead when the front's shard budget does not fit would let narrow
+  // queries starve a wide one forever.
+  if (queue_.empty()) return nullptr;
+  QueryRecord* q = queries_.at(queue_.front()).get();
+  return admission_.CanAdmit(q->shards) ? q : nullptr;
+}
+
+void LinkageService::RunnerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    state_changed_.wait(lock, [this] {
+      return shutdown_ || FrontRunnableLocked() != nullptr;
+    });
+    QueryRecord* q = FrontRunnableLocked();
+    if (q == nullptr) {
+      if (shutdown_) return;
+      continue;
+    }
+    queue_.pop_front();
+    admission_.Admit(q->shards);
+    q->state = QueryState::kRunning;
+    q->started = std::chrono::steady_clock::now();
+    state_changed_.notify_all();
+    lock.unlock();
+    // Finish() releases the admission slot atomically with the
+    // terminal state transition, so a Wait()er never observes a done
+    // query still holding budget.
+    ExecuteQuery(q);
+    lock.lock();
+  }
+}
+
+EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
+  if (q->cancel_requested.load(std::memory_order_relaxed)) {
+    return EpochDirective::kCancel;
+  }
+  const DeadlineOptions& d = q->options.deadline;
+  if (!d.any()) return EpochDirective::kProceed;
+  const auto elapsed = std::chrono::steady_clock::now() - q->started;
+  const bool past_hard =
+      (d.hard_deadline_steps > 0 && view.steps >= d.hard_deadline_steps) ||
+      (d.hard_deadline.count() > 0 && elapsed >= d.hard_deadline);
+  if (past_hard) return EpochDirective::kFinalize;
+  const bool past_soft =
+      (d.soft_deadline_steps > 0 && view.steps >= d.soft_deadline_steps) ||
+      (d.soft_deadline.count() > 0 && elapsed >= d.soft_deadline);
+  if (past_soft) {
+    q->forced_exact = true;  // runner-thread-owned while running
+    return EpochDirective::kForceExactOnly;
+  }
+  return EpochDirective::kProceed;
+}
+
+void LinkageService::SetState(QueryRecord* q, QueryState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  q->state = state;
+  state_changed_.notify_all();
+}
+
+void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
+  QueryStats stats;
+  stats.state = state;
+  stats.status = status;
+  stats.shards = q->shards;
+  stats.forced_exact = q->forced_exact;
+  if (q->join != nullptr) {
+    stats.steps = q->join->steps();
+    stats.pairs_emitted = q->join->pairs_emitted();
+    stats.finalized_early = q->join->finalized_early();
+    stats.completeness = q->join->Completeness();
+    stats.final_state = q->join->state();
+    // The join's shard stores hold every ingested input row; a
+    // long-lived service must not retain them past the query's end
+    // (the result is already materialized, the stats just harvested).
+    q->join.reset();
+  }
+  stats.elapsed = std::chrono::steady_clock::now() - q->started;
+  std::lock_guard<std::mutex> lock(mu_);
+  q->stats = stats;
+  q->state = state;
+  q->final_status = std::move(status);
+  // The freed slot (and shard budget) may unblock the next queued
+  // query on another runner; the same notify wakes Wait()ers.
+  admission_.Release(q->shards);
+  state_changed_.notify_all();
+}
+
+void LinkageService::ExecuteQuery(QueryRecord* q) {
+  ParallelJoinOptions join_options = q->options.join;
+  join_options.shared_pool = &pool_;
+  join_options.governor = [this, q](const EpochView& view) {
+    return Govern(q, view);
+  };
+  q->join = std::make_unique<ParallelAdaptiveJoin>(q->left, q->right,
+                                                   std::move(join_options));
+
+  Status status = q->join->Open();
+  if (!status.ok()) {
+    Finish(q, QueryState::kFailed, std::move(status));
+    return;
+  }
+
+  storage::Relation collected(q->join->output_schema());
+  std::vector<ParallelMatchRef> refs;
+  const size_t drain_batch = std::max<size_t>(1, q->options.drain_batch);
+  bool draining_reported = false;
+  while (true) {
+    // The governor only runs while epochs are still being pumped; once
+    // the input side is done (draining), cancellation must be honored
+    // here or a huge buffered result would pin the admission slot.
+    if (q->cancel_requested.load(std::memory_order_relaxed)) {
+      status = Status::Cancelled("query cancelled while draining");
+      break;
+    }
+    status = q->join->NextMatchRefs(drain_batch, &refs);
+    if (!status.ok() || refs.empty()) break;
+    for (const ParallelMatchRef& ref : refs) {
+      collected.AppendUnchecked(q->join->MaterializeRow(ref));
+    }
+    if (!draining_reported && q->join->stream_done()) {
+      // Input side finished (exhausted or deadline-finalized); what
+      // remains is delivering buffered output.
+      draining_reported = true;
+      SetState(q, QueryState::kDraining);
+    }
+  }
+
+  Status close = q->join->Close();
+  if (!status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      q->result.reset();
+    }
+    Finish(q,
+           status.IsCancelled() ? QueryState::kCancelled
+                                : QueryState::kFailed,
+           std::move(status));
+    return;
+  }
+  if (!close.ok()) {
+    Finish(q, QueryState::kFailed, std::move(close));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    q->result.emplace(std::move(collected));
+  }
+  Finish(q, QueryState::kDone, Status::OK());
+}
+
+}  // namespace service
+}  // namespace aqp

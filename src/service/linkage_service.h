@@ -1,0 +1,169 @@
+#ifndef AQP_SERVICE_LINKAGE_SERVICE_H_
+#define AQP_SERVICE_LINKAGE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/operator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/parallel/thread_pool.h"
+#include "service/admission.h"
+#include "service/query.h"
+#include "storage/relation.h"
+
+namespace aqp {
+namespace service {
+
+/// \brief Service-wide configuration.
+struct ServiceOptions {
+  /// Workers of the shared pool (0 = hardware concurrency, >= 1).
+  /// Runner threads participate in their own queries' phase groups, so
+  /// even a 1-worker pool makes progress for any number of queries.
+  size_t worker_threads = 0;
+  /// Concurrency and shard budgets.
+  AdmissionOptions admission;
+};
+
+/// \brief Multi-query linkage serving: N concurrent adaptive linkage
+/// queries over ONE shared worker pool, with admission control and
+/// per-query deadline budgets.
+///
+/// Each submitted query is registered (FIFO), admitted when a runner
+/// slot and shard budget are free, and then driven by a runner thread:
+/// the runner owns the query's ParallelAdaptiveJoin coordinator, pumps
+/// its epochs, and materializes its output, while the per-shard phase
+/// work of *all* running queries lands on the one shared ThreadPool as
+/// task groups — the pool's FIFO-fair group dispatch interleaves them,
+/// so a wide query cannot starve a narrow one.
+///
+/// Deadlines plug into the engine's epoch control points through the
+/// governor hook (every shard quiescent): past its soft deadline a
+/// query is forced into the cheapest exact state and pinned there;
+/// past its hard deadline it is finalized early and reports the
+/// partial result it has, with completeness statistics — the paper's
+/// time-completeness trade-off, per query. Cancel() tears a query down
+/// between epochs through the same hook.
+///
+/// Results are byte-identical to a solo ParallelAdaptiveJoin run of
+/// the same options (without deadlines): pool sharing changes
+/// scheduling, never merge order.
+///
+/// Thread contract: all public methods are safe to call from any
+/// thread. Child operators of a query are borrowed, must outlive the
+/// query's terminal state, and are only ever touched by that query's
+/// runner thread.
+class LinkageService {
+ public:
+  explicit LinkageService(ServiceOptions options);
+
+  /// Cancels queued and running queries (running ones stop at their
+  /// next epoch boundary), then joins the runner threads.
+  ~LinkageService();
+
+  LinkageService(const LinkageService&) = delete;
+  LinkageService& operator=(const LinkageService&) = delete;
+
+  /// Registers a query over `left` ⋈ `right` and returns its id.
+  /// Children must be unopened; the service opens and closes them on
+  /// the query's runner thread. Fails after shutdown began.
+  Result<QueryId> Submit(exec::Operator* left, exec::Operator* right,
+                         QueryOptions options);
+
+  /// Requests cancellation: a queued query is cancelled immediately, a
+  /// running one at its next epoch control point. Terminal queries are
+  /// left untouched (NotFound for unknown ids, OK otherwise).
+  Status Cancel(QueryId id);
+
+  /// Blocks until `id` is terminal and returns its final stats.
+  Result<QueryStats> Wait(QueryId id);
+
+  /// Moves the query's collected output out of the registry. Valid
+  /// exactly once, after the query reached `done` (including
+  /// deadline-partial results); blocks until terminal.
+  Result<storage::Relation> TakeResult(QueryId id);
+
+  /// Current state of a query.
+  Result<QueryState> state(QueryId id) const;
+
+  /// \name Introspection.
+  /// @{
+  size_t running_queries() const;
+  size_t queued_queries() const;
+  /// High-water mark of concurrently running queries (tests verify the
+  /// admission cap with this).
+  size_t peak_running_queries() const;
+  size_t peak_shards_in_use() const;
+  exec::parallel::ThreadPool* pool() { return &pool_; }
+  const ServiceOptions& options() const { return options_; }
+  /// @}
+
+ private:
+  struct QueryRecord {
+    QueryId id = 0;
+    QueryOptions options;
+    exec::Operator* left = nullptr;
+    exec::Operator* right = nullptr;
+    size_t shards = 0;
+
+    QueryState state = QueryState::kQueued;
+    Status final_status;
+    QueryStats stats;
+    std::optional<storage::Relation> result;
+    bool result_taken = false;
+
+    /// Set by Cancel()/shutdown, read by the query's governor at every
+    /// epoch control point.
+    std::atomic<bool> cancel_requested{false};
+    /// Written only by the runner thread while running.
+    bool forced_exact = false;
+    std::chrono::steady_clock::time_point started{};
+
+    std::unique_ptr<exec::parallel::ParallelAdaptiveJoin> join;
+  };
+
+  /// Runner thread body: claim the oldest admissible queued query, run
+  /// it to a terminal state, repeat.
+  void RunnerLoop();
+  /// Oldest queued query that fits the admission budget right now
+  /// (strict FIFO: if the front does not fit, nothing runs). Caller
+  /// holds mu_.
+  QueryRecord* FrontRunnableLocked();
+  /// Executes one admitted query end to end (no service lock held).
+  void ExecuteQuery(QueryRecord* q);
+  /// Deadline/cancel policy, called by the engine at epoch control
+  /// points on the runner thread.
+  exec::parallel::EpochDirective Govern(
+      QueryRecord* q, const exec::parallel::EpochView& view);
+  /// Transitions `q` to a state and wakes waiters.
+  void SetState(QueryRecord* q, QueryState state);
+  /// Marks `q` terminal with stats harvested from its join.
+  void Finish(QueryRecord* q, QueryState state, Status status);
+
+  ServiceOptions options_;
+  exec::parallel::ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable state_changed_;
+  AdmissionController admission_;
+  std::map<QueryId, std::unique_ptr<QueryRecord>> queries_;
+  std::deque<QueryId> queue_;
+  QueryId next_id_ = 1;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_LINKAGE_SERVICE_H_

@@ -1,0 +1,30 @@
+#include "service/query.h"
+
+namespace aqp {
+namespace service {
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kDraining:
+      return "draining";
+    case QueryState::kDone:
+      return "done";
+    case QueryState::kFailed:
+      return "failed";
+    case QueryState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsTerminalState(QueryState state) {
+  return state == QueryState::kDone || state == QueryState::kFailed ||
+         state == QueryState::kCancelled;
+}
+
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,110 @@
+#ifndef AQP_SERVICE_QUERY_H_
+#define AQP_SERVICE_QUERY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "adaptive/state.h"
+#include "common/status.h"
+#include "exec/parallel/parallel_join.h"
+
+namespace aqp {
+namespace service {
+
+/// \brief Service-wide identifier of one submitted linkage query.
+using QueryId = uint64_t;
+
+/// \brief Lifecycle of a query inside the LinkageService.
+///
+///   queued ──▶ running ──▶ draining ──▶ done
+///     │           │            │
+///     │           ├──────────────────▶ failed
+///     └──────────▶└──────────────────▶ cancelled
+///
+/// `queued`: admitted into the registry, waiting for a runner slot and
+/// shard budget. `running`: its coordinator is pumping epochs on the
+/// shared pool. `draining`: no further input will be consumed
+/// (exhausted or deadline-finalized), buffered output is still being
+/// delivered. Terminal states: `done` (full or deadline-partial result
+/// available), `failed` (operator error; see QueryStats::status),
+/// `cancelled` (by Cancel() or service shutdown; result discarded).
+enum class QueryState {
+  kQueued = 0,
+  kRunning,
+  kDraining,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+/// "queued" / "running" / "draining" / "done" / "failed" / "cancelled".
+const char* QueryStateName(QueryState state);
+
+/// True for done/failed/cancelled.
+bool IsTerminalState(QueryState state);
+
+/// \brief Per-query time budget — the paper's time-completeness knob,
+/// exposed per query.
+///
+/// Both step budgets (deterministic: checked against the global step
+/// count at every epoch control point) and wall-clock budgets
+/// (measured from the moment the query starts running) are supported;
+/// whichever trips first wins. Zero disables a bound.
+///
+/// Past the *soft* deadline the query is forced into the cheapest
+/// exact state (lex/rex) and pinned there: it still runs to
+/// completion, but stops paying for approximate matching. Past the
+/// *hard* deadline the query is finalized early: it stops consuming
+/// input at the next epoch boundary and reports the partial result it
+/// has, together with its completeness statistics.
+struct DeadlineOptions {
+  std::chrono::nanoseconds soft_deadline{0};
+  std::chrono::nanoseconds hard_deadline{0};
+  uint64_t soft_deadline_steps = 0;
+  uint64_t hard_deadline_steps = 0;
+
+  bool any() const {
+    return soft_deadline.count() > 0 || hard_deadline.count() > 0 ||
+           soft_deadline_steps > 0 || hard_deadline_steps > 0;
+  }
+};
+
+/// \brief Everything a caller configures per query.
+struct QueryOptions {
+  /// The join itself (spec, MAR thresholds, policy, shard count). The
+  /// service overwrites `shared_pool` and `governor`, and clamps
+  /// `num_shards` to the admission cap — shard count never changes
+  /// results, only parallelism.
+  exec::parallel::ParallelJoinOptions join;
+  /// Time budget; default none.
+  DeadlineOptions deadline;
+  /// Match refs materialized per drain call of the runner.
+  size_t drain_batch = 256;
+};
+
+/// \brief Final report of one query, valid once the query is terminal.
+struct QueryStats {
+  QueryState state = QueryState::kQueued;
+  /// Terminal status: OK for done, the triggering error for failed,
+  /// Cancelled for cancelled.
+  Status status;
+  /// Shards the query actually ran with (after admission clamping).
+  size_t shards = 0;
+  uint64_t steps = 0;
+  uint64_t pairs_emitted = 0;
+  /// True iff the hard deadline cut the run short (partial result).
+  bool finalized_early = false;
+  /// True iff the soft deadline forced exact-only matching.
+  bool forced_exact = false;
+  /// Completeness of the (possibly partial) result under the query's
+  /// completeness model.
+  exec::parallel::CompletenessStats completeness;
+  adaptive::ProcessorState final_state = adaptive::ProcessorState::kLexRex;
+  /// Wall time from start of running to terminal, zero if never ran.
+  std::chrono::nanoseconds elapsed{0};
+};
+
+}  // namespace service
+}  // namespace aqp
+
+#endif  // AQP_SERVICE_QUERY_H_

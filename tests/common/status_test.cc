@@ -25,6 +25,7 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
   EXPECT_EQ(Status::NotFound("missing").message(), "missing");
 }
 
@@ -63,6 +64,7 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
                "invalid_argument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "io_error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -51,6 +52,122 @@ TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
   ThreadPool pool(2);
   pool.Run({});
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitReturnsHandleAndWaitIsABarrier) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&done] { ++done; });
+  }
+  TaskGroupHandle handle = pool.Submit(std::move(tasks));
+  ASSERT_TRUE(handle.valid());
+  handle.Wait();
+  EXPECT_EQ(done.load(), 16);
+  // Waiting again is harmless.
+  handle.Wait();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, EmptyGroupHandleIsAlreadyComplete) {
+  ThreadPool pool(1);
+  TaskGroupHandle empty;
+  EXPECT_FALSE(empty.valid());
+  empty.Wait();  // no-op
+  TaskGroupHandle submitted = pool.Submit({});
+  EXPECT_TRUE(submitted.valid());
+  submitted.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ConcurrentGroupsAllCompleteIndependently) {
+  // Two groups in flight at once: each Wait() is a barrier for its own
+  // group only, and every task of both groups runs exactly once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits_a(32), hits_b(32);
+  std::vector<std::function<void()>> a, b;
+  for (size_t i = 0; i < hits_a.size(); ++i) {
+    a.push_back([&hits_a, i] { ++hits_a[i]; });
+    b.push_back([&hits_b, i] { ++hits_b[i]; });
+  }
+  TaskGroupHandle ha = pool.Submit(std::move(a));
+  TaskGroupHandle hb = pool.Submit(std::move(b));
+  hb.Wait();
+  for (const auto& hit : hits_b) EXPECT_EQ(hit.load(), 1);
+  ha.Wait();
+  for (const auto& hit : hits_a) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyThreadsShareOnePoolSafely) {
+  // The multi-query serving pattern: several client threads each
+  // submit group after group to one shared pool and wait on each —
+  // run under TSan in CI.
+  ThreadPool pool(3);
+  constexpr int kClients = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&pool, &total] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Atomic: tasks of one group may run concurrently on several
+        // workers; only the final read is ordered by the barrier.
+        std::atomic<int> local{0};
+        std::vector<std::function<void()>> tasks;
+        for (int t = 0; t < 5; ++t) {
+          tasks.push_back([&local, &total] {
+            ++total;
+            ++local;
+          });
+        }
+        pool.Run(std::move(tasks));
+        // Run() returned, so every task of *this* group completed.
+        ASSERT_EQ(local.load(), 5);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(total.load(), kClients * kRounds * 5);
+}
+
+TEST(ThreadPoolTest, FairDispatchInterleavesAWideGroupWithANarrowOne) {
+  // A wide group submitted first must not fully drain before a narrow
+  // group submitted after it gets dispatched: round-robin gives the
+  // narrow group's single task one of the next dispatch slots, so it
+  // cannot finish last behind 200 wide tasks on a lone worker.
+  ThreadPool pool(1);
+  std::atomic<bool> narrow_submitted{false};
+  std::atomic<int> wide_done{0};
+  std::atomic<int> wide_done_when_narrow_ran{-1};
+  std::vector<std::function<void()>> wide;
+  // The first wide task holds the lone worker until the narrow group
+  // is in the ring, so the wide group cannot drain before the race is
+  // actually set up.
+  wide.push_back([&narrow_submitted, &wide_done] {
+    while (!narrow_submitted.load()) std::this_thread::yield();
+    ++wide_done;
+  });
+  for (int i = 1; i < 200; ++i) {
+    wide.push_back([&wide_done] { ++wide_done; });
+  }
+  TaskGroupHandle hw = pool.Submit(std::move(wide));
+  TaskGroupHandle hn = pool.Submit({[&wide_done, &wide_done_when_narrow_ran] {
+    wide_done_when_narrow_ran = wide_done.load();
+  }});
+  narrow_submitted = true;
+  // Deliberately no Wait() yet: the waiter would claim its own group's
+  // task itself and the *worker's* dispatch order would go untested.
+  // Only the lone worker can run the narrow task here.
+  while (wide_done_when_narrow_ran.load() < 0) std::this_thread::yield();
+  hn.Wait();
+  hw.Wait();
+  EXPECT_EQ(wide_done.load(), 200);
+  // Round-robin gave the narrow group the dispatch slot right after
+  // the gated wide task — oldest-group-first draining would have run
+  // all 200 wide tasks before it.
+  EXPECT_GE(wide_done_when_narrow_ran.load(), 1);
+  EXPECT_LE(wide_done_when_narrow_ran.load(), 2);
 }
 
 datagen::TestCase SmallCase() {
@@ -276,6 +393,165 @@ TEST(ParallelJoinTest, MatchRefsAddressTheRightShardStores) {
   }
   ASSERT_TRUE(join.Close().ok());
   EXPECT_GT(seen, 0u);
+}
+
+/// Child operator yielding `good` single-string rows, then an IO
+/// error; counts Open/Close calls.
+class FlakyChild : public exec::Operator {
+ public:
+  explicit FlakyChild(int good)
+      : schema_({{"s", storage::ValueType::kString}}), good_(good) {}
+  Status Open() override {
+    ++opens_;
+    produced_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<storage::Tuple>> Next() override {
+    if (produced_ >= good_) return Status::IOError("stream dropped");
+    ++produced_;
+    return std::optional<storage::Tuple>(storage::Tuple{
+        storage::Value("KEY " + std::to_string(produced_ % 7))});
+  }
+  Status Close() override {
+    ++closes_;
+    return Status::OK();
+  }
+  const storage::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "FlakyChild"; }
+  int opens() const { return opens_; }
+  int closes() const { return closes_; }
+
+ private:
+  storage::Schema schema_;
+  int good_;
+  int produced_ = 0;
+  int opens_ = 0;
+  int closes_ = 0;
+};
+
+/// Child whose Open() always fails.
+class UnopenableChild : public exec::Operator {
+ public:
+  UnopenableChild() : schema_({{"s", storage::ValueType::kString}}) {}
+  Status Open() override { return Status::IOError("cannot connect"); }
+  Result<std::optional<storage::Tuple>> Next() override {
+    return Status::Internal("Next after failed Open");
+  }
+  Status Close() override { return Status::OK(); }
+  const storage::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "UnopenableChild"; }
+
+ private:
+  storage::Schema schema_;
+};
+
+join::JoinSpec OneColSpec() {
+  join::JoinSpec spec;
+  spec.left_column = 0;
+  spec.right_column = 0;
+  return spec;
+}
+
+TEST(ParallelJoinLifecycleTest, FailedRightOpenClosesTheLeftChild) {
+  // Regression: an Open() that fails after the left child opened must
+  // not leave it open — open_ stays false, so the caller cannot reach
+  // it through Close() and the child would leak its open state.
+  FlakyChild left(4);
+  UnopenableChild right;
+  ParallelJoinOptions options;
+  options.base.join.spec = OneColSpec();
+  options.num_shards = 2;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  EXPECT_TRUE(join.Open().IsIOError());
+  EXPECT_EQ(left.opens(), 1);
+  EXPECT_EQ(left.closes(), 1);
+  // The failed open left the operator unopened, as before.
+  EXPECT_TRUE(join.Close().IsFailedPrecondition());
+}
+
+TEST(ParallelJoinLifecycleTest, MidStreamRouteErrorIsStickyAndDiscardsPending) {
+  // A child error inside RouteEpoch abandons the epoch: rows already
+  // scattered into the shards' pending batches must be discarded (not
+  // double-ingested by a retried pump), and the operator must
+  // hard-fail every subsequent call with the original error.
+  FlakyChild left(10);
+  FlakyChild right(500);  // plenty; only the left side errors
+  ParallelJoinOptions options;
+  options.base.join.spec = OneColSpec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.num_shards = 3;
+  // Force the failure mid-epoch: more steps per epoch than the left
+  // child has rows, with refills small enough that several complete
+  // batches are routed before the failing one.
+  options.unbounded_epoch_steps = 64;
+  options.base.join.batch_size = 4;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  ASSERT_TRUE(join.Open().ok());
+
+  std::vector<ParallelMatchRef> refs;
+  Status first = join.NextMatchRefs(1024, &refs);
+  ASSERT_TRUE(first.IsIOError()) << first;
+
+  // Pending routed state of the aborted epoch was discarded: every row
+  // still accounted for in a shard belongs to a *completed* epoch, and
+  // no epoch completed before the failure.
+  size_t routed = 0;
+  for (size_t i = 0; i < join.num_shards(); ++i) {
+    routed += join.shard(i).routed_count(exec::Side::kLeft);
+    routed += join.shard(i).routed_count(exec::Side::kRight);
+  }
+  EXPECT_EQ(routed, 0u);
+  EXPECT_EQ(join.steps(), 0u);  // counters rolled back with the epoch
+
+  // Sticky: retries surface the same error instead of re-routing from
+  // a corrupted scheduler position.
+  Status retry = join.NextMatchRefs(1024, &refs);
+  EXPECT_TRUE(retry.IsIOError()) << retry;
+  EXPECT_EQ(retry.message(), first.message());
+  auto next = join.Next();
+  EXPECT_TRUE(next.status().IsIOError());
+  ASSERT_TRUE(join.Close().ok());
+  EXPECT_EQ(left.closes(), 1);
+  EXPECT_EQ(right.closes(), 1);
+}
+
+TEST(ParallelJoinLifecycleTest, ErrorAfterCompletedEpochsKeepsThem) {
+  // Same failure, but with small epochs so earlier epochs complete:
+  // their rows stay ingested and their output stays deliverable; only
+  // the aborted epoch's pending rows are discarded.
+  FlakyChild left(10);
+  FlakyChild right(500);
+  ParallelJoinOptions options;
+  options.base.join.spec = OneColSpec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.num_shards = 2;
+  // Epochs of 6 steps with refills of 4 left rows: the left child's
+  // failing third refill lands mid-epoch, after two epochs completed.
+  options.unbounded_epoch_steps = 6;
+  options.base.join.batch_size = 4;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  ASSERT_TRUE(join.Open().ok());
+
+  std::vector<ParallelMatchRef> refs;
+  size_t delivered = 0;
+  Status status = Status::OK();
+  while (true) {
+    status = join.NextMatchRefs(3, &refs);
+    if (!status.ok() || refs.empty()) break;
+    delivered += refs.size();
+  }
+  ASSERT_TRUE(status.IsIOError()) << status;
+  EXPECT_GT(join.steps(), 0u);
+
+  size_t routed = 0;
+  for (size_t i = 0; i < join.num_shards(); ++i) {
+    routed += join.shard(i).routed_count(exec::Side::kLeft);
+    routed += join.shard(i).routed_count(exec::Side::kRight);
+  }
+  // Every routed row belongs to a completed epoch (multiple of the
+  // epoch length until the error step).
+  EXPECT_EQ(routed, join.steps());
+  ASSERT_TRUE(join.Close().ok());
 }
 
 TEST(TupleStoreTest, PrecomputedHashAddMatchesSelfComputed) {

@@ -102,6 +102,38 @@ TEST(FailureInjectionTest, FailedChildOpenPropagates) {
   EXPECT_TRUE(join.Open().IsIOError());
 }
 
+TEST(FailureInjectionTest, FailedRightOpenClosesAlreadyOpenedLeft) {
+  // Regression: when right_->Open() fails, the join's Open() returns
+  // with open_ == false — its Close() refuses to run, so if the left
+  // child is not closed on the error path it stays open forever.
+  FlakyOperator left(OneCol(), 4);
+  UnopenableOperator right(OneCol());
+  SHJoin join(&left, &right, SymmetricJoinOptions{});
+  EXPECT_TRUE(join.Open().IsIOError());
+  EXPECT_EQ(left.opens(), 1);
+  EXPECT_EQ(left.closes(), 1);
+  EXPECT_TRUE(join.Close().IsFailedPrecondition());
+
+  // The join is still usable against an openable right child.
+  const Relation data = Strings({"A"});
+  exec::RelationScan good_right(&data);
+  SHJoin retry(&left, &good_right, SymmetricJoinOptions{});
+  ASSERT_TRUE(retry.Open().ok());
+  EXPECT_EQ(left.opens(), 2);
+  ASSERT_TRUE(retry.Close().ok());
+  EXPECT_EQ(left.closes(), 2);
+}
+
+TEST(FailureInjectionTest, AdaptiveJoinFailedRightOpenClosesLeft) {
+  FlakyOperator left(OneCol(), 4);
+  UnopenableOperator right(OneCol());
+  adaptive::AdaptiveJoinOptions options;
+  adaptive::AdaptiveJoin join(&left, &right, options);
+  EXPECT_TRUE(join.Open().IsIOError());
+  EXPECT_EQ(left.opens(), 1);
+  EXPECT_EQ(left.closes(), 1);
+}
+
 TEST(FailureInjectionTest, JoinLifecycleErrors) {
   const Relation data = Strings({"A"});
   exec::RelationScan l(&data);

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "service/admission.h"
+#include "service/query.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+TEST(AdmissionControllerTest, CapsConcurrentQueries) {
+  AdmissionOptions options;
+  options.max_concurrent_queries = 2;
+  options.max_total_shards = 0;  // no shard budget
+  AdmissionController admission(options);
+
+  EXPECT_TRUE(admission.CanAdmit(8));
+  admission.Admit(8);
+  EXPECT_TRUE(admission.CanAdmit(8));
+  admission.Admit(8);
+  EXPECT_FALSE(admission.CanAdmit(1));  // slots exhausted
+  admission.Release(8);
+  EXPECT_TRUE(admission.CanAdmit(4));
+  EXPECT_EQ(admission.running_queries(), 1u);
+  EXPECT_EQ(admission.peak_running_queries(), 2u);
+  EXPECT_EQ(admission.peak_shards_in_use(), 16u);
+}
+
+TEST(AdmissionControllerTest, CapsTotalShards) {
+  AdmissionOptions options;
+  options.max_concurrent_queries = 8;
+  options.max_total_shards = 6;
+  AdmissionController admission(options);
+
+  EXPECT_TRUE(admission.CanAdmit(4));
+  admission.Admit(4);
+  EXPECT_FALSE(admission.CanAdmit(3));  // 4 + 3 > 6
+  EXPECT_TRUE(admission.CanAdmit(2));
+  admission.Admit(2);
+  EXPECT_FALSE(admission.CanAdmit(1));
+  admission.Release(4);
+  EXPECT_TRUE(admission.CanAdmit(4));
+  EXPECT_EQ(admission.shards_in_use(), 2u);
+}
+
+TEST(AdmissionControllerTest, ClampShardsHonorsBudgetAndFloor) {
+  AdmissionOptions options;
+  options.max_total_shards = 6;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.ClampShards(16), 6u);
+  EXPECT_EQ(admission.ClampShards(3), 3u);
+  EXPECT_EQ(admission.ClampShards(0), 1u);
+
+  AdmissionOptions unlimited;
+  unlimited.max_total_shards = 0;
+  AdmissionController no_budget(unlimited);
+  EXPECT_EQ(no_budget.ClampShards(16), 16u);
+  EXPECT_EQ(no_budget.ClampShards(0), 1u);
+}
+
+TEST(AdmissionControllerTest, ZeroConcurrencyIsClampedToOne) {
+  AdmissionOptions options;
+  options.max_concurrent_queries = 0;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.CanAdmit(1));
+  admission.Admit(1);
+  EXPECT_FALSE(admission.CanAdmit(1));
+}
+
+TEST(QueryStateTest, NamesAndTerminality) {
+  EXPECT_STREQ(QueryStateName(QueryState::kQueued), "queued");
+  EXPECT_STREQ(QueryStateName(QueryState::kRunning), "running");
+  EXPECT_STREQ(QueryStateName(QueryState::kDraining), "draining");
+  EXPECT_STREQ(QueryStateName(QueryState::kDone), "done");
+  EXPECT_STREQ(QueryStateName(QueryState::kFailed), "failed");
+  EXPECT_STREQ(QueryStateName(QueryState::kCancelled), "cancelled");
+
+  EXPECT_FALSE(IsTerminalState(QueryState::kQueued));
+  EXPECT_FALSE(IsTerminalState(QueryState::kRunning));
+  EXPECT_FALSE(IsTerminalState(QueryState::kDraining));
+  EXPECT_TRUE(IsTerminalState(QueryState::kDone));
+  EXPECT_TRUE(IsTerminalState(QueryState::kFailed));
+  EXPECT_TRUE(IsTerminalState(QueryState::kCancelled));
+}
+
+TEST(DeadlineOptionsTest, AnyDetectsEveryBudgetKind) {
+  DeadlineOptions none;
+  EXPECT_FALSE(none.any());
+  DeadlineOptions soft_steps;
+  soft_steps.soft_deadline_steps = 10;
+  EXPECT_TRUE(soft_steps.any());
+  DeadlineOptions hard_wall;
+  hard_wall.hard_deadline = std::chrono::milliseconds(5);
+  EXPECT_TRUE(hard_wall.any());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,409 @@
+// Multi-query serving: N concurrent linkage queries on one shared
+// worker pool must (a) respect the admission caps, (b) each produce
+// output byte-identical to a solo ParallelAdaptiveJoin run of the same
+// options, (c) honor per-query deadline budgets — soft deadlines force
+// exact-only matching, hard deadlines finalize early with a partial
+// result and completeness statistics — and (d) tear down cleanly on
+// Cancel(), mid-stream included. The whole suite runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "exec/stream.h"
+#include "service/linkage_service.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+
+const datagen::TestCase& PaperCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.pattern = datagen::PerturbationPattern::kFewHighIntensityRegions;
+    options.perturb_parent = false;
+    options.variant_rate = 0.10;
+    options.atlas.size = 400;
+    options.accidents.size = 800;
+    options.seed = 20090326;
+    auto generated = datagen::GenerateTestCase(options);
+    EXPECT_TRUE(generated.ok());
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+ParallelJoinOptions BaseJoinOptions(const datagen::TestCase& tc) {
+  ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.base.adaptive.delta_adapt = 50;
+  options.base.adaptive.window = 50;
+  options.num_shards = 2;
+  return options;
+}
+
+/// The reference: the same query run solo, no service, no deadlines.
+storage::Relation SoloRun(const datagen::TestCase& tc,
+                          ParallelJoinOptions options) {
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ParallelAdaptiveJoin join(&child, &parent, options);
+  auto result = exec::CollectAll(&join);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+void ExpectSameRows(const storage::Relation& actual,
+                    const storage::Relation& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual.row(i), expected.row(i)) << "row " << i;
+  }
+}
+
+/// The four policy flavors the stress tests mix.
+std::vector<ParallelJoinOptions> PolicyMix(const datagen::TestCase& tc) {
+  std::vector<ParallelJoinOptions> mix;
+  // Full adaptive.
+  mix.push_back(BaseJoinOptions(tc));
+  // Pinned all-exact.
+  mix.push_back(BaseJoinOptions(tc));
+  mix.back().base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  mix.back().base.adaptive.initial_state = adaptive::ProcessorState::kLexRex;
+  // Pinned all-approximate (the expensive one).
+  mix.push_back(BaseJoinOptions(tc));
+  mix.back().base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  mix.back().base.adaptive.initial_state = adaptive::ProcessorState::kLapRap;
+  // Scripted.
+  mix.push_back(BaseJoinOptions(tc));
+  mix.back().base.adaptive.policy = adaptive::AdaptivePolicy::kScripted;
+  mix.back().base.adaptive.script = {
+      {120, adaptive::ProcessorState::kLapRex},
+      {300, adaptive::ProcessorState::kLapRap},
+      {700, adaptive::ProcessorState::kLexRex},
+  };
+  return mix;
+}
+
+// ---------------------------------------------------------------------
+// The acceptance-criteria test: >= 4 concurrent queries, one shared
+// pool, admission capping active concurrency at 2, every query's
+// output byte-identical to its solo run.
+TEST(LinkageServiceTest, FourConcurrentQueriesMatchTheirSoloRuns) {
+  const datagen::TestCase& tc = PaperCase();
+  const std::vector<ParallelJoinOptions> mix = PolicyMix(tc);
+  std::vector<storage::Relation> references;
+  references.reserve(mix.size());
+  for (const ParallelJoinOptions& options : mix) {
+    references.push_back(SoloRun(tc, options));
+    ASSERT_GT(references.back().size(), 0u);
+  }
+
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 4;
+  LinkageService service(so);
+
+  // One scan pair per query: children are only touched by their own
+  // query's runner thread.
+  std::vector<std::unique_ptr<exec::RelationScan>> scans;
+  std::vector<QueryId> ids;
+  for (const ParallelJoinOptions& options : mix) {
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+    QueryOptions qo;
+    qo.join = options;
+    auto id = service.Submit(scans[scans.size() - 2].get(),
+                             scans[scans.size() - 1].get(), qo);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto stats = service.Wait(ids[i]);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    SCOPED_TRACE(testing::Message() << "query " << i);
+    EXPECT_EQ(stats->state, QueryState::kDone)
+        << stats->status.ToString();
+    EXPECT_FALSE(stats->finalized_early);
+    EXPECT_EQ(stats->shards, 2u);
+    auto result = service.TakeResult(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameRows(*result, references[i]);
+  }
+
+  // Admission capped active concurrency at 2 — and with 4 queries
+  // queued behind 2 slots, both slots were actually in use at once.
+  EXPECT_LE(service.peak_running_queries(), 2u);
+  EXPECT_EQ(service.peak_running_queries(), 2u);
+  EXPECT_LE(service.peak_shards_in_use(), 4u);
+}
+
+TEST(LinkageServiceTest, HardStepDeadlineFinalizesEarlyWithCompleteness) {
+  const datagen::TestCase& tc = PaperCase();
+  ParallelJoinOptions options = BaseJoinOptions(tc);
+  const storage::Relation full = SoloRun(tc, options);
+  ASSERT_GT(full.size(), 0u);
+
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  so.admission.max_total_shards = 2;
+  LinkageService service(so);
+
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = options;
+  qo.deadline.hard_deadline_steps = 120;
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_TRUE(stats->finalized_early);
+  // Deterministic: control points fall every δ_adapt = 50 steps, so
+  // the first boundary past 120 is 150 — and input (800 + 400 rows)
+  // was nowhere near exhausted.
+  EXPECT_EQ(stats->steps, 150u);
+  EXPECT_LT(stats->steps, tc.child.size() + tc.parent.size());
+  // The partial result is a strict prefix of the full run's output.
+  auto partial = service.TakeResult(*id);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_LT(partial->size(), full.size());
+  for (size_t i = 0; i < partial->size(); ++i) {
+    ASSERT_EQ(partial->row(i), full.row(i)) << "row " << i;
+  }
+  // Completeness statistics of the partial result were reported.
+  EXPECT_GT(stats->completeness.expected_matches, 0.0);
+  EXPECT_GE(stats->completeness.ratio, 0.0);
+  EXPECT_LE(stats->completeness.ratio, 1.0);
+}
+
+TEST(LinkageServiceTest, ImmediateWallClockHardDeadlineYieldsEmptyResult) {
+  const datagen::TestCase& tc = PaperCase();
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.deadline.hard_deadline = std::chrono::nanoseconds(1);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone);
+  EXPECT_TRUE(stats->finalized_early);
+  EXPECT_EQ(stats->steps, 0u);
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(LinkageServiceTest, SoftDeadlineForcesExactOnlyButRunsToCompletion) {
+  const datagen::TestCase& tc = PaperCase();
+  // An all-approximate pinned query: without the deadline it would
+  // probe approximately to the end.
+  ParallelJoinOptions options = BaseJoinOptions(tc);
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.base.adaptive.initial_state = adaptive::ProcessorState::kLapRap;
+  options.unbounded_epoch_steps = 64;
+
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = options;
+  qo.deadline.soft_deadline_steps = 100;
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  // The whole input was consumed (no early finalize)...
+  EXPECT_FALSE(stats->finalized_early);
+  EXPECT_EQ(stats->steps, tc.child.size() + tc.parent.size());
+  // ...but matching was forced into the cheapest exact state.
+  EXPECT_TRUE(stats->forced_exact);
+  EXPECT_EQ(stats->final_state, adaptive::ProcessorState::kLexRex);
+  // Fewer pairs than the never-deadlined approximate run.
+  const storage::Relation full = SoloRun(tc, options);
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->size(), full.size());
+}
+
+TEST(LinkageServiceTest, CancelWhileQueuedIsImmediate) {
+  const datagen::TestCase& tc = PaperCase();
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+
+  // Occupy the lone slot with a real query...
+  exec::RelationScan child_a(&tc.child);
+  exec::RelationScan parent_a(&tc.parent);
+  QueryOptions qa;
+  qa.join = BaseJoinOptions(tc);
+  auto a = service.Submit(&child_a, &parent_a, qa);
+  ASSERT_TRUE(a.ok());
+  // ...and cancel a queued one behind it: it must terminate without
+  // ever running (its children are never opened).
+  exec::RelationScan child_b(&tc.child);
+  exec::RelationScan parent_b(&tc.parent);
+  auto b = service.Submit(&child_b, &parent_b, qa);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(service.Cancel(*b).ok());
+  auto stats_b = service.Wait(*b);
+  ASSERT_TRUE(stats_b.ok());
+  EXPECT_EQ(stats_b->state, QueryState::kCancelled);
+  EXPECT_EQ(stats_b->steps, 0u);
+  EXPECT_TRUE(service.TakeResult(*b).status().IsCancelled());
+
+  auto stats_a = service.Wait(*a);
+  ASSERT_TRUE(stats_a.ok());
+  EXPECT_EQ(stats_a->state, QueryState::kDone);
+}
+
+TEST(LinkageServiceTest, CancelMidStreamTearsDownBetweenEpochs) {
+  // A deliberately slow source keeps the query mid-stream for seconds;
+  // Cancel() must stop it at an epoch boundary, long before the
+  // stream's natural end.
+  const storage::Schema schema({{"s", storage::ValueType::kString}});
+  std::atomic<int> produced{0};
+  exec::GeneratorSource slow_child(schema, [&produced]() {
+    if (produced.load() >= 200000) return std::optional<storage::Tuple>();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const int i = ++produced;
+    return std::optional<storage::Tuple>(
+        storage::Tuple{storage::Value("KEY " + std::to_string(i % 97))});
+  });
+  exec::GeneratorSource slow_parent(schema, [&produced]() {
+    if (produced.load() >= 200000) return std::optional<storage::Tuple>();
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const int i = ++produced;
+    return std::optional<storage::Tuple>(
+        storage::Tuple{storage::Value("KEY " + std::to_string(i % 97))});
+  });
+
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+  QueryOptions qo;
+  qo.join.base.join.spec.left_column = 0;
+  qo.join.base.join.spec.right_column = 0;
+  qo.join.base.join.batch_size = 16;
+  qo.join.base.adaptive.delta_adapt = 32;
+  qo.join.base.adaptive.window = 32;
+  qo.join.num_shards = 2;
+  auto id = service.Submit(&slow_child, &slow_parent, qo);
+  ASSERT_TRUE(id.ok());
+
+  // Wait until it actually runs, then cancel mid-stream.
+  while (*service.state(*id) == QueryState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(service.Cancel(*id).ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kCancelled);
+  EXPECT_TRUE(stats->status.IsCancelled());
+  // Torn down long before the 200k-row stream could finish.
+  EXPECT_LT(produced.load(), 100000);
+  EXPECT_TRUE(service.TakeResult(*id).status().IsCancelled());
+}
+
+TEST(LinkageServiceTest, ShardBudgetClampsWideQueries) {
+  const datagen::TestCase& tc = PaperCase();
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 3;
+  LinkageService service(so);
+
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.join.num_shards = 16;  // far over budget
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone);
+  EXPECT_EQ(stats->shards, 3u);
+  EXPECT_LE(service.peak_shards_in_use(), 3u);
+  // Clamping does not change results.
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ExpectSameRows(*result, SoloRun(tc, BaseJoinOptions(tc)));
+}
+
+TEST(LinkageServiceTest, UnknownIdsAndDoubleTakeAreErrors) {
+  LinkageService service(ServiceOptions{});
+  EXPECT_TRUE(service.Wait(42).status().IsNotFound());
+  EXPECT_TRUE(service.Cancel(42).IsNotFound());
+  EXPECT_TRUE(service.TakeResult(42).status().IsNotFound());
+  EXPECT_TRUE(service.state(42).status().IsNotFound());
+
+  const datagen::TestCase& tc = PaperCase();
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.TakeResult(*id).ok());
+  EXPECT_TRUE(service.TakeResult(*id).status().IsFailedPrecondition());
+  EXPECT_TRUE(service.Submit(nullptr, &parent, qo).status()
+                  .IsInvalidArgument());
+}
+
+TEST(LinkageServiceTest, DestructorCancelsOutstandingQueries) {
+  const datagen::TestCase& tc = PaperCase();
+  exec::RelationScan child_a(&tc.child);
+  exec::RelationScan parent_a(&tc.parent);
+  exec::RelationScan child_b(&tc.child);
+  exec::RelationScan parent_b(&tc.parent);
+  {
+    ServiceOptions so;
+    so.worker_threads = 1;
+    so.admission.max_concurrent_queries = 1;
+    LinkageService service(so);
+    QueryOptions qo;
+    qo.join = BaseJoinOptions(tc);
+    ASSERT_TRUE(service.Submit(&child_a, &parent_a, qo).ok());
+    ASSERT_TRUE(service.Submit(&child_b, &parent_b, qo).ok());
+    // Destroyed with one query likely running and one queued: the
+    // destructor must not hang or leak threads.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

@@ -1,0 +1,200 @@
+// Service-level stress: a burst of concurrent linkage queries mixing
+// every control policy with mid-stream deadline expiry and cancels,
+// all on one shared pool — run under ThreadSanitizer in CI. Every
+// query that completes must be byte-identical to its solo run (or a
+// strict prefix of it when its hard deadline fired).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "service/linkage_service.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+
+const datagen::TestCase& StressCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.pattern = datagen::PerturbationPattern::kUniform;
+    options.perturb_parent = true;
+    options.variant_rate = 0.15;
+    options.atlas.size = 300;
+    options.accidents.size = 600;
+    options.seed = 42;
+    auto generated = datagen::GenerateTestCase(options);
+    EXPECT_TRUE(generated.ok());
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+ParallelJoinOptions MakeOptions(const datagen::TestCase& tc, size_t flavor) {
+  ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.base.adaptive.delta_adapt = 50;
+  options.base.adaptive.window = 50;
+  options.num_shards = 1 + flavor % 3;
+  switch (flavor % 4) {
+    case 0:  // full adaptive
+      break;
+    case 1:
+      options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+      options.base.adaptive.initial_state =
+          adaptive::ProcessorState::kLexRex;
+      break;
+    case 2:
+      options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+      options.base.adaptive.initial_state =
+          adaptive::ProcessorState::kLapRap;
+      break;
+    case 3:
+      options.base.adaptive.policy = adaptive::AdaptivePolicy::kScripted;
+      options.base.adaptive.script = {
+          {100, adaptive::ProcessorState::kLapRex},
+          {250, adaptive::ProcessorState::kLapRap},
+          {600, adaptive::ProcessorState::kLexRex},
+      };
+      break;
+  }
+  return options;
+}
+
+TEST(ServiceStressTest, BurstOfMixedQueriesWithDeadlinesAndCancels) {
+  const datagen::TestCase& tc = StressCase();
+  constexpr size_t kQueries = 10;
+
+  // Solo references per flavor (deadline-free).
+  std::map<size_t, storage::Relation> references;
+  for (size_t flavor = 0; flavor < 4; ++flavor) {
+    exec::RelationScan child(&tc.child);
+    exec::RelationScan parent(&tc.parent);
+    ParallelAdaptiveJoin join(&child, &parent, MakeOptions(tc, flavor));
+    auto result = exec::CollectAll(&join);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    references.emplace(flavor, std::move(*result));
+  }
+
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 3;
+  so.admission.max_total_shards = 6;
+  LinkageService service(so);
+
+  std::vector<std::unique_ptr<exec::RelationScan>> scans;
+  std::vector<QueryId> ids;
+  std::vector<bool> has_hard_deadline(kQueries, false);
+  std::vector<bool> cancelled(kQueries, false);
+  for (size_t i = 0; i < kQueries; ++i) {
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+    QueryOptions qo;
+    qo.join = MakeOptions(tc, i);
+    if (i % 3 == 1) {
+      qo.deadline.hard_deadline_steps = 150;
+      has_hard_deadline[i] = true;
+    }
+    if (i % 4 == 2) {
+      qo.deadline.soft_deadline_steps = 200;
+    }
+    auto id = service.Submit(scans[scans.size() - 2].get(),
+                             scans[scans.size() - 1].get(), qo);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  // Cancel a couple mid-burst: one early in the queue, one late.
+  ASSERT_TRUE(service.Cancel(ids[4]).ok());
+  cancelled[4] = true;
+  ASSERT_TRUE(service.Cancel(ids[9]).ok());
+  cancelled[9] = true;
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto stats = service.Wait(ids[i]);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    SCOPED_TRACE(testing::Message() << "query " << i << " state "
+                                    << QueryStateName(stats->state));
+    if (cancelled[i]) {
+      // Cancel raced the query's natural completion; both outcomes
+      // are legal, but nothing else is.
+      ASSERT_TRUE(stats->state == QueryState::kCancelled ||
+                  stats->state == QueryState::kDone);
+      if (stats->state == QueryState::kCancelled) continue;
+    }
+    ASSERT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+    auto result = service.TakeResult(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const storage::Relation& reference = references.at(i % 4);
+    if (has_hard_deadline[i] && stats->finalized_early) {
+      // Partial result: a strict prefix of the solo run.
+      ASSERT_LE(result->size(), reference.size());
+      for (size_t r = 0; r < result->size(); ++r) {
+        ASSERT_EQ(result->row(r), reference.row(r)) << "row " << r;
+      }
+      EXPECT_GE(stats->completeness.ratio, 0.0);
+      EXPECT_LE(stats->completeness.ratio, 1.0);
+    } else if (i % 4 == 2 && stats->forced_exact) {
+      // Soft deadline degraded matching; the output is a subsequence
+      // of legal matches but not comparable row-for-row. Sanity only.
+      EXPECT_LE(result->size(), references.at(2).size());
+    } else {
+      ASSERT_EQ(result->size(), reference.size());
+      for (size_t r = 0; r < result->size(); ++r) {
+        ASSERT_EQ(result->row(r), reference.row(r)) << "row " << r;
+      }
+    }
+  }
+
+  EXPECT_LE(service.peak_running_queries(), 3u);
+  EXPECT_LE(service.peak_shards_in_use(), 6u);
+}
+
+TEST(ServiceStressTest, RepeatedBurstsReuseThePool) {
+  // Several waves through one service instance: registry, admission
+  // accounting, and pool survive reuse.
+  const datagen::TestCase& tc = StressCase();
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 4;
+  LinkageService service(so);
+
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<std::unique_ptr<exec::RelationScan>> scans;
+    std::vector<QueryId> ids;
+    for (size_t i = 0; i < 4; ++i) {
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+      QueryOptions qo;
+      qo.join = MakeOptions(tc, i);
+      auto id = service.Submit(scans[scans.size() - 2].get(),
+                               scans[scans.size() - 1].get(), qo);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    for (QueryId id : ids) {
+      auto stats = service.Wait(id);
+      ASSERT_TRUE(stats.ok());
+      EXPECT_EQ(stats->state, QueryState::kDone)
+          << stats->status.ToString();
+    }
+  }
+  EXPECT_EQ(service.running_queries(), 0u);
+  EXPECT_EQ(service.queued_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp
