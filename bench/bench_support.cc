@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/timer.h"
 
@@ -16,6 +17,8 @@ const char* BuildTypeName() {
   return "debug";
 #endif
 }
+
+unsigned HostCpuCount() { return std::thread::hardware_concurrency(); }
 
 namespace {
 

@@ -15,6 +15,11 @@ namespace bench {
 /// Recorded into benchmark output so checked-in numbers are auditable.
 const char* BuildTypeName();
 
+/// Logical CPUs of the host (0 when the runtime cannot tell) — every
+/// bench main records this as "aqp_host_cpus" context so checked-in
+/// numbers carry the machine size they were measured on.
+unsigned HostCpuCount();
+
 /// \brief Scale and MAR configuration shared by the figure benches.
 ///
 /// Defaults replicate the paper's setup: an 8082-row atlas, a 10,000

@@ -1,0 +1,138 @@
+#include "datagen/scale.h"
+
+#include <array>
+#include <cassert>
+
+#include "common/hash.h"
+#include "storage/value.h"
+#include "text/qgram.h"
+#include "text/similarity.h"
+
+namespace aqp {
+namespace datagen {
+
+namespace {
+
+// Word pools for the synthetic Italian-style locations (upper-case
+// only — the generator's non-collision argument depends on it; see the
+// class comment).
+constexpr std::array<const char*, 20> kRegions = {
+    "PIE", "VDA", "LOM", "TAA", "VEN", "FVG", "LIG", "EMR", "TOS", "UMB",
+    "MAR", "LAZ", "ABR", "MOL", "CAM", "PUG", "BAS", "CAL", "SIC", "SAR"};
+
+constexpr std::array<const char*, 24> kProvinces = {
+    "TO", "AO", "MI", "BZ", "VE", "TS", "GE", "BO", "FI", "PG", "AN", "RM",
+    "AQ", "CB", "NA", "BA", "PZ", "CZ", "PA", "CA", "BG", "VR", "PD", "TN"};
+
+constexpr std::array<const char*, 16> kPrefixes = {
+    "SAN",   "SANTA", "SANTO", "MONTE",  "CASTEL", "VILLA",
+    "BORGO", "ROCCA", "TORRE", "PIEVE",  "CIVITA", "COLLE",
+    "SERRA", "CAMPO", "POGGIO", "RIVA"};
+
+constexpr std::array<const char*, 16> kSuffixes = {
+    "VALGARDENA", "TERME",     "MARITTIMA", "SCRIVIA",
+    "ADIGE",      "SUPERIORE", "INFERIORE", "VECCHIO",
+    "NUOVO",      "VESUVIANO", "LAGHETTO",  "COLLINA",
+    "PIANURA",    "ULIVETO",   "CASTAGNO",  "GHIAIA"};
+
+/// Base-26 tag word of a row index, fixed 7 letters (26^7 > 8·10^9
+/// rows) — the constructive uniqueness device.
+std::string RowTag(size_t row) {
+  std::string tag(7, 'A');
+  for (size_t i = 0; i < tag.size(); ++i) {
+    tag[tag.size() - 1 - i] = static_cast<char>('A' + row % 26);
+    row /= 26;
+  }
+  return tag;
+}
+
+}  // namespace
+
+ScaledCorpus::ScaledCorpus(const ScaledCorpusOptions& options)
+    : options_(options),
+      parent_schema_(storage::Schema(
+          {{"location", storage::ValueType::kString},
+           {"municipality_id", storage::ValueType::kInt64}})),
+      child_schema_(storage::Schema(
+          {{"location", storage::ValueType::kString},
+           {"report_id", storage::ValueType::kInt64}})) {}
+
+uint64_t ScaledCorpus::RowHash(uint64_t stream, uint64_t row) const {
+  return Mix64((options_.seed ^ (stream << 56)) +
+               row * 0x9e3779b97f4a7c15ULL);
+}
+
+std::string ScaledCorpus::ParentLocation(size_t row) const {
+  assert(row < options_.parent_rows);
+  uint64_t h = RowHash(0, row);
+  std::string out;
+  out.reserve(options_.min_name_length + 24);
+  out += kRegions[h % kRegions.size()];
+  h >>= 8;
+  out += ' ';
+  out += kProvinces[h % kProvinces.size()];
+  h >>= 8;
+  out += ' ';
+  out += kPrefixes[h % kPrefixes.size()];
+  h >>= 8;
+  out += ' ';
+  out += RowTag(row);
+  while (out.size() < options_.min_name_length) {
+    out += ' ';
+    out += kSuffixes[h % kSuffixes.size()];
+    h = Mix64(h);
+  }
+  return out;
+}
+
+size_t ScaledCorpus::ChildParent(size_t row) const {
+  assert(options_.parent_rows > 0);
+  return static_cast<size_t>(RowHash(1, row) % options_.parent_rows);
+}
+
+bool ScaledCorpus::ChildIsVariant(size_t row) const {
+  return ChildLocation(row) != ParentLocation(ChildParent(row));
+}
+
+std::string ScaledCorpus::ChildLocation(size_t row) const {
+  const std::string parent = ParentLocation(ChildParent(row));
+  // 53 uniform bits → double in [0, 1).
+  const double u = static_cast<double>(RowHash(2, row) >> 11) *
+                   (1.0 / 9007199254740992.0);
+  if (u >= options_.variant_rate) return parent;
+  const uint64_t h = RowHash(3, row);
+  // A lower-case substitution always differs from the upper-case/space
+  // original and can never reproduce any parent location. A
+  // substitution's similarity cost depends on where it lands (grams it
+  // destroys may be duplicated elsewhere in the string), so scan
+  // positions from a row-specific start and keep the first variant
+  // that stays linkable to its parent at the configured threshold.
+  const text::QGramOptions q3;
+  const text::GramSet parent_grams = text::GramSet::Of(parent, q3);
+  const size_t start = static_cast<size_t>(h % parent.size());
+  const char substitute = static_cast<char>('a' + (h >> 32) % 26);
+  std::string variant = parent;
+  for (size_t offset = 0; offset < parent.size(); ++offset) {
+    const size_t pos = (start + offset) % parent.size();
+    variant[pos] = substitute;
+    const double sim = text::Jaccard(
+        parent_grams, text::GramSet::Of(variant, q3));
+    if (sim >= options_.variant_min_similarity) return variant;
+    variant[pos] = parent[pos];
+  }
+  // No single substitution keeps this row linkable; emit it clean.
+  return parent;
+}
+
+storage::Tuple ScaledCorpus::ParentTuple(size_t row) const {
+  return storage::Tuple({storage::Value(ParentLocation(row)),
+                         storage::Value(static_cast<int64_t>(row))});
+}
+
+storage::Tuple ScaledCorpus::ChildTuple(size_t row) const {
+  return storage::Tuple({storage::Value(ChildLocation(row)),
+                         storage::Value(static_cast<int64_t>(row))});
+}
+
+}  // namespace datagen
+}  // namespace aqp

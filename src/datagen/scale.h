@@ -1,0 +1,102 @@
+#ifndef AQP_DATAGEN_SCALE_H_
+#define AQP_DATAGEN_SCALE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace aqp {
+namespace datagen {
+
+/// \brief Options for the million-row streaming corpus.
+struct ScaledCorpusOptions {
+  /// Reference (parent / atlas-like) rows.
+  size_t parent_rows = 0;
+  /// Feed (child / accidents-like) rows.
+  size_t child_rows = 0;
+  /// Fraction of child rows carrying a one-character variant of their
+  /// parent location (the rest reference it verbatim).
+  double variant_rate = 0.10;
+  uint64_t seed = 20090324;
+  /// Minimum location length; long strings keep a single-character
+  /// edit close to its parent under q-gram similarity.
+  size_t min_name_length = 36;
+  /// Every emitted variant keeps at least this padded-q=3 Jaccard
+  /// similarity to its parent (the linkage threshold the paper's
+  /// scenarios probe at). The generator scans substitution positions
+  /// until one qualifies; rows where none does fall back to the
+  /// verbatim parent string.
+  double variant_min_similarity = 0.85;
+};
+
+/// \brief Deterministic constant-memory generator for million-row
+/// linkage inputs.
+///
+/// GenerateTestCase materializes every canonical string into forbidden
+/// sets (and re-checks each variant against them) — fine at paper
+/// scale, prohibitive at 10^6 rows. This generator makes collisions
+/// impossible *by construction* instead of by rejection:
+///
+///  - every parent location is upper-case (plus spaces) and ends in a
+///    base-26 tag word unique to its row, so parent locations are
+///    pairwise distinct;
+///  - a child variant substitutes one character with a *lower-case*
+///    letter, so no variant can equal any parent location (none
+///    contains lower-case), exactly the invariant the forbidden-set
+///    machinery enforces at small scale.
+///
+/// Every row is a pure function of (seed, row index) — nothing is
+/// stored, any row can be generated in any order, and two passes over
+/// the same corpus yield identical bytes. Variant substitutions are
+/// placed so the child stays above variant_min_similarity (padded
+/// q = 3 Jaccard) against its parent, so each child row matches
+/// exactly its parent: variants approximately, the rest exactly.
+class ScaledCorpus {
+ public:
+  explicit ScaledCorpus(const ScaledCorpusOptions& options);
+
+  const ScaledCorpusOptions& options() const { return options_; }
+
+  /// Parent schema: [location:string, municipality_id:int64]; the join
+  /// attribute is column 0.
+  const storage::Schema& parent_schema() const { return parent_schema_; }
+  /// Child schema: [location:string, report_id:int64]; the join
+  /// attribute is column 0.
+  const storage::Schema& child_schema() const { return child_schema_; }
+
+  /// Location string of parent `row` (row < parent_rows).
+  std::string ParentLocation(size_t row) const;
+
+  /// Parent row a child references (uniform, deterministic).
+  size_t ChildParent(size_t row) const;
+
+  /// Whether child `row` carries a variant location — derived from the
+  /// emitted string, so it is truthful even for the rare rows whose
+  /// variant draw fell back to the verbatim parent.
+  bool ChildIsVariant(size_t row) const;
+
+  /// Location string of child `row`: its parent's location, with one
+  /// lower-case substitution chosen so the padded-q=3 Jaccard to the
+  /// parent stays >= variant_min_similarity (verbatim parent when the
+  /// row drew no variant, or no position qualifies).
+  std::string ChildLocation(size_t row) const;
+
+  /// Full rows (location + id) under the schemas above.
+  storage::Tuple ParentTuple(size_t row) const;
+  storage::Tuple ChildTuple(size_t row) const;
+
+ private:
+  /// Independent deterministic hash stream per (purpose, row).
+  uint64_t RowHash(uint64_t stream, uint64_t row) const;
+
+  ScaledCorpusOptions options_;
+  storage::Schema parent_schema_;
+  storage::Schema child_schema_;
+};
+
+}  // namespace datagen
+}  // namespace aqp
+
+#endif  // AQP_DATAGEN_SCALE_H_

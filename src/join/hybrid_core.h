@@ -109,12 +109,19 @@ class HybridJoinCore {
   /// inserted during catch-up (0 when the mode is unchanged).
   size_t SetProbeMode(Side side, ProbeMode mode);
 
-  /// Reserves store capacity for the expected input cardinalities
-  /// (0 = unknown); the operator wrappers pass their size hints so
-  /// steady ingest never reallocates the per-tuple vectors.
+  /// Reserves store and q-gram-index capacity for the expected input
+  /// cardinalities (0 = unknown); the operator wrappers pass their
+  /// size hints so steady ingest never reallocates the per-tuple
+  /// vectors or rehashes the posting maps.
   void ReserveStores(size_t left_hint, size_t right_hint) {
-    if (left_hint > 0) stores_[Idx(Side::kLeft)].Reserve(left_hint);
-    if (right_hint > 0) stores_[Idx(Side::kRight)].Reserve(right_hint);
+    if (left_hint > 0) {
+      stores_[Idx(Side::kLeft)].Reserve(left_hint);
+      qgram_[Idx(Side::kLeft)].Reserve(left_hint);
+    }
+    if (right_hint > 0) {
+      stores_[Idx(Side::kRight)].Reserve(right_hint);
+      qgram_[Idx(Side::kRight)].Reserve(right_hint);
+    }
   }
 
   /// \name Introspection.

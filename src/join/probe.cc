@@ -1,11 +1,176 @@
 #include "join/probe.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
 
+#include "join/filter.h"
 #include "text/similarity.h"
 
 namespace aqp {
 namespace join {
+
+namespace {
+
+/// Sticky T(t) marker for a candidate the positional filter rejected:
+/// the rejection proved the pair's total overlap can never reach the
+/// required minimum, so the candidate must not be re-inserted (or
+/// verified) by later grams. Real counters never get near this value —
+/// they are bounded by the probe's gram count.
+constexpr uint32_t kRejectedSentinel = std::numeric_limits<uint32_t>::max();
+
+/// Appends one verified match, deciding exact vs approximate by
+/// bytewise key equality — shared by both kernels so the emitted
+/// records are constructed identically.
+void EmitMatch(const storage::TupleStore& store, std::string_view probe_key,
+               Side probe_side, storage::TupleId probe_id,
+               storage::TupleId candidate, double sim,
+               ApproxProbeStats* stats, std::vector<JoinMatch>* out) {
+  // Identical gram sets do not imply identical strings; the exact
+  // flag (§3.3) requires bytewise equality.
+  const bool equal = sim >= 1.0 && store.JoinKey(candidate) == probe_key;
+  out->push_back(JoinMatch{probe_side, probe_id, candidate,
+                           equal ? 1.0 : sim,
+                           equal ? MatchKind::kExact
+                                 : MatchKind::kApproximate});
+  if (stats != nullptr) ++stats->matches;
+}
+
+/// The filtered probe kernel: length / prefix / positional filtering
+/// over payload postings, scanning probe grams ascending in the fixed
+/// global gram order. Exact — see join/filter.h for the per-filter
+/// soundness arguments.
+void FilteredProbe(const QGramIndex& index, const storage::TupleStore& store,
+                   std::string_view probe_key,
+                   const text::GramSet& probe_grams, const JoinSpec& spec,
+                   Side probe_side, storage::TupleId probe_id,
+                   ApproxProbeScratch& work, ApproxProbeStats* stats,
+                   std::vector<JoinMatch>* out) {
+  const ApproxFilterOptions& filter = spec.filter;
+  const size_t g = probe_grams.size();
+  const size_t k =
+      text::MinOverlapForThreshold(spec.measure, g, spec.sim_threshold);
+
+  // Probe grams ascending in the global order (rarest first when the
+  // order was sampled; plain key order otherwise). Both sides of the
+  // prefix argument use this one order — the index posted under it.
+  auto& ordered = work.ordered;
+  ordered.clear();
+  ordered.reserve(g);
+  const text::GramOrder* order = filter.gram_order.get();
+  for (text::GramKey key : probe_grams.grams()) {
+    ordered.emplace_back(order != nullptr ? order->FrequencyOf(key) : 0,
+                         key);
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  GramCountBand band;
+  if (filter.length) {
+    band = LengthBandFor(spec.measure, g, spec.sim_threshold);
+  } else {
+    band.lo = 0;
+    band.hi = std::numeric_limits<size_t>::max();
+  }
+
+  auto& counters = work.counters;
+  counters.clear();
+  if (counters.bucket_count() == 0) counters.reserve(64);
+
+  // Only the first g-k+1 grams may insert (§2.2's rule — identical to
+  // the probe-side prefix length); with prefix indexing the remaining
+  // grams are not even scanned, since the counter is no longer the
+  // verifier's overlap.
+  const size_t insert_end =
+      PrefixLengthFor(spec.measure, g, spec.sim_threshold);
+  const size_t scan_end = filter.prefix ? insert_end : g;
+  size_t rejected = 0;
+  for (size_t i = 0; i < scan_end; ++i) {
+    const std::vector<GramPosting>* postings =
+        index.PayloadPostings(ordered[i].second);
+    if (postings == nullptr) continue;
+    if (stats != nullptr) stats->postings_scanned += postings->size();
+    const bool may_insert = i < insert_end;
+    for (const GramPosting& posting : *postings) {
+      auto it = counters.find(posting.id);
+      if (it != counters.end()) {
+        if (it->second != kRejectedSentinel) ++it->second;
+        continue;
+      }
+      if (!may_insert) continue;
+      if (filter.length && !band.Contains(posting.gram_count)) {
+        if (stats != nullptr) ++stats->length_skipped;
+        continue;
+      }
+      if (filter.positional) {
+        // First discovery of this candidate = the pair's smallest
+        // shared gram in the global order (earlier shared grams would
+        // have been scanned and posted — see filter.h), so the
+        // remaining-suffix bound on the total overlap is valid here
+        // and *stays* valid: rejection is permanent.
+        const std::optional<size_t> required = MinPairOverlap(
+            spec.measure, g, posting.gram_count, spec.sim_threshold);
+        if (!required.has_value() ||
+            !PositionalCompatible(g, i, posting.gram_count, posting.position,
+                                  *required)) {
+          counters.emplace(posting.id, kRejectedSentinel);
+          ++rejected;
+          if (stats != nullptr) ++stats->position_rejected;
+          continue;
+        }
+      }
+      counters.emplace(posting.id, 1u);
+    }
+  }
+  if (stats != nullptr) stats->candidates += counters.size() - rejected;
+
+  if (filter.prefix) {
+    // Prefix postings undercount shared grams, so the counter cannot
+    // drive verification; intersect the gram sets instead. The overlap
+    // is the same integer the unfiltered counter would have reached,
+    // fed through the same coefficient — bytewise identical output.
+    for (const auto& [candidate, counter] : counters) {
+      if (counter == kRejectedSentinel) continue;
+      if (stats != nullptr) ++stats->verified;
+      const text::GramSet& candidate_grams = index.GramSetOf(candidate);
+      const size_t overlap = probe_grams.OverlapWith(candidate_grams);
+      const double sim = text::SetSimilarityFromOverlap(
+          spec.measure, g, candidate_grams.size(), overlap);
+      if (sim < spec.sim_threshold) continue;
+      EmitMatch(store, probe_key, probe_side, probe_id, candidate, sim,
+                stats, out);
+    }
+  } else {
+    // Every gram was scanned, so surviving counters hold the exact
+    // overlap — verify exactly as the unfiltered kernel does.
+    for (const auto& [candidate, overlap] : counters) {
+      if (overlap == kRejectedSentinel) continue;
+      if (overlap < k) continue;
+      if (stats != nullptr) ++stats->verified;
+      const double sim = text::SetSimilarityFromOverlap(
+          spec.measure, g, index.GramSetSize(candidate), overlap);
+      if (sim < spec.sim_threshold) continue;
+      EmitMatch(store, probe_key, probe_side, probe_id, candidate, sim,
+                stats, out);
+    }
+  }
+}
+
+}  // namespace
+
+void ApproxProbeScratch::NoteProbeCompleted() {
+  peak_candidates = std::max(peak_candidates, counters.size());
+  if (++probes_since_shrink_check < kShrinkCheckInterval) return;
+  const size_t steady = std::max(kMinCounterBuckets, peak_candidates);
+  if (counters.bucket_count() > kShrinkFactor * steady) {
+    // Rebuild at steady-state size; swapping releases the oversized
+    // bucket table immediately.
+    std::unordered_map<storage::TupleId, uint32_t> fresh;
+    fresh.reserve(steady);
+    counters.swap(fresh);
+  }
+  probes_since_shrink_check = 0;
+  peak_candidates = 0;
+}
 
 void ApproxProbeStats::MergeFrom(const ApproxProbeStats& other) {
   grams += other.grams;
@@ -13,6 +178,8 @@ void ApproxProbeStats::MergeFrom(const ApproxProbeStats& other) {
   candidates += other.candidates;
   verified += other.verified;
   matches += other.matches;
+  length_skipped += other.length_skipped;
+  position_rejected += other.position_rejected;
 }
 
 size_t ProbeExactInto(const ExactIndex& index, std::string_view key,
@@ -49,6 +216,8 @@ size_t ProbeApproximateInto(const QGramIndex& index,
                             ApproxProbeScratch* scratch,
                             ApproxProbeStats* stats,
                             std::vector<JoinMatch>* out) {
+  assert(index.payload_mode() == spec.filter.any() &&
+         "index posting layout must match the spec's filter config");
   const size_t out_begin = out->size();
   if (stats != nullptr) stats->grams += probe_grams.size();
 
@@ -65,72 +234,71 @@ size_t ProbeApproximateInto(const QGramIndex& index,
     return out->size() - out_begin;
   }
 
-  const size_t g = probe_grams.size();
-  const size_t k =
-      text::MinOverlapForThreshold(spec.measure, g, spec.sim_threshold);
-
   // The probe's working memory: caller-provided scratch when available
   // (cleared, capacity kept — steady-state probes allocate nothing),
   // else probe-local.
   ApproxProbeScratch local;
   ApproxProbeScratch& work = scratch != nullptr ? *scratch : local;
 
-  // Order the probe's grams; "reverse frequency order" = rarest first.
-  auto& ordered = work.ordered;
-  ordered.clear();
-  ordered.reserve(g);
-  for (text::GramKey key : probe_grams.grams()) {
-    ordered.emplace_back(index.Frequency(key), key);
-  }
-  if (options.rare_grams_first) {
-    std::sort(ordered.begin(), ordered.end());
-  }
+  if (spec.filter.any()) {
+    FilteredProbe(index, store, probe_key, probe_grams, spec, probe_side,
+                  probe_id, work, stats, out);
+  } else {
+    const size_t g = probe_grams.size();
+    const size_t k =
+        text::MinOverlapForThreshold(spec.measure, g, spec.sim_threshold);
 
-  // T(t): candidate tuple -> number of shared grams seen so far. For
-  // every candidate in T the final count equals the exact overlap,
-  // because each shared gram either inserted it or incremented it.
-  auto& counters = work.counters;
-  counters.clear();
-  if (counters.bucket_count() == 0) counters.reserve(64);
-  const size_t insert_phase_end =
-      options.insert_phase_optimization && k <= g ? g - k + 1 : g;
-  for (size_t i = 0; i < ordered.size(); ++i) {
-    const std::vector<storage::TupleId>* postings =
-        index.Postings(ordered[i].second);
-    if (postings == nullptr) continue;
-    if (stats != nullptr) stats->postings_scanned += postings->size();
-    const bool may_insert = i < insert_phase_end;
-    for (storage::TupleId candidate : *postings) {
-      if (may_insert) {
-        ++counters[candidate];
-      } else {
-        auto it = counters.find(candidate);
-        if (it != counters.end()) ++it->second;
+    // Order the probe's grams; "reverse frequency order" = rarest
+    // first.
+    auto& ordered = work.ordered;
+    ordered.clear();
+    ordered.reserve(g);
+    for (text::GramKey key : probe_grams.grams()) {
+      ordered.emplace_back(index.Frequency(key), key);
+    }
+    if (options.rare_grams_first) {
+      std::sort(ordered.begin(), ordered.end());
+    }
+
+    // T(t): candidate tuple -> number of shared grams seen so far. For
+    // every candidate in T the final count equals the exact overlap,
+    // because each shared gram either inserted it or incremented it.
+    auto& counters = work.counters;
+    counters.clear();
+    if (counters.bucket_count() == 0) counters.reserve(64);
+    const size_t insert_phase_end =
+        options.insert_phase_optimization && k <= g ? g - k + 1 : g;
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      const std::vector<storage::TupleId>* postings =
+          index.Postings(ordered[i].second);
+      if (postings == nullptr) continue;
+      if (stats != nullptr) stats->postings_scanned += postings->size();
+      const bool may_insert = i < insert_phase_end;
+      for (storage::TupleId candidate : *postings) {
+        if (may_insert) {
+          ++counters[candidate];
+        } else {
+          auto it = counters.find(candidate);
+          if (it != counters.end()) ++it->second;
+        }
       }
     }
-  }
-  if (stats != nullptr) stats->candidates += counters.size();
+    if (stats != nullptr) stats->candidates += counters.size();
 
-  // Verification: the counter is the overlap; all four coefficients
-  // are functions of (g, candidate gram-set size, overlap). The
-  // candidate's gram-set size comes from the stored side's cache —
-  // no strings are touched unless equality must be decided.
-  for (const auto& [candidate, overlap] : counters) {
-    if (overlap < k) continue;
-    if (stats != nullptr) ++stats->verified;
-    const size_t candidate_size = index.GramSetSize(candidate);
-    const double sim = text::SetSimilarityFromOverlap(
-        spec.measure, g, candidate_size, overlap);
-    if (sim < spec.sim_threshold) continue;
-    // Identical gram sets do not imply identical strings; the exact
-    // flag (§3.3) requires bytewise equality.
-    const bool equal =
-        sim >= 1.0 && store.JoinKey(candidate) == probe_key;
-    out->push_back(JoinMatch{probe_side, probe_id, candidate,
-                             equal ? 1.0 : sim,
-                             equal ? MatchKind::kExact
-                                   : MatchKind::kApproximate});
-    if (stats != nullptr) ++stats->matches;
+    // Verification: the counter is the overlap; all four coefficients
+    // are functions of (g, candidate gram-set size, overlap). The
+    // candidate's gram-set size comes from the stored side's cache —
+    // no strings are touched unless equality must be decided.
+    for (const auto& [candidate, overlap] : counters) {
+      if (overlap < k) continue;
+      if (stats != nullptr) ++stats->verified;
+      const size_t candidate_size = index.GramSetSize(candidate);
+      const double sim = text::SetSimilarityFromOverlap(
+          spec.measure, g, candidate_size, overlap);
+      if (sim < spec.sim_threshold) continue;
+      EmitMatch(store, probe_key, probe_side, probe_id, candidate, sim,
+                stats, out);
+    }
   }
   // Deterministic output order (unordered_map iteration is not); only
   // the region this probe appended is reordered.
@@ -138,6 +306,7 @@ size_t ProbeApproximateInto(const QGramIndex& index,
             [](const JoinMatch& a, const JoinMatch& b) {
               return a.stored_id < b.stored_id;
             });
+  work.NoteProbeCompleted();
   return out->size() - out_begin;
 }
 

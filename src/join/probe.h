@@ -37,11 +37,38 @@ struct ApproxProbeOptions {
 /// reused when the caller passes the same scratch to every probe, so
 /// steady-state probing allocates nothing. Owned by one single-threaded
 /// prober (e.g. a HybridJoinCore).
+///
+/// The counter map would otherwise stay at its high-water bucket count
+/// forever — one pathologically wide probe early in a million-row
+/// sweep pins peak memory for the rest of the run. NoteProbeCompleted
+/// (called by the probe kernels after each probe) tracks the recent
+/// peak candidate count and rebuilds the map once its bucket table
+/// exceeds kShrinkFactor × that steady state.
 struct ApproxProbeScratch {
-  /// (posting frequency, gram) pairs of the probe, sorted rarest-first.
+  /// (gram order rank, gram) pairs of the probe, sorted ascending. The
+  /// rank is the live posting frequency in the unfiltered kernel
+  /// ("reverse frequency order") and the fixed global-order frequency
+  /// in the filtered kernel.
   std::vector<std::pair<size_t, text::GramKey>> ordered;
   /// T(t): candidate tuple -> number of shared grams seen so far.
   std::unordered_map<storage::TupleId, uint32_t> counters;
+
+  /// Shrink policy knobs: every kShrinkCheckInterval probes, rebuild
+  /// the counter map when its bucket count exceeds kShrinkFactor × the
+  /// interval's peak candidate count (but never below
+  /// kMinCounterBuckets).
+  static constexpr size_t kShrinkCheckInterval = 64;
+  static constexpr size_t kShrinkFactor = 8;
+  static constexpr size_t kMinCounterBuckets = 64;
+
+  /// Called by the probe kernels once the probe's counters are dead;
+  /// applies the shrink policy.
+  void NoteProbeCompleted();
+
+  /// Probes since the last shrink check.
+  size_t probes_since_shrink_check = 0;
+  /// Largest candidate count observed since the last shrink check.
+  size_t peak_candidates = 0;
 };
 
 /// \brief Work counters for one approximate probe, feeding the Table 1
@@ -49,9 +76,15 @@ struct ApproxProbeScratch {
 struct ApproxProbeStats {
   uint64_t grams = 0;                ///< |q(t)| of the probe
   uint64_t postings_scanned = 0;     ///< Σ posting-list lengths touched
-  uint64_t candidates = 0;           ///< |T(t)|
-  uint64_t verified = 0;             ///< candidates reaching count k
+  uint64_t candidates = 0;           ///< |T(t)| (positionally rejected
+                                     ///< entries excluded)
+  uint64_t verified = 0;             ///< candidates submitted to
+                                     ///< verification
   uint64_t matches = 0;              ///< pairs passing the threshold
+  uint64_t length_skipped = 0;       ///< posting entries pruned by the
+                                     ///< length filter
+  uint64_t position_rejected = 0;    ///< candidates pruned by the
+                                     ///< positional filter
 
   void MergeFrom(const ApproxProbeStats& other);
 };
@@ -90,6 +123,18 @@ std::vector<JoinMatch> ProbeExact(const ExactIndex& index,
 /// sim(probe, stored) >= spec.sim_threshold; matches whose strings are
 /// bytewise equal are flagged kExact (similarity 1.0), the rest
 /// kApproximate.
+///
+/// When `spec.filter` enables any filter, the probe runs the filtered
+/// kernel instead: probe grams are scanned ascending in the filter's
+/// fixed global gram order, out-of-band candidates are length-skipped
+/// before touching T(t), positionally hopeless candidates are rejected
+/// at discovery, and with prefix indexing only the probe's g-k+1
+/// prefix grams are scanned (candidates then verified by exact gram-
+/// set intersection). The index must have been built with the same
+/// filter configuration (checked by assert). The match set, match
+/// order, similarity values, and kinds are byte-identical to the
+/// unfiltered kernel — filters change cost, never results. The legacy
+/// ablation knobs in `options` apply to the unfiltered kernel only.
 ///
 /// `probe_grams` is the probe key's gram set — for stored probing
 /// tuples it comes straight from the store's gram cache, so neither

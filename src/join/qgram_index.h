@@ -1,14 +1,31 @@
 #ifndef AQP_JOIN_QGRAM_INDEX_H_
 #define AQP_JOIN_QGRAM_INDEX_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "join/filter.h"
 #include "storage/tuple_store.h"
 #include "text/qgram.h"
+#include "text/similarity.h"
 
 namespace aqp {
 namespace join {
+
+/// \brief One entry of a payload posting list (filtered layout): the
+/// tuple plus the two per-tuple facts the length and positional
+/// filters prune on, so the probe never dereferences a store row to
+/// decide a skip.
+struct GramPosting {
+  storage::TupleId id = 0;
+  /// Gram-set size g_s of the stored tuple (length filter).
+  uint32_t gram_count = 0;
+  /// 0-based index of this gram in the tuple's globally ordered gram
+  /// list (positional filter).
+  uint32_t position = 0;
+};
 
 /// \brief SSHJoin's per-operand structure: q-gram → tuples containing
 /// it (Fig. 3, right).
@@ -21,24 +38,56 @@ namespace join {
 /// one extraction per tuple. Stores without a compatible cache fall
 /// back to a local copy (tests, ad-hoc tooling).
 ///
+/// Two posting layouts exist:
+///  - *plain* (no filters): every gram of every tuple is posted as a
+///    bare TupleId — the paper's structure, unchanged;
+///  - *payload* (any filter on): postings carry GramPosting entries,
+///    and with prefix filtering each tuple is posted only under its
+///    g-k+1 prefix grams in the filter's fixed global gram order,
+///    shrinking both posting lists and index memory. Probe-side
+///    counting stays sound via the prefix-overlap argument (see
+///    join/filter.h).
+///
 /// Like ExactIndex, the structure lags its TupleStore and is advanced
 /// by CatchUpWith(). The store bound by the first CatchUpWith() call
 /// must be the one all later calls pass (checked by assert).
 class QGramIndex {
  public:
-  /// The index extracts q-grams with these options.
-  explicit QGramIndex(text::QGramOptions options)
-      : options_(options) {}
+  /// Plain layout: every gram posted, bare TupleId postings.
+  explicit QGramIndex(text::QGramOptions options) : options_(options) {}
+
+  /// Filter-aware layout: when `filter.any()`, postings carry payload
+  /// entries; with `filter.prefix` only the g-k+1 prefix grams (under
+  /// `filter.gram_order`, measure and threshold fixing k per tuple)
+  /// are posted. With no filter enabled this is the plain layout.
+  QGramIndex(text::QGramOptions options, ApproxFilterOptions filter,
+             text::SimilarityMeasure measure, double sim_threshold)
+      : options_(options),
+        filter_(std::move(filter)),
+        measure_(measure),
+        sim_threshold_(sim_threshold) {}
 
   /// Indexes store tuples [watermark, store.size()); returns how many
   /// tuples were inserted.
   size_t CatchUpWith(const storage::TupleStore& store);
 
   /// Posting list of a gram (tuples whose join attribute contains it),
-  /// or nullptr if the gram is unknown.
+  /// or nullptr if the gram is unknown. Plain layout only.
   const std::vector<storage::TupleId>* Postings(text::GramKey key) const;
 
-  /// Frequency of a gram: number of indexed tuples containing it.
+  /// Payload posting list of a gram, or nullptr if the gram is
+  /// unknown. Payload layout only.
+  const std::vector<GramPosting>* PayloadPostings(text::GramKey key) const;
+
+  /// True iff the index stores payload postings (some filter enabled).
+  bool payload_mode() const { return filter_.any(); }
+
+  /// The filter configuration this index was built for.
+  const ApproxFilterOptions& filter() const { return filter_; }
+
+  /// Frequency of a gram: number of posting entries for it. With
+  /// prefix filtering this counts *posted* (prefix) occurrences, which
+  /// is what probe cost accounting observes.
   size_t Frequency(text::GramKey key) const;
 
   /// Gram-set size of an indexed tuple (id < watermark()).
@@ -62,7 +111,9 @@ class QGramIndex {
   size_t watermark() const { return watermark_; }
 
   /// Number of distinct grams in the index.
-  size_t distinct_grams() const { return postings_.size(); }
+  size_t distinct_grams() const {
+    return payload_mode() ? payload_postings_.size() : postings_.size();
+  }
 
   /// Average posting-list length B_ap (Table 1's cost parameter).
   double AveragePostingLength() const;
@@ -70,13 +121,30 @@ class QGramIndex {
   /// Extraction options.
   const text::QGramOptions& options() const { return options_; }
 
-  /// Rough heap footprint in bytes (§2.3: n · (|jA|+q-1) · p). Gram
-  /// sets served by the store's cache are accounted there, not here.
+  /// Reserves hash-table capacity for the expected tuple count (the
+  /// store's size hint), so steady catch-up does not rehash the
+  /// posting map. Distinct grams saturate well below the tuple count
+  /// on natural text, so the reservation is capped.
+  void Reserve(size_t expected_tuples);
+
+  /// Rough heap footprint in bytes (§2.3: n · (|jA|+q-1) · p), covering
+  /// whichever posting layout is active — payload entries included.
+  /// Gram sets served by the store's cache are accounted there, not
+  /// here.
   size_t ApproximateMemoryUsage() const;
 
  private:
   text::QGramOptions options_;
+  ApproxFilterOptions filter_;
+  text::SimilarityMeasure measure_ = text::SimilarityMeasure::kJaccard;
+  double sim_threshold_ = 0.85;
+  /// Plain layout postings (filter_.any() == false).
   std::unordered_map<text::GramKey, std::vector<storage::TupleId>> postings_;
+  /// Payload layout postings (filter_.any() == true).
+  std::unordered_map<text::GramKey, std::vector<GramPosting>>
+      payload_postings_;
+  /// Scratch for ordering a tuple's grams during payload catch-up.
+  std::vector<std::pair<uint64_t, text::GramKey>> order_scratch_;
   /// Bound store (set by the first CatchUpWith); store_backed_ records
   /// whether its gram cache serves this index's options.
   const storage::TupleStore* store_ = nullptr;

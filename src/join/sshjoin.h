@@ -17,6 +17,13 @@ namespace join {
 /// reaches k against the similarity threshold. This is the
 /// all-approximate baseline of the paper's evaluation (result size `R`,
 /// cost `C`).
+///
+/// The SSJoin-lineage filter stack (length / prefix / positional, see
+/// join/filter.h) is enabled through `options.spec.filter`; the
+/// operand indexes then keep prefix payload postings and every probe
+/// runs the filtered kernel. All filters are exact, so the output and
+/// any adaptation trace built on it are byte-identical to the
+/// unfiltered operator — only candidate-generation cost changes.
 class SSHJoin : public SymmetricJoin {
  public:
   SSHJoin(exec::Operator* left, exec::Operator* right,

@@ -1,0 +1,12 @@
+#include "text/gram_order.h"
+
+namespace aqp {
+namespace text {
+
+void GramOrder::AddSample(std::string_view s, const QGramOptions& options) {
+  const GramSet set = GramSet::OfUsingScratch(s, options, &scratch_);
+  for (GramKey key : set.grams()) ++freq_[key];
+}
+
+}  // namespace text
+}  // namespace aqp

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/gram_order.h"
 
 namespace aqp {
 namespace join {
@@ -176,6 +181,195 @@ TEST(ProbeApproximateTest, ResultsSortedByStoredId) {
                              [](const JoinMatch& a, const JoinMatch& b) {
                                return a.stored_id < b.stored_id;
                              }));
+}
+
+/// All eight filter combinations, in bench/label order.
+std::vector<ApproxFilterOptions> AllFilterCombinations() {
+  std::vector<ApproxFilterOptions> combos;
+  for (int mask = 0; mask < 8; ++mask) {
+    ApproxFilterOptions f;
+    f.length = (mask & 1) != 0;
+    f.prefix = (mask & 2) != 0;
+    f.positional = (mask & 4) != 0;
+    combos.push_back(f);
+  }
+  return combos;
+}
+
+/// A store + index built with the given filter configuration, loaded
+/// with the same pool the plain fixture uses.
+struct FilteredFixture {
+  TupleStore store{0};
+  QGramIndex qgrams;
+
+  FilteredFixture(const ApproxFilterOptions& filter, double threshold)
+      : qgrams(filter.any()
+                   ? QGramIndex(text::QGramOptions{}, filter,
+                                text::SimilarityMeasure::kJaccard, threshold)
+                   : QGramIndex(text::QGramOptions{})) {}
+
+  void Add(const std::string& s) {
+    store.Add(Tuple{Value(s)});
+    qgrams.CatchUpWith(store);
+  }
+};
+
+std::vector<std::string> FilterTestPool() {
+  return {"TAA BZ SANTA CRISTINA VALGARDENA",
+          "TAA BZ SANTA CRISTINx VALGARDENA",
+          "LOM MI VILLA BORGHESE SUL NAVIGLIO",
+          "VEN VE CASTEL NUOVO DEL MONTE",
+          "TAA BZ SANTA CRISTINA VALGARDENo",
+          "PIE TO MONTE VERDE SUPERIORE",
+          "SANTA CRISTINA",  // far shorter: exercises the length band
+          "TAA BZ SANTA CRISTINA VALGARDENA EXTENDED WITH A LONG TAIL",
+          "ABCD", "ABCE",    // threshold-boundary pair
+          ""};
+}
+
+TEST(ProbeFilteredTest, AllCombinationsMatchUnfilteredKernel) {
+  const auto pool = FilterTestPool();
+  for (double threshold : {0.5, 0.7, 0.85, 0.95}) {
+    Fixture plain;
+    for (const auto& s : pool) plain.Add(s);
+    for (const ApproxFilterOptions& filter : AllFilterCombinations()) {
+      FilteredFixture filtered(filter, threshold);
+      for (const auto& s : pool) filtered.Add(s);
+      JoinSpec spec = Spec(threshold);
+      spec.filter = filter;
+      for (const auto& probe : pool) {
+        const auto expected =
+            ProbeApproximate(plain.qgrams, plain.store, probe,
+                             Spec(threshold), exec::Side::kLeft, 0,
+                             ApproxProbeOptions{}, nullptr);
+        ApproxProbeStats stats;
+        const auto actual =
+            ProbeApproximate(filtered.qgrams, filtered.store, probe, spec,
+                             exec::Side::kLeft, 0, ApproxProbeOptions{},
+                             &stats);
+        ASSERT_EQ(actual.size(), expected.size())
+            << "filter=" << filter.Label() << " probe=\"" << probe
+            << "\" @ " << threshold;
+        for (size_t i = 0; i < actual.size(); ++i) {
+          EXPECT_EQ(actual[i].stored_id, expected[i].stored_id);
+          // Bitwise-equal similarity, not just approximately equal —
+          // byte-identical output is the exactness contract.
+          EXPECT_EQ(actual[i].similarity, expected[i].similarity)
+              << "filter=" << filter.Label() << " probe=\"" << probe << "\"";
+          EXPECT_EQ(actual[i].kind, expected[i].kind);
+        }
+        EXPECT_EQ(stats.matches, expected.size());
+      }
+    }
+  }
+}
+
+TEST(ProbeFilteredTest, SampledGramOrderPreservesResults) {
+  const auto pool = FilterTestPool();
+  Fixture plain;
+  for (const auto& s : pool) plain.Add(s);
+  auto order = std::make_shared<text::GramOrder>();
+  for (const auto& s : pool) order->AddSample(s, text::QGramOptions{});
+  ApproxFilterOptions filter;
+  filter.length = filter.prefix = filter.positional = true;
+  filter.gram_order = order;
+  FilteredFixture filtered(filter, 0.8);
+  for (const auto& s : pool) filtered.Add(s);
+  JoinSpec spec = Spec(0.8);
+  spec.filter = filter;
+  for (const auto& probe : pool) {
+    const auto expected =
+        ProbeApproximate(plain.qgrams, plain.store, probe, Spec(0.8),
+                         exec::Side::kLeft, 0, ApproxProbeOptions{}, nullptr);
+    const auto actual =
+        ProbeApproximate(filtered.qgrams, filtered.store, probe, spec,
+                         exec::Side::kLeft, 0, ApproxProbeOptions{}, nullptr);
+    ASSERT_EQ(actual.size(), expected.size()) << probe;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].stored_id, expected[i].stored_id);
+      EXPECT_EQ(actual[i].similarity, expected[i].similarity);
+      EXPECT_EQ(actual[i].kind, expected[i].kind);
+    }
+  }
+}
+
+TEST(ProbeFilteredTest, FiltersActuallyPrune) {
+  // A corpus with one near-duplicate and several length-incompatible /
+  // position-incompatible neighbours: the filters must report pruning
+  // work, and the candidate count must drop versus unfiltered.
+  const std::string base = "TAA BZ SANTA CRISTINA VALGARDENA TERME";
+  Fixture plain;
+  FilteredFixture filtered(
+      [] {
+        ApproxFilterOptions f;
+        f.length = f.prefix = f.positional = true;
+        return f;
+      }(),
+      0.85);
+  std::vector<std::string> pool = {base, base + " DI SOPRA DEL COLLE",
+                                   "SANTA", "CRISTINA VAL",
+                                   base.substr(0, 14)};
+  for (const auto& s : pool) {
+    plain.Add(s);
+    filtered.Add(s);
+  }
+  std::string probe = base;
+  probe[10] = 'x';
+  ApproxProbeStats unfiltered_stats;
+  const auto expected =
+      ProbeApproximate(plain.qgrams, plain.store, probe, Spec(0.85),
+                       exec::Side::kLeft, 0, ApproxProbeOptions{},
+                       &unfiltered_stats);
+  JoinSpec spec = Spec(0.85);
+  spec.filter.length = spec.filter.prefix = spec.filter.positional = true;
+  ApproxProbeStats stats;
+  const auto actual =
+      ProbeApproximate(filtered.qgrams, filtered.store, probe, spec,
+                       exec::Side::kLeft, 0, ApproxProbeOptions{}, &stats);
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(actual.size(), 1u);
+  EXPECT_GT(stats.length_skipped, 0u);
+  EXPECT_LT(stats.candidates, unfiltered_stats.candidates);
+}
+
+TEST(ProbeScratchTest, CounterMapShrinksAfterWideProbe) {
+  // One pathologically wide probe inflates the counter map; a long run
+  // of narrow probes must let the shrink policy release the bucket
+  // table instead of pinning peak memory forever.
+  Fixture f;
+  for (int i = 0; i < 1200; ++i) {
+    f.Add("SANTA CRISTINA VALGARDENA SHARED STEM " + std::to_string(i));
+  }
+  ApproxProbeScratch scratch;
+  std::vector<JoinMatch> out;
+  const JoinSpec spec = Spec(0.99);
+  const std::string wide = "SANTA CRISTINA VALGARDENA SHARED STEM";
+  // Without the insert-phase optimization every probe gram inserts, so
+  // all 1200 stem-sharing tuples land in T(t) and the counter map
+  // grows to its high-water bucket count.
+  ApproxProbeOptions inflate;
+  inflate.insert_phase_optimization = false;
+  ProbeApproximateInto(f.qgrams, f.store, wide,
+                       text::GramSet::Of(wide, spec.qgram), spec,
+                       exec::Side::kLeft, 0, inflate, &scratch,
+                       nullptr, &out);
+  const size_t high_water = scratch.counters.bucket_count();
+  ASSERT_GT(high_water,
+            ApproxProbeScratch::kShrinkFactor *
+                ApproxProbeScratch::kMinCounterBuckets);
+  // Narrow probes share no grams with the corpus: zero candidates each.
+  // Two full check intervals guarantee one interval whose peak is
+  // untouched by the wide probe.
+  const std::string narrow = "zzz qqq jjj xxx www kkk";
+  const auto narrow_grams = text::GramSet::Of(narrow, spec.qgram);
+  for (size_t i = 0; i < 2 * ApproxProbeScratch::kShrinkCheckInterval; ++i) {
+    out.clear();
+    ProbeApproximateInto(f.qgrams, f.store, narrow, narrow_grams, spec,
+                         exec::Side::kLeft, 0, ApproxProbeOptions{}, &scratch,
+                         nullptr, &out);
+    EXPECT_TRUE(out.empty());
+  }
+  EXPECT_LT(scratch.counters.bucket_count(), high_water);
 }
 
 TEST(ProbeStatsTest, MergeAccumulates) {

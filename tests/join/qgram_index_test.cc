@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "join/filter.h"
 #include "storage/tuple_store.h"
 
 namespace aqp {
@@ -168,6 +173,150 @@ TEST(QGramIndexTest, StoreBackedMemoryNotDoubleCounted) {
   // tuple budget (§2.3's space trade-off stays visible).
   EXPECT_GT(cached_index.ApproximateMemoryUsage(),
             20u * 20u * sizeof(storage::TupleId));
+}
+
+ApproxFilterOptions AllFilters() {
+  ApproxFilterOptions f;
+  f.length = f.prefix = f.positional = true;
+  return f;
+}
+
+TEST(QGramIndexPayloadTest, PostingsCarryCountAndPosition) {
+  TupleStore store(0);
+  const std::string value = "SANTA CRISTINA VALGARDENA";
+  store.Add(Tuple{Value(value)});
+  QGramIndex index(Q3(), AllFilters(), text::SimilarityMeasure::kJaccard,
+                   0.85);
+  index.CatchUpWith(store);
+
+  // Reconstruct the expected order: default gram order = ascending key.
+  const auto set = text::GramSet::Of(value, Q3());
+  std::vector<text::GramKey> ordered(set.grams().begin(), set.grams().end());
+  std::sort(ordered.begin(), ordered.end());
+  const size_t g = ordered.size();
+  const size_t prefix =
+      PrefixLengthFor(text::SimilarityMeasure::kJaccard, g, 0.85);
+  ASSERT_LT(prefix, g);
+
+  for (size_t j = 0; j < g; ++j) {
+    const auto* postings = index.PayloadPostings(ordered[j]);
+    if (j < prefix) {
+      ASSERT_NE(postings, nullptr) << "prefix gram " << j << " not posted";
+      ASSERT_EQ(postings->size(), 1u);
+      EXPECT_EQ((*postings)[0].id, 0u);
+      EXPECT_EQ((*postings)[0].gram_count, g);
+      EXPECT_EQ((*postings)[0].position, j);
+      EXPECT_EQ(index.Frequency(ordered[j]), 1u);
+    } else {
+      // Non-prefix grams of the only tuple must not be posted at all.
+      EXPECT_EQ(postings, nullptr) << "non-prefix gram " << j << " posted";
+    }
+  }
+}
+
+TEST(QGramIndexPayloadTest, WithoutPrefixAllGramsPosted) {
+  TupleStore store(0);
+  const std::string value = "MONTE BIANCO SUPERIORE";
+  store.Add(Tuple{Value(value)});
+  ApproxFilterOptions length_only;
+  length_only.length = true;
+  QGramIndex index(Q3(), length_only, text::SimilarityMeasure::kJaccard,
+                   0.85);
+  index.CatchUpWith(store);
+  EXPECT_TRUE(index.payload_mode());
+  const auto set = text::GramSet::Of(value, Q3());
+  for (text::GramKey key : set.grams()) {
+    const auto* postings = index.PayloadPostings(key);
+    ASSERT_NE(postings, nullptr);
+    ASSERT_EQ(postings->size(), 1u);
+    EXPECT_EQ((*postings)[0].gram_count, set.size());
+  }
+  EXPECT_EQ(index.distinct_grams(), set.size());
+}
+
+TEST(QGramIndexPayloadTest, IncrementalCatchUpMatchesFreshBuild) {
+  const std::vector<std::string> values = {"SANTA CRISTINA", "MONTE BIANCO",
+                                           "VILLA ROSSA", "SANTA LUCIA",
+                                           "BORGO SAN LORENZO"};
+  TupleStore store(0);
+  QGramIndex incremental(Q3(), AllFilters(),
+                         text::SimilarityMeasure::kJaccard, 0.85);
+  for (const std::string& v : values) {
+    store.Add(Tuple{Value(v)});
+    incremental.CatchUpWith(store);
+  }
+  QGramIndex fresh(Q3(), AllFilters(), text::SimilarityMeasure::kJaccard,
+                   0.85);
+  fresh.CatchUpWith(store);
+
+  EXPECT_EQ(incremental.watermark(), fresh.watermark());
+  EXPECT_EQ(incremental.distinct_grams(), fresh.distinct_grams());
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (text::GramKey key :
+         text::GramSet::Of(values[i], Q3()).grams()) {
+      const auto* a = incremental.PayloadPostings(key);
+      const auto* b = fresh.PayloadPostings(key);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a == nullptr) continue;
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t j = 0; j < a->size(); ++j) {
+        EXPECT_EQ((*a)[j].id, (*b)[j].id);
+        EXPECT_EQ((*a)[j].gram_count, (*b)[j].gram_count);
+        EXPECT_EQ((*a)[j].position, (*b)[j].position);
+      }
+    }
+  }
+}
+
+TEST(QGramIndexPayloadTest, UnknownGramHasNoPayloadPostings) {
+  QGramIndex index(Q3(), AllFilters(), text::SimilarityMeasure::kJaccard,
+                   0.85);
+  EXPECT_EQ(index.PayloadPostings(0xFFFFFFFFull), nullptr);
+  EXPECT_EQ(index.Frequency(0xFFFFFFFFull), 0u);
+}
+
+TEST(QGramIndexPayloadTest, PrefixIndexingShrinksMemory) {
+  const auto fill = [](TupleStore* store) {
+    for (int i = 0; i < 50; ++i) {
+      store->Add(
+          Tuple{Value("LOCATION STRING NUMBER " + std::to_string(i))});
+    }
+  };
+  ApproxFilterOptions length_only;
+  length_only.length = true;
+  TupleStore full_store(0);
+  fill(&full_store);
+  QGramIndex full(Q3(), length_only, text::SimilarityMeasure::kJaccard,
+                  0.85);
+  full.CatchUpWith(full_store);
+
+  TupleStore prefix_store(0);
+  fill(&prefix_store);
+  QGramIndex prefixed(Q3(), AllFilters(),
+                      text::SimilarityMeasure::kJaccard, 0.85);
+  prefixed.CatchUpWith(prefix_store);
+
+  // Both payload layouts account their postings; prefix posting drops
+  // ~θ of the entries, which must show up in the memory estimate.
+  EXPECT_GT(full.ApproximateMemoryUsage(), 0u);
+  EXPECT_LT(prefixed.ApproximateMemoryUsage(),
+            full.ApproximateMemoryUsage());
+}
+
+TEST(QGramIndexTest, ReservePreallocatesBuckets) {
+  TupleStore store(0);
+  QGramIndex index(Q3());
+  index.Reserve(5000);
+  const size_t reserved_footprint = index.ApproximateMemoryUsage();
+  store.Add(Tuple{Value("SANTA CRISTINA VALGARDENA")});
+  index.CatchUpWith(store);
+  // The bucket array was charged up front; indexing one tuple must not
+  // have rehashed below it, and lookups behave normally.
+  EXPECT_GE(index.ApproximateMemoryUsage(), reserved_footprint);
+  const auto set = text::GramSet::Of("SANTA CRISTINA VALGARDENA", Q3());
+  for (text::GramKey key : set.grams()) {
+    EXPECT_EQ(index.Frequency(key), 1u);
+  }
 }
 
 }  // namespace
