@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "io_error";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

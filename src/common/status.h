@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kCancelled,
+  /// Transient source/backend failure; the operation may succeed if
+  /// retried (see the bounded-retry ingest path in RadixExchange).
+  kUnavailable,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -77,6 +80,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// @}
 
   /// True iff the status is OK.
@@ -105,6 +111,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

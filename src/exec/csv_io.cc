@@ -7,23 +7,28 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/macros.h"
 
 namespace aqp {
 namespace exec {
 
-CsvSource::CsvSource(storage::Schema schema, std::string csv_text)
-    : schema_(std::move(schema)), text_(std::move(csv_text)) {}
+CsvSource::CsvSource(storage::Schema schema, std::string csv_text,
+                     CsvSourceOptions options)
+    : schema_(std::move(schema)),
+      text_(std::move(csv_text)),
+      options_(options) {}
 
 Result<CsvSource> CsvSource::FromFile(storage::Schema schema,
-                                      const std::string& path) {
+                                      const std::string& path,
+                                      CsvSourceOptions options) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return CsvSource(std::move(schema), std::move(buffer).str());
+  return CsvSource(std::move(schema), std::move(buffer).str(), options);
 }
 
 Status CsvSource::ScanField(std::string_view* field, bool* end_of_record) {
@@ -182,10 +187,79 @@ Status CsvSource::ScanRecordInto(storage::ColumnBatch* out) {
   return Status::OK();
 }
 
+Status CsvSource::SkipRecord() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '"') {
+      // Quoted section: record terminators inside it are content.
+      ++pos_;
+      while (true) {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_) +
+              ": unterminated quoted field (cannot resynchronize)");
+        }
+        const char q = text_[pos_];
+        if (q == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          break;
+        }
+        if (q == '\n') ++line_;
+        ++pos_;
+      }
+      continue;
+    }
+    if (c == '\n') {
+      ++pos_;
+      ++line_;
+      return Status::OK();
+    }
+    if (c == '\r' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+      pos_ += 2;
+      ++line_;
+      return Status::OK();
+    }
+    ++pos_;
+  }
+  return Status::OK();  // EOF ends the record
+}
+
+Status CsvSource::ScanRecordQuarantining(storage::ColumnBatch* out,
+                                         bool* committed) {
+  const size_t record_pos = pos_;
+  const size_t record_line = line_;
+  Status parsed = ScanRecordInto(out);
+  if (parsed.ok()) {
+    *committed = true;
+    return Status::OK();
+  }
+  *committed = false;
+  if (options_.max_bad_rows == 0) return parsed;
+  out->AbandonRow();
+  // Resync from the record's start; only an unterminated quote defeats
+  // this (the record boundary itself is lost), and stays a hard error.
+  pos_ = record_pos;
+  line_ = record_line;
+  AQP_RETURN_IF_ERROR(SkipRecord());
+  if (quarantine_.size() >= options_.max_bad_rows) {
+    return Status::ResourceExhausted(
+        "quarantine cap of " + std::to_string(options_.max_bad_rows) +
+        " bad row(s) exceeded; next bad record: " + parsed.message());
+  }
+  quarantine_.push_back(QuarantinedRow{record_line, parsed.message()});
+  return Status::OK();
+}
+
 Status CsvSource::Open() {
   if (open_) return Status::FailedPrecondition("CsvSource already open");
+  AQP_FAILPOINT(fail::site::kCsvOpen);
   pos_ = 0;
   line_ = 1;
+  quarantine_.clear();
   if (text_.empty()) {
     return Status::InvalidArgument("CSV input is empty (no header row)");
   }
@@ -219,17 +293,25 @@ Status CsvSource::Open() {
 
 Result<std::optional<storage::Tuple>> CsvSource::Next() {
   if (!open_) return Status::FailedPrecondition("CsvSource not open");
-  if (!SkipBlankLines()) return std::optional<storage::Tuple>();
-  row_batch_.Clear();
-  AQP_RETURN_IF_ERROR(ScanRecordInto(&row_batch_));
-  return std::optional<storage::Tuple>(row_batch_.MaterializeRow(0));
+  AQP_FAILPOINT(fail::site::kCsvRead);
+  while (SkipBlankLines()) {
+    row_batch_.Clear();
+    bool committed = false;
+    AQP_RETURN_IF_ERROR(ScanRecordQuarantining(&row_batch_, &committed));
+    if (committed) {
+      return std::optional<storage::Tuple>(row_batch_.MaterializeRow(0));
+    }
+  }
+  return std::optional<storage::Tuple>();
 }
 
 Status CsvSource::NextColumnBatch(storage::ColumnBatch* out) {
   if (!open_) return Status::FailedPrecondition("CsvSource not open");
+  AQP_FAILPOINT(fail::site::kCsvRead);
   out->Reset(&schema_);
   while (!out->full() && SkipBlankLines()) {
-    Status s = ScanRecordInto(out);
+    bool committed = false;
+    Status s = ScanRecordQuarantining(out, &committed);
     if (!s.ok()) {
       out->Clear();
       return s;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/macros.h"
 
@@ -16,13 +18,15 @@ RadixExchange::RadixExchange(exec::Operator* left, exec::Operator* right,
                              const join::JoinSpec& spec,
                              exec::InterleavePolicy policy,
                              uint64_t left_hint, uint64_t right_hint,
-                             size_t batch_size, size_t num_shards)
+                             size_t batch_size, size_t num_shards,
+                             SourceRetryOptions retry)
     : inputs_{left, right},
       spec_(spec),
       policy_(policy),
       hints_{left_hint, right_hint},
       batch_size_(std::max<size_t>(1, batch_size)),
       num_shards_(std::max<size_t>(1, num_shards)),
+      retry_(retry),
       scheduler_(policy, left_hint, right_hint) {}
 
 void RadixExchange::Reset() {
@@ -34,9 +38,10 @@ void RadixExchange::Reset() {
     side_count_[i] = 0;
   }
   steps_ = 0;
+  source_retries_ = 0;
 }
 
-Status RadixExchange::Refill(exec::Side side) {
+Status RadixExchange::RefillOnce(exec::Side side) {
   const size_t i = static_cast<size_t>(side);
   input_batch_[i].Reset(&inputs_[i]->output_schema(), batch_size_);
   input_pos_[i] = 0;
@@ -49,9 +54,32 @@ Status RadixExchange::Refill(exec::Side side) {
   return status;
 }
 
+Status RadixExchange::Refill(exec::Side side) {
+  Status status = RefillOnce(side);
+  // Transient-failure retry: re-attempt the whole refill. A failed
+  // NextColumnBatch delivered no rows (the Operator contract discards
+  // the partial batch), so retrying cannot duplicate input.
+  size_t attempt = 0;
+  while (status.IsUnavailable() && attempt < retry_.max_retries) {
+    ++attempt;
+    ++source_retries_;
+    if (retry_.backoff_base.count() > 0) {
+      std::this_thread::sleep_for(retry_.backoff_base * (1 << (attempt - 1)));
+    }
+    status = RefillOnce(side);
+  }
+  if (!status.ok() && attempt > 0) {
+    return status.WithContext("after " + std::to_string(attempt) +
+                              " retry(ies) on the " +
+                              std::string(exec::SideName(side)) + " source");
+  }
+  return status;
+}
+
 Result<uint64_t> RadixExchange::RouteEpoch(
     uint64_t max_steps, const std::vector<JoinShard*>& shards,
     std::vector<RouteEntry>* route) {
+  AQP_FAILPOINT(fail::site::kExchangeRoute);
   uint64_t routed = 0;
   while (routed < max_steps) {
     const auto next_side = scheduler_.NextSide(done_[0], done_[1]);

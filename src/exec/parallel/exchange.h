@@ -1,6 +1,7 @@
 #ifndef AQP_EXEC_PARALLEL_EXCHANGE_H_
 #define AQP_EXEC_PARALLEL_EXCHANGE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +13,21 @@
 namespace aqp {
 namespace exec {
 namespace parallel {
+
+/// \brief Bounded retry of transient source failures during ingest.
+///
+/// A refill that fails with StatusCode::kUnavailable (a flaky remote
+/// source, a transient read error) is re-attempted up to `max_retries`
+/// times with deterministic exponential backoff before the error is
+/// surfaced; any other code fails immediately. Retries are counted
+/// (RadixExchange::source_retries) and surfaced in run/query stats.
+struct SourceRetryOptions {
+  /// Re-attempts per failed refill. 0 disables retrying.
+  size_t max_retries = 0;
+  /// Attempt k (1-based) sleeps base * 2^(k-1) before retrying; zero
+  /// base never sleeps (deterministic tests).
+  std::chrono::milliseconds backoff_base{0};
+};
 
 /// \brief One routed step of an epoch, in global step order. The
 /// tuple's global sequence is implicit: epoch start + position.
@@ -48,7 +64,7 @@ class RadixExchange {
   RadixExchange(exec::Operator* left, exec::Operator* right,
                 const join::JoinSpec& spec, exec::InterleavePolicy policy,
                 uint64_t left_hint, uint64_t right_hint, size_t batch_size,
-                size_t num_shards);
+                size_t num_shards, SourceRetryOptions retry = {});
 
   /// Resets the read state (called from the operator's Open; the
   /// children themselves are opened by the caller).
@@ -88,9 +104,16 @@ class RadixExchange {
     return done_[static_cast<size_t>(side)];
   }
 
+  /// Transient refill failures retried away so far (see
+  /// SourceRetryOptions).
+  uint64_t source_retries() const { return source_retries_; }
+
  private:
-  /// Mirrors SymmetricJoin::RefillInput.
+  /// Mirrors SymmetricJoin::RefillInput, wrapped in the transient
+  /// retry loop.
   Status Refill(exec::Side side);
+  /// One refill attempt.
+  Status RefillOnce(exec::Side side);
 
   exec::Operator* inputs_[2];
   join::JoinSpec spec_;
@@ -98,6 +121,8 @@ class RadixExchange {
   uint64_t hints_[2];
   size_t batch_size_;
   size_t num_shards_;
+  SourceRetryOptions retry_;
+  uint64_t source_retries_ = 0;
 
   exec::InterleaveScheduler scheduler_;
   storage::ColumnBatch input_batch_[2];

@@ -5,7 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
+#include "exec/csv_io.h"
 
 namespace aqp {
 namespace exec {
@@ -24,6 +26,30 @@ size_t ResolveShardCount(size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return std::max<size_t>(1, std::min<unsigned>(hw == 0 ? 1 : hw, 64));
+}
+
+/// True iff a fault of this code may be degraded into an early
+/// finalization. Internal errors signal broken invariants (the global
+/// state cannot be trusted), cancellation is a teardown order, and a
+/// failed precondition is a caller bug — none of those produce a
+/// result worth delivering.
+bool RecoverableFaultCode(const Status& status) {
+  return !status.IsInternal() && !status.IsCancelled() &&
+         !status.IsFailedPrecondition();
+}
+
+/// Pulls the "site=<name>" breadcrumb out of an injected fault's
+/// message (empty when the error carries none).
+std::string ExtractFaultSite(const Status& status) {
+  const std::string& message = status.message();
+  const size_t pos = message.find("site=");
+  if (pos == std::string::npos) return "";
+  size_t end = pos + 5;
+  while (end < message.size() && message[end] != ':' &&
+         message[end] != ' ') {
+    ++end;
+  }
+  return message.substr(pos + 5, end - (pos + 5));
 }
 
 }  // namespace
@@ -57,6 +83,9 @@ Status ParallelAdaptiveJoin::Open() {
   exec::OpenGuard left_guard(left_);
   AQP_RETURN_IF_ERROR(right_->Open());
   exec::OpenGuard right_guard(right_);
+  // Both children are open and guarded: an error returned here must
+  // close them both (the OpenGuard regression surface).
+  AQP_FAILPOINT(fail::site::kParallelOpen);
   output_schema_ =
       join::JoinOutputSchema(left_->output_schema(), right_->output_schema(),
                              join_options.emit_similarity);
@@ -84,7 +113,7 @@ Status ParallelAdaptiveJoin::Open() {
   exchange_ = std::make_unique<RadixExchange>(
       left_, right_, join_options.spec, join_options.interleave,
       join_options.left_size_hint, join_options.right_size_hint,
-      join_options.batch_size, n);
+      join_options.batch_size, n, options_.source_retry);
   exchange_->Reset();
   if (options_.shared_pool != nullptr) {
     // Serving mode: phase task groups go to the injected pool, which
@@ -113,6 +142,8 @@ Status ParallelAdaptiveJoin::Open() {
   exact_only_ = false;
   finalize_requested_ = false;
   finalized_early_ = false;
+  epoch_ = 0;
+  fault_.reset();
   pump_error_ = Status::OK();
   last_assessment_step_ = 0;
   script_position_ = 0;
@@ -153,12 +184,12 @@ uint64_t ParallelAdaptiveJoin::StepsToNextControlPoint() const {
   return options_.unbounded_epoch_steps;
 }
 
-void ParallelAdaptiveJoin::ControlPoint() {
+Status ParallelAdaptiveJoin::ControlPoint() {
   const adaptive::AdaptiveOptions& adaptive = options_.base.adaptive;
   const uint64_t steps = exchange_->steps();
   switch (adaptive.policy) {
     case AdaptivePolicy::kPinned:
-      return;
+      return Status::OK();
     case AdaptivePolicy::kScripted: {
       while (script_position_ < adaptive.script.size() &&
              adaptive.script[script_position_].at_step <= steps) {
@@ -167,17 +198,18 @@ void ParallelAdaptiveJoin::ControlPoint() {
         if (next != state_) {
           Assessment empty;
           empty.step = steps;
-          ApplyTransition(next, empty, -1);
+          AQP_RETURN_IF_ERROR(ApplyTransition(next, empty, -1));
         }
       }
-      return;
+      return Status::OK();
     }
     case AdaptivePolicy::kAdaptive:
       if (steps > 0 && steps - last_assessment_step_ >= adaptive.delta_adapt) {
-        RunControlLoop();
+        return RunControlLoop();
       }
-      return;
+      return Status::OK();
   }
+  return Status::OK();
 }
 
 stats::JoinProgress ParallelAdaptiveJoin::Progress() const {
@@ -206,10 +238,17 @@ CompletenessStats ParallelAdaptiveJoin::Completeness() const {
                   ? std::min(1.0, static_cast<double>(out.observed_matches) /
                                       out.expected_matches)
                   : 1.0;
+  // CSV feeds report quarantined (skipped-and-logged) records so a
+  // "complete" scan over a dirty file is never silently lossy.
+  for (const exec::Operator* child : {left_, right_}) {
+    if (const auto* csv = dynamic_cast<const exec::CsvSource*>(child)) {
+      out.quarantined_rows += csv->bad_rows();
+    }
+  }
   return out;
 }
 
-void ParallelAdaptiveJoin::RunControlLoop() {
+Status ParallelAdaptiveJoin::RunControlLoop() {
   last_assessment_step_ = exchange_->steps();
   const stats::JoinProgress progress = Progress();
   const Assessment assessment = assessor_->Assess(*monitor_, progress);
@@ -229,7 +268,7 @@ void ParallelAdaptiveJoin::RunControlLoop() {
         static_cast<uint64_t>(std::max(0.0, std::ceil(deficit))));
   }
   if (decision.next != state_) {
-    ApplyTransition(decision.next, assessment, decision.phi);
+    return ApplyTransition(decision.next, assessment, decision.phi);
   } else if (options_.base.record_trace) {
     adaptive::AssessmentRecord record;
     record.assessment = assessment;
@@ -238,11 +277,12 @@ void ParallelAdaptiveJoin::RunControlLoop() {
     record.phi = decision.phi;
     trace_.Record(std::move(record));
   }
+  return Status::OK();
 }
 
-void ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
-                                           const Assessment& assessment,
-                                           int phi) {
+Status ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
+                                             const Assessment& assessment,
+                                             int phi) {
   adaptive::AssessmentRecord record;
   record.assessment = assessment;
   record.state_before = state_;
@@ -261,7 +301,14 @@ void ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
     auto* slot = &catchups[i];
     tasks.push_back([shard, next, slot] { *slot = shard->ApplyState(next); });
   }
-  RunTasks(std::move(tasks));
+  Status broadcast = RunTasks(std::move(tasks));
+  if (!broadcast.ok()) {
+    // Some shards switched, some did not: the safe-state-transfer
+    // invariant is broken and no epoch may run on the mixed states.
+    // Never degradable — the caller makes this the sticky pump error.
+    return Status::Internal("state-transition broadcast failed: " +
+                            broadcast.ToString());
+  }
   for (const auto& [left, right] : catchups) {
     record.catchup_left += left;
     record.catchup_right += right;
@@ -271,6 +318,7 @@ void ParallelAdaptiveJoin::ApplyTransition(ProcessorState next,
   if (options_.base.record_trace) {
     trace_.Record(std::move(record));
   }
+  return Status::OK();
 }
 
 Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
@@ -306,14 +354,26 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
     stream_done_ = true;
     return Status::OK();
   }
-  ControlPoint();
+  Status control = ControlPoint();
+  if (!control.ok()) {
+    // A failed catch-up broadcast leaves shard probe states mixed —
+    // never degradable (see ApplyTransition).
+    pump_error_ =
+        control.WithContext("epoch=" + std::to_string(epoch_));
+    return pump_error_;
+  }
   if (exact_only_ && state_ != ProcessorState::kLexRex) {
     // Soft-deadline clamp: enter the cheapest exact state before any
     // step of this epoch runs (RunControlLoop keeps it pinned there).
     Assessment forced;
     forced.step = exchange_->steps();
-    ApplyTransition(ProcessorState::kLexRex, forced,
-                    Decision::kDeadlineClamp);
+    Status clamped = ApplyTransition(ProcessorState::kLexRex, forced,
+                                     Decision::kDeadlineClamp);
+    if (!clamped.ok()) {
+      pump_error_ =
+          clamped.WithContext("epoch=" + std::to_string(epoch_));
+      return pump_error_;
+    }
   }
   const uint64_t budget = std::max<uint64_t>(1, StepsToNextControlPoint());
   route_.clear();
@@ -321,20 +381,10 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
   if (!routed.ok()) {
     // Mid-epoch routing failure: rows of the aborted epoch are already
     // scattered into the shards' pending batches, and the exchange's
-    // scheduler position cannot be rewound. Discard the partial
-    // routing so no shard ever ingests it (counters rolled back to the
-    // last completed epoch), and hard-fail every subsequent pump with
-    // the original error instead of double-ingesting a retried epoch.
-    for (JoinShard* shard : shard_ptrs_) shard->DiscardPending();
-    uint64_t aborted_rows[2] = {0, 0};
-    for (const RouteEntry& entry : route_) {
-      ++aborted_rows[static_cast<size_t>(entry.side)];
-    }
-    exchange_->RollbackCounts(route_.size(), aborted_rows[0],
-                              aborted_rows[1]);
-    route_.clear();
-    pump_error_ = routed.status();
-    return pump_error_;
+    // scheduler position cannot be rewound. The epoch is abandoned
+    // either way; on_fault decides between the sticky error and a
+    // degraded partial-result finalization.
+    return HandleEpochFault(routed.status(), /*shard=*/-1, stream_ended);
   }
   if (*routed == 0) {
     *stream_ended = true;
@@ -349,7 +399,15 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
   for (JoinShard* shard : shard_ptrs_) {
     tasks.push_back([shard] { shard->RunBuildPhase(); });
   }
-  RunTasks(std::move(tasks));
+  int32_t failed_task = -1;
+  Status phase = RunTasks(std::move(tasks), &failed_task);
+  if (!phase.ok()) {
+    // A shard died mid-ingest. Its store may hold a prefix of the
+    // epoch's rows, but no ref or flag references them — output and
+    // global state come only from *merged* epochs — so the completed
+    // prefix is intact and degradable.
+    return HandleEpochFault(std::move(phase), failed_task, stream_ended);
+  }
 
   // Phase B: cross-shard approximate probes (only when some input
   // probes approximately; exact matches are intra-shard by radix
@@ -363,27 +421,113 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
       auto* all = &shard_ptrs_;
       tasks.push_back([shard, all] { shard->RunCrossProbePhase(*all); });
     }
-    RunTasks(std::move(tasks));
+    failed_task = -1;
+    phase = RunTasks(std::move(tasks), &failed_task);
+    if (!phase.ok()) {
+      return HandleEpochFault(std::move(phase), failed_task, stream_ended);
+    }
+  }
+
+  // Coordinator merge-entry fault site: fires before the merge mutates
+  // any global state, so it aborts the epoch like a phase fault.
+  auto merge_entry = []() -> Status {
+    AQP_FAILPOINT(fail::site::kExchangeMerge);
+    return Status::OK();
+  };
+  Status merge_site = merge_entry();
+  if (!merge_site.ok()) {
+    return HandleEpochFault(std::move(merge_site), /*shard=*/-1,
+                            stream_ended);
   }
 
   Status merged = MergeEpoch();
   if (!merged.ok()) {
     // A broken merge invariant means global state (flags, monitor) may
-    // already be partially updated; no epoch may run after it.
-    pump_error_ = merged;
+    // already be partially updated; no epoch may run after it and the
+    // fault is never degradable.
+    pump_error_ =
+        merged.WithContext("epoch=" + std::to_string(epoch_));
     return pump_error_;
   }
+  ++epoch_;
   return Status::OK();
 }
 
-void ParallelAdaptiveJoin::RunTasks(std::vector<std::function<void()>> tasks) {
+Status ParallelAdaptiveJoin::HandleEpochFault(Status error, int32_t shard,
+                                              bool* stream_ended) {
+  // Abandon the epoch: discard rows still pending in the shards (a
+  // routing fault scattered them without BeginEpoch) and roll the
+  // exchange's counters back to the last completed epoch, so progress,
+  // completeness, and ordinal bookkeeping all describe exactly the
+  // epochs whose output was merged. The scheduler position cannot be
+  // rewound, so no epoch may ever be routed again — either terminal
+  // path below guarantees that.
+  for (JoinShard* s : shard_ptrs_) s->DiscardPending();
+  uint64_t aborted_rows[2] = {0, 0};
+  for (const RouteEntry& entry : route_) {
+    ++aborted_rows[static_cast<size_t>(entry.side)];
+  }
+  exchange_->RollbackCounts(route_.size(), aborted_rows[0], aborted_rows[1]);
+  route_.clear();
+
+  Status annotated = error.WithContext(
+      "epoch=" + std::to_string(epoch_) +
+      (shard >= 0 ? "/shard=" + std::to_string(shard) : ""));
+  if (options_.on_fault == FaultPolicy::kFinalizePartial &&
+      RecoverableFaultCode(error)) {
+    // Graceful degradation: the fault becomes a hard-deadline-style
+    // early finalization. Buffered output (a strict prefix of the
+    // fault-free run) stays deliverable; the FaultReport says what was
+    // tolerated and where.
+    FaultReport report;
+    report.site = ExtractFaultSite(error);
+    report.epoch = epoch_;
+    report.step = exchange_->steps();
+    report.shard = shard;
+    report.status = std::move(annotated);
+    fault_ = std::move(report);
+    finalized_early_ = true;
+    stream_done_ = true;
+    *stream_ended = true;
+    return Status::OK();
+  }
+  pump_error_ = std::move(annotated);
+  return pump_error_;
+}
+
+Status ParallelAdaptiveJoin::RunTasks(std::vector<std::function<void()>> tasks,
+                                      int32_t* failed_task) {
+  if (failed_task != nullptr) *failed_task = -1;
   if (active_pool_ != nullptr) {
     // One task group per phase; Wait()-participation keeps the
-    // coordinator an execution lane, shared pool or not.
-    active_pool_->Run(std::move(tasks));
-    return;
+    // coordinator an execution lane, shared pool or not. A throwing
+    // task is contained by the pool as the group's sticky error.
+    TaskGroupHandle handle = active_pool_->Submit(std::move(tasks));
+    Status status = handle.Wait();
+    if (!status.ok() && failed_task != nullptr) {
+      *failed_task = static_cast<int32_t>(handle.error_task());
+    }
+    return status;
   }
-  for (auto& task : tasks) task();
+  // Inline (single shard, no pool): contain exactly like a worker.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    Status status = Status::OK();
+    try {
+      AQP_FAILPOINT_THROW(fail::site::kPoolTask);
+      tasks[i]();
+    } catch (const fail::InjectedFault& fault) {
+      status = fault.status();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      status = Status::Internal("task threw a non-std::exception object");
+    }
+    if (!status.ok()) {
+      if (failed_task != nullptr) *failed_task = static_cast<int32_t>(i);
+      return status;
+    }
+  }
+  return Status::OK();
 }
 
 Status ParallelAdaptiveJoin::MergeEpoch() {

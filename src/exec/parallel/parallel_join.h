@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,46 @@ struct CompletenessStats {
   /// observed / expected, clamped to [0, 1]; 1 when nothing was
   /// expected.
   double ratio = 1.0;
+  /// Structurally malformed input rows skipped by quarantining sources
+  /// (CsvSourceOptions::max_bad_rows) — input the result never saw,
+  /// reported alongside the completeness ratio.
+  uint64_t quarantined_rows = 0;
+};
+
+/// \brief What the engine does with a *recoverable* mid-query fault —
+/// a source/routing error or a shard phase failure at an epoch
+/// boundary, where every completed epoch's output is intact and
+/// deliverable. Unrecoverable faults (mid-merge invariant violations,
+/// partially broadcast state transitions, cancellation) always fail
+/// regardless of this policy.
+enum class FaultPolicy {
+  /// Surface the error: the operator enters its sticky failed state
+  /// (the pre-existing behavior).
+  kFail,
+  /// Graceful degradation: treat the fault like a hard deadline — stop
+  /// consuming input, deliver the strict-prefix partial result already
+  /// produced, and report CompletenessStats plus a FaultReport. The
+  /// paper's time-completeness trade, with "fault" as the time knob.
+  kFinalizePartial,
+};
+
+/// \brief Where and when a tolerated fault happened; attached to a
+/// degraded partial result (ParallelAdaptiveJoin::fault, QueryStats).
+struct FaultReport {
+  /// Failpoint site name when the error carries a "site=…" breadcrumb
+  /// (injected faults always do); empty otherwise.
+  std::string site;
+  /// Completed epochs before the fault (the result is exactly their
+  /// merged output).
+  uint64_t epoch = 0;
+  /// Global step count at the fault, after the aborted epoch's steps
+  /// were rolled back.
+  uint64_t step = 0;
+  /// Faulting shard for phase A/B failures; -1 when the fault is not
+  /// shard-attributable (source/routing/merge-entry faults).
+  int32_t shard = -1;
+  /// The underlying error.
+  Status status;
 };
 
 /// \brief Configuration of the partition-parallel adaptive join.
@@ -87,6 +128,12 @@ struct ParallelJoinOptions {
   /// past a hard one, kCancel on teardown. Null = always proceed
   /// (byte-identical to the governor-less engine).
   std::function<EpochDirective(const EpochView&)> governor;
+  /// Recoverable-fault policy (see FaultPolicy). kFail preserves the
+  /// sticky-error behavior.
+  FaultPolicy on_fault = FaultPolicy::kFail;
+  /// Bounded retry of transient (kUnavailable) source refills during
+  /// ingest; absorbed retries surface via source_retries().
+  SourceRetryOptions source_retry;
 };
 
 /// \brief One late-materialized output match of the parallel join:
@@ -198,6 +245,15 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// completeness model — the number a deadline-expired query reports
   /// alongside its partial result.
   CompletenessStats Completeness() const;
+  /// The tolerated fault that ended the stream early; engaged only
+  /// when on_fault == kFinalizePartial caught a recoverable fault.
+  const std::optional<FaultReport>& fault() const { return fault_; }
+  /// Transient source refill failures retried away during ingest.
+  uint64_t source_retries() const {
+    return exchange_ ? exchange_->source_retries() : 0;
+  }
+  /// Epochs routed, executed, and merged to completion.
+  uint64_t epochs_completed() const { return epoch_; }
   /// @}
 
   /// \name Run introspection (valid during and after execution).
@@ -257,16 +313,26 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// or the stream ends.
   Status EnsureOutput(bool* have_output);
 
-  /// Mirrors AdaptiveJoin::OnQuiescentPoint.
-  void ControlPoint();
+  /// Mirrors AdaptiveJoin::OnQuiescentPoint. An error (failed
+  /// catch-up broadcast) leaves shard states inconsistent and is never
+  /// degradable.
+  Status ControlPoint();
   /// Mirrors AdaptiveJoin::RunControlLoop on the global aggregates.
-  void RunControlLoop();
+  Status RunControlLoop();
   /// Steps until the next control point bounds the epoch.
   uint64_t StepsToNextControlPoint() const;
   /// Broadcasts `next` to all shards (parallel per-shard catch-up) and
   /// records costs and the trace entry.
-  void ApplyTransition(adaptive::ProcessorState next,
-                       const adaptive::Assessment& assessment, int phi);
+  Status ApplyTransition(adaptive::ProcessorState next,
+                         const adaptive::Assessment& assessment, int phi);
+  /// Abandons the epoch whose route is in `route_` (pending rows
+  /// discarded, exchange counters rolled back to the last completed
+  /// epoch), then either degrades — on_fault == kFinalizePartial and
+  /// `error` is recoverable: record a FaultReport, end the stream as a
+  /// finalized partial result, return OK with `*stream_ended` set — or
+  /// makes `error` the sticky pump error. `shard` attributes phase
+  /// faults (-1 otherwise).
+  Status HandleEpochFault(Status error, int32_t shard, bool* stream_ended);
   /// Serial coordinator merge of one routed epoch: global observation
   /// stream, matched-flag replay, monitor feed, output append. Errors
   /// only on broken phase invariants (misordered shard outputs).
@@ -275,8 +341,13 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// model consumes (shared by RunControlLoop and Completeness).
   stats::JoinProgress Progress() const;
   /// Runs one task batch on the pool (coordinator participates), or
-  /// inline when single-sharded.
-  void RunTasks(std::vector<std::function<void()>> tasks);
+  /// inline when single-sharded; either way a throwing task is
+  /// contained and returned as the group's first error. When
+  /// `failed_task` is non-null it receives the failing task's index
+  /// (-1 if none) — phase callers pass one task per shard, so the
+  /// index names the faulting shard.
+  Status RunTasks(std::vector<std::function<void()>> tasks,
+                  int32_t* failed_task = nullptr);
 
   exec::Operator* left_;
   exec::Operator* right_;
@@ -334,6 +405,10 @@ class ParallelAdaptiveJoin : public exec::Operator,
   bool exact_only_ = false;
   bool finalize_requested_ = false;
   bool finalized_early_ = false;
+  /// Epochs merged to completion (FaultReport::epoch).
+  uint64_t epoch_ = 0;
+  /// The tolerated fault that degraded this run, if any.
+  std::optional<FaultReport> fault_;
   /// Sticky failure: a mid-epoch routing or merge error leaves the
   /// exchange's scheduler position unrecoverable, so the operator
   /// hard-fails every subsequent pump with the original status instead

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace aqp {
 namespace exec {
 namespace parallel {
@@ -75,6 +77,9 @@ void JoinShard::BeginEpoch() {
 }
 
 void JoinShard::RunBuildPhase() {
+  // Worker-thread context: a fired fault throws and is contained by
+  // the thread pool as the task group's sticky error.
+  AQP_FAILPOINT_THROW(fail::site::kShardPhaseA);
   for (const RoutedRow& routed : epoch_meta_) {
     StepOutputs step;
     step.seq = routed.seq;
@@ -89,6 +94,7 @@ void JoinShard::RunBuildPhase() {
 
 void JoinShard::RunCrossProbePhase(const std::vector<JoinShard*>& shards) {
   if (shards.size() <= 1) return;
+  AQP_FAILPOINT_THROW(fail::site::kShardPhaseB);
   for (const RoutedRow& routed : epoch_meta_) {
     if (core_.probe_mode(routed.side) != join::ProbeMode::kApproximate) {
       continue;

@@ -2,13 +2,56 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace aqp {
 namespace exec {
 namespace parallel {
 
-void TaskGroupHandle::Wait() {
-  if (group_ == nullptr) return;
-  pool_->WaitGroup(group_);
+namespace {
+
+/// Runs one task with exception containment: whatever the task throws
+/// is converted to a Status here, inside the worker, so a failing task
+/// can never unwind into WorkerLoop and std::terminate the process.
+Status RunTaskContained(const std::function<void()>& task) {
+  try {
+    AQP_FAILPOINT_THROW(fail::site::kPoolTask);
+    task();
+    return Status::OK();
+  } catch (const fail::InjectedFault& fault) {
+    return fault.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("worker task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("worker task threw a non-std::exception object");
+  }
+}
+
+/// Records `status` as the group's sticky error. Caller holds the
+/// pool mutex. First error wins; the group's remaining tasks still run
+/// (completion accounting stays uniform; callers discard their output
+/// on error).
+void RecordTaskResultLocked(internal::TaskGroup* group, size_t task_index,
+                            const Status& status) {
+  if (!status.ok() && group->error.ok()) {
+    group->error = status;
+    group->error_task = task_index;
+  }
+}
+
+}  // namespace
+
+Status TaskGroupHandle::Wait() {
+  if (group_ == nullptr) return Status::OK();
+  return pool_->WaitGroup(group_);
+}
+
+size_t TaskGroupHandle::error_task() const {
+  // Safe without the pool mutex only after Wait() returned: the last
+  // writer released the mutex before the final `remaining` decrement
+  // that Wait() observed under the same mutex.
+  if (group_ == nullptr) return static_cast<size_t>(-1);
+  return group_->error_task;
 }
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -46,8 +89,8 @@ TaskGroupHandle ThreadPool::Submit(std::vector<std::function<void()>> tasks) {
   return TaskGroupHandle(this, std::move(group));
 }
 
-void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
-  Submit(std::move(tasks)).Wait();
+Status ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  return Submit(std::move(tasks)).Wait();
 }
 
 void ThreadPool::RemoveFromRingLocked(
@@ -63,20 +106,22 @@ void ThreadPool::RemoveFromRingLocked(
   }
 }
 
-void ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) {
+Status ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) {
   std::unique_lock<std::mutex> lock(mutex_);
   // Participate: drain the group's own undispatched tasks. The waiter
   // never takes another group's task, so its latency is bounded by its
   // own group's work.
   while (group->next < group->tasks.size()) {
-    std::function<void()> task = std::move(group->tasks[group->next]);
+    const size_t index = group->next;
+    std::function<void()> task = std::move(group->tasks[index]);
     ++group->next;
     if (group->next == group->tasks.size()) {
       RemoveFromRingLocked(group);
     }
     lock.unlock();
-    task();
+    Status status = RunTaskContained(task);
     lock.lock();
+    RecordTaskResultLocked(group.get(), index, status);
     if (--group->remaining == 0) {
       group->done.notify_all();
     }
@@ -84,6 +129,7 @@ void ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) {
   // Tasks taken by workers may still be in flight; the group is only
   // complete when every task has *finished*.
   group->done.wait(lock, [&group] { return group->remaining == 0; });
+  return group->error;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -100,7 +146,8 @@ void ThreadPool::WorkerLoop() {
     // instead of the oldest group draining completely first.
     if (cursor_ >= ring_.size()) cursor_ = 0;
     std::shared_ptr<internal::TaskGroup> group = ring_[cursor_];
-    std::function<void()> task = std::move(group->tasks[group->next]);
+    const size_t index = group->next;
+    std::function<void()> task = std::move(group->tasks[index]);
     ++group->next;
     if (group->next == group->tasks.size()) {
       // Erasing at the cursor leaves it on the following group.
@@ -109,8 +156,9 @@ void ThreadPool::WorkerLoop() {
       ++cursor_;
     }
     lock.unlock();
-    task();
+    Status status = RunTaskContained(task);
     lock.lock();
+    RecordTaskResultLocked(group.get(), index, status);
     if (--group->remaining == 0) {
       group->done.notify_all();
     }

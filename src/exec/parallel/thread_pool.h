@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace aqp {
 namespace exec {
 namespace parallel {
@@ -28,6 +30,12 @@ struct TaskGroup {
   size_t remaining = 0;
   /// Signalled when `remaining` reaches zero.
   std::condition_variable done;
+  /// First error raised by a task of this group (a thrown exception is
+  /// contained and converted; it never crosses the pool boundary).
+  /// Sticky: later errors of the same group are dropped.
+  Status error;
+  /// Submission index of the task that raised `error`.
+  size_t error_task = static_cast<size_t>(-1);
 };
 
 }  // namespace internal
@@ -47,7 +55,17 @@ class TaskGroupHandle {
 
   /// Blocks until every task of the group has completed, executing the
   /// group's own undispatched tasks on the calling thread meanwhile.
-  void Wait();
+  /// Returns the group's sticky error: OK when every task finished
+  /// cleanly, else the first task failure — a thrown exception is
+  /// contained inside the worker and surfaces here as a Status instead
+  /// of terminating the process. Even on error, every task of the
+  /// group has run to completion (or containment) before Wait returns,
+  /// so the caller's accounting stays simple.
+  Status Wait();
+
+  /// After Wait() returned non-OK: the submission index of the task
+  /// that raised the error (SIZE_MAX when the group succeeded).
+  size_t error_task() const;
 
   /// True iff the handle refers to a submitted group.
   bool valid() const { return group_ != nullptr; }
@@ -102,7 +120,8 @@ class ThreadPool {
 
   /// Submit + Wait: executes every task (in any order, on any worker
   /// or on the calling thread) and returns when all have completed.
-  void Run(std::vector<std::function<void()>> tasks);
+  /// Returns the group's first task error (see TaskGroupHandle::Wait).
+  Status Run(std::vector<std::function<void()>> tasks);
 
   size_t thread_count() const { return workers_.size(); }
 
@@ -114,8 +133,8 @@ class ThreadPool {
   /// Caller holds mutex_.
   void RemoveFromRingLocked(const std::shared_ptr<internal::TaskGroup>& group);
   /// Runs the group's own tasks on the calling thread, then blocks
-  /// until the group completes.
-  void WaitGroup(const std::shared_ptr<internal::TaskGroup>& group);
+  /// until the group completes. Returns the group's sticky error.
+  Status WaitGroup(const std::shared_ptr<internal::TaskGroup>& group);
 
   std::mutex mutex_;
   std::condition_variable work_available_;

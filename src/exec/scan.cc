@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace aqp {
 namespace exec {
 
@@ -22,6 +24,7 @@ Result<std::optional<storage::Tuple>> RelationScan::Next() {
 
 Status RelationScan::NextColumnBatch(storage::ColumnBatch* out) {
   if (!open_) return Status::FailedPrecondition("RelationScan not open");
+  AQP_FAILPOINT(fail::site::kScanNext);
   out->Reset(&relation_->schema());
   const size_t end =
       std::min(relation_->size(), position_ + out->capacity());

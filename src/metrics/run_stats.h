@@ -41,6 +41,13 @@ struct RunStats {
   /// Rough peak memory of the join state (§2.3).
   uint64_t memory_bytes = 0;
 
+  /// Robustness counters (zero for clean runs): malformed CSV records
+  /// skipped under quarantine, and transient source-refill retries the
+  /// exchange absorbed. Non-zero values flag a result computed from an
+  /// imperfect feed even when the run itself succeeded.
+  uint64_t quarantined_rows = 0;
+  uint64_t source_retries = 0;
+
   /// Σ_i t_i·w_i + Σ_i tr_i·v_i under the given weights (§4.3 c_abs).
   double WeightedCost(const adaptive::StateWeights& weights) const;
 

@@ -28,6 +28,7 @@ bool AdmissionController::CanAdmit(size_t shards) const {
 
 void AdmissionController::Admit(size_t shards) {
   ++running_;
+  ++admitted_total_;
   shards_in_use_ += shards;
   peak_running_ = std::max(peak_running_, running_);
   peak_shards_ = std::max(peak_shards_, shards_in_use_);
@@ -35,6 +36,7 @@ void AdmissionController::Admit(size_t shards) {
 
 void AdmissionController::Release(size_t shards) {
   --running_;
+  ++released_total_;
   shards_in_use_ -= shards;
 }
 

@@ -45,6 +45,13 @@ class AdmissionController {
   /// High-water marks since construction.
   size_t peak_running_queries() const { return peak_running_; }
   size_t peak_shards_in_use() const { return peak_shards_; }
+  /// Lifetime admit/release counters: every admitted query must be
+  /// released exactly once on every terminal path (success, failure,
+  /// cancellation), so after quiescence admitted_total() ==
+  /// released_total() — the budget-leak invariant the chaos and
+  /// admission failure-path tests assert.
+  size_t admitted_total() const { return admitted_total_; }
+  size_t released_total() const { return released_total_; }
   const AdmissionOptions& options() const { return options_; }
 
  private:
@@ -53,6 +60,8 @@ class AdmissionController {
   size_t shards_in_use_ = 0;
   size_t peak_running_ = 0;
   size_t peak_shards_ = 0;
+  size_t admitted_total_ = 0;
+  size_t released_total_ = 0;
 };
 
 }  // namespace service

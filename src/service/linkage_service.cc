@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace aqp {
 namespace service {
 
@@ -71,6 +73,9 @@ Result<QueryId> LinkageService::Submit(exec::Operator* left,
     return Status::InvalidArgument(
         "LinkageService::Submit: null child operator");
   }
+  // Admission-boundary fault: a rejected submission must leave no
+  // trace in the registry or the budget.
+  AQP_FAILPOINT(fail::site::kServiceAdmit);
   auto record = std::make_unique<QueryRecord>();
   record->options = std::move(options);
   record->left = left;
@@ -187,6 +192,21 @@ size_t LinkageService::peak_shards_in_use() const {
   return admission_.peak_shards_in_use();
 }
 
+size_t LinkageService::shards_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.shards_in_use();
+}
+
+size_t LinkageService::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.admitted_total();
+}
+
+size_t LinkageService::released_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.released_total();
+}
+
 LinkageService::QueryRecord* LinkageService::FrontRunnableLocked() {
   // Strict FIFO: only the front of the queue is considered. Skipping
   // ahead when the front's shard budget does not fit would let narrow
@@ -249,6 +269,11 @@ void LinkageService::SetState(QueryRecord* q, QueryState state) {
 }
 
 void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
+  if (!status.ok()) {
+    // Breadcrumb: every terminal error leaving the service names its
+    // query, stacking under any epoch=/shard=/site= context below it.
+    status = status.WithContext("query=" + std::to_string(q->id));
+  }
   QueryStats stats;
   stats.state = state;
   stats.status = status;
@@ -260,6 +285,8 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
     stats.finalized_early = q->join->finalized_early();
     stats.completeness = q->join->Completeness();
     stats.final_state = q->join->state();
+    stats.source_retries = q->join->source_retries();
+    stats.fault = q->join->fault();
     // The join's shard stores hold every ingested input row; a
     // long-lived service must not retain them past the query's end
     // (the result is already materialized, the stats just harvested).
@@ -314,6 +341,17 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
       draining_reported = true;
       SetState(q, QueryState::kDraining);
     }
+  }
+
+  if (status.ok()) {
+    // Finalization-boundary fault: the result is fully drained but the
+    // query fails terminal bookkeeping — the budget must still be
+    // released exactly once and the error must stick to this query.
+    const auto finalize_site = []() -> Status {
+      AQP_FAILPOINT(fail::site::kServiceFinalize);
+      return Status::OK();
+    };
+    status = finalize_site();
   }
 
   Status close = q->join->Close();

@@ -103,6 +103,13 @@ class LinkageService {
   /// admission cap with this).
   size_t peak_running_queries() const;
   size_t peak_shards_in_use() const;
+  /// Shard budget currently held by running queries (0 at quiescence —
+  /// the budget-leak check under fault injection).
+  size_t shards_in_use() const;
+  /// Lifetime admission counters; equal at quiescence on every
+  /// terminal path (done, failed, cancelled).
+  size_t admitted_total() const;
+  size_t released_total() const;
   exec::parallel::ThreadPool* pool() { return &pool_; }
   const ServiceOptions& options() const { return options_; }
   /// @}

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 
 #include "adaptive/state.h"
 #include "common/status.h"
@@ -80,6 +81,14 @@ struct QueryOptions {
   DeadlineOptions deadline;
   /// Match refs materialized per drain call of the runner.
   size_t drain_batch = 256;
+
+  /// Fault policy shorthand: `join.on_fault` selects what a recoverable
+  /// runtime fault does to this query — kFail (default) makes the query
+  /// terminal in `failed`; kFinalizePartial degrades it to the same
+  /// early-finalization path as the hard deadline, so it lands in
+  /// `done` with a strict-prefix partial result, CompletenessStats, and
+  /// a FaultReport in QueryStats::fault. `join.source_retry` likewise
+  /// configures transparent retry of transiently unavailable sources.
 };
 
 /// \brief Final report of one query, valid once the query is terminal.
@@ -102,6 +111,13 @@ struct QueryStats {
   adaptive::ProcessorState final_state = adaptive::ProcessorState::kLexRex;
   /// Wall time from start of running to terminal, zero if never ran.
   std::chrono::nanoseconds elapsed{0};
+  /// Source-refill retries the exchange performed against transiently
+  /// unavailable (kUnavailable) inputs before they recovered.
+  uint64_t source_retries = 0;
+  /// Set when a recoverable fault degraded the query to a partial
+  /// result (join.on_fault == kFinalizePartial): which site fired,
+  /// in which epoch, on which shard, with the original status.
+  std::optional<exec::parallel::FaultReport> fault;
 };
 
 }  // namespace service

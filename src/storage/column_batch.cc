@@ -29,6 +29,7 @@ void ColumnBatch::Reset(const Schema* schema, size_t capacity) {
   arena_.clear();
   key_hashes_.clear();
   num_rows_ = 0;
+  committed_arena_ = 0;
   if (schema_ == nullptr) return;
   columns_.resize(schema_->num_fields());
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -60,6 +61,30 @@ void ColumnBatch::Clear() {
   arena_.clear();
   key_hashes_.clear();
   num_rows_ = 0;
+  committed_arena_ = 0;
+}
+
+void ColumnBatch::AbandonRow() {
+  // A cell append always grows the null lane and the matching value
+  // lane together, so any column whose null lane is ahead of the
+  // committed row count holds exactly the in-flight row's cell.
+  for (Column& c : columns_) {
+    if (c.nulls.size() <= num_rows_) continue;
+    c.nulls.resize(num_rows_);
+    switch (c.type) {
+      case ValueType::kInt64:
+        c.i64.resize(num_rows_);
+        break;
+      case ValueType::kDouble:
+        c.f64.resize(num_rows_);
+        break;
+      default:
+        c.offset.resize(num_rows_);
+        c.len.resize(num_rows_);
+        break;
+    }
+  }
+  arena_.resize(committed_arena_);
 }
 
 void ColumnBatch::AppendTupleRow(const Tuple& tuple) {
@@ -136,6 +161,7 @@ void ColumnBatch::AppendTupleRows(const Tuple* rows, size_t count) {
     }
   }
   num_rows_ += count;
+  committed_arena_ = arena_.size();
 }
 
 void ColumnBatch::AppendRowFrom(const ColumnBatch& src, size_t row) {

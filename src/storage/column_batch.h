@@ -138,7 +138,14 @@ class ColumnBatch {
     }
 #endif
     ++num_rows_;
+    committed_arena_ = arena_.size();
   }
+  /// Discards the partially appended row in flight (cells appended
+  /// since the last CommitRow), truncating every column lane and the
+  /// string arena back to the committed watermark. This is what lets a
+  /// producer abandon a half-parsed record — e.g. the CSV quarantine
+  /// path — without poisoning the batch.
+  void AbandonRow();
   /// @}
 
   /// Appends one row from a Tuple (row-protocol compatibility paths).
@@ -221,6 +228,9 @@ class ColumnBatch {
   std::vector<char> arena_;
   std::vector<uint64_t> key_hashes_;
   size_t num_rows_ = 0;
+  /// Arena size as of the last committed row — the truncation point
+  /// for AbandonRow. Every path that advances num_rows_ refreshes it.
+  size_t committed_arena_ = 0;
   size_t capacity_ = kDefaultCapacity;
 };
 

@@ -2,10 +2,15 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace aqp {
 namespace storage {
 
 uint64_t KeyArena::Intern(std::string_view bytes) {
+  // Simulated allocation failure (the arena grows here); throws, to be
+  // contained at the nearest task/operator boundary.
+  AQP_FAILPOINT_THROW(fail::site::kArenaAlloc);
   payload_bytes_ += bytes.size();
   if (bytes.size() > kChunkBytes) {
     overflow_.emplace_back(bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 
 namespace aqp {
@@ -95,6 +96,9 @@ void TupleStore::AppendTupleLanes() {
 
 TupleId TupleStore::AddRow(const ColumnBatch& batch, size_t row,
                            uint64_t key_hash) {
+  // Per-row ingest fault (simulated resource exhaustion); throws, to
+  // be contained at the nearest task/operator boundary.
+  AQP_FAILPOINT_THROW(fail::site::kStoreAdd);
   const TupleId id = static_cast<TupleId>(keys_.size());
   EnsureArity(batch.num_columns());
 

@@ -65,6 +65,25 @@ TEST(StatusTest, CodeNamesAreStable) {
                "invalid_argument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "io_error");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(StatusTest, UnavailableIsItsOwnCode) {
+  Status s = Status::Unavailable("source flapping");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_EQ(s.ToString(), "unavailable: source flapping");
+}
+
+TEST(StatusTest, WithContextStacksBreadcrumbs) {
+  // The service/engine error path stacks query=/epoch=/site= context;
+  // each layer prepends, so the outermost breadcrumb reads first.
+  Status s = Status::IOError("injected fault")
+                 .WithContext("site=csv.read")
+                 .WithContext("epoch=3")
+                 .WithContext("query=7");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "query=7: epoch=3: site=csv.read: injected fault");
 }
 
 }  // namespace

@@ -148,6 +148,130 @@ TEST(CsvSourceTest, RejectsArityMismatch) {
   EXPECT_FALSE(source.NextColumnBatch(&batch).ok());
 }
 
+TEST(CsvSourceQuarantineTest, SkipsCountsAndLogsBadRows) {
+  CsvSourceOptions options;
+  options.max_bad_rows = 4;
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "1,a,0.5\n"
+                   "nope,b,1\n"          // unparsable int (line 3)
+                   "2,c,2.5\n"
+                   "3,d\n"               // too few cells (line 5)
+                   "4,e,1.5,extra\n"     // too many cells (line 6)
+                   "5,f,3.5\n",
+                   options);
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 16);
+  ASSERT_TRUE(source.NextColumnBatch(&batch).ok());
+  // Good rows survive, in order, with nothing from the bad records.
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.Int64At(0, 0), 1);
+  EXPECT_EQ(batch.Int64At(0, 1), 2);
+  EXPECT_EQ(batch.Int64At(0, 2), 5);
+  EXPECT_EQ(batch.StringAt(1, 2), "f");
+  // The quarantine log names each skipped record and why.
+  EXPECT_EQ(source.bad_rows(), 3u);
+  ASSERT_EQ(source.quarantine_log().size(), 3u);
+  EXPECT_EQ(source.quarantine_log()[0].line, 3u);
+  EXPECT_NE(source.quarantine_log()[0].reason.find("not an integer"),
+            std::string::npos);
+  EXPECT_EQ(source.quarantine_log()[1].line, 5u);
+  EXPECT_EQ(source.quarantine_log()[2].line, 6u);
+  ASSERT_TRUE(source.Close().ok());
+}
+
+TEST(CsvSourceQuarantineTest, CapExceededIsResourceExhausted) {
+  CsvSourceOptions options;
+  options.max_bad_rows = 1;
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "bad1,a,1\n"
+                   "bad2,b,2\n"
+                   "1,c,3\n",
+                   options);
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 16);
+  const Status s = source.NextColumnBatch(&batch);
+  ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_TRUE(batch.empty());  // failed batch discarded, as ever
+  EXPECT_EQ(source.bad_rows(), 1u);  // the cap itself, not the breaker
+}
+
+TEST(CsvSourceQuarantineTest, DefaultRemainsStrict) {
+  CsvSource source(TestSchema(), "id,loc,lat\n1,a,0.5\nnope,b,1\n");
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  EXPECT_FALSE(source.NextColumnBatch(&batch).ok());
+}
+
+TEST(CsvSourceQuarantineTest, UnterminatedQuoteStaysHardError) {
+  // With the closing quote missing the record boundary is unknowable;
+  // quarantine must not mask it.
+  CsvSourceOptions options;
+  options.max_bad_rows = 10;
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "1,\"never closed,0.5\n"
+                   "2,b,1.5\n",
+                   options);
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  const Status s = source.NextColumnBatch(&batch);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unterminated"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(source.bad_rows(), 0u);
+}
+
+TEST(CsvSourceQuarantineTest, QuarantinedQuotedFieldResyncsPastItsNewlines) {
+  // The bad record's quoted field spans physical lines; resync must
+  // honor the quotes and land on the next record, not inside the field.
+  CsvSourceOptions options;
+  options.max_bad_rows = 2;
+  CsvSource source(TestSchema(),
+                   "id,loc,lat\n"
+                   "nope,\"multi\nline\",1\n"
+                   "7,ok,2.5\n",
+                   options);
+  ASSERT_TRUE(source.Open().ok());
+  storage::ColumnBatch batch(&source.output_schema(), 8);
+  ASSERT_TRUE(source.NextColumnBatch(&batch).ok());
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.Int64At(0, 0), 7);
+  EXPECT_EQ(source.bad_rows(), 1u);
+  EXPECT_EQ(source.quarantine_log()[0].line, 2u);
+}
+
+TEST(CsvSourceQuarantineTest, NextAdapterQuarantinesToo) {
+  CsvSourceOptions options;
+  options.max_bad_rows = 2;
+  CsvSource source(TestSchema(), "id,loc,lat\nbad,a,1\n5,b,2.5\n", options);
+  ASSERT_TRUE(source.Open().ok());
+  auto next = source.Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((**next).at(0).AsInt64(), 5);
+  auto end = source.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+  EXPECT_EQ(source.bad_rows(), 1u);
+  ASSERT_TRUE(source.Close().ok());
+}
+
+TEST(CsvSourceQuarantineTest, ReopenResetsTheQuarantineLog) {
+  CsvSourceOptions options;
+  options.max_bad_rows = 2;
+  CsvSource source(TestSchema(), "id,loc,lat\nbad,a,1\n5,b,2.5\n", options);
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_TRUE(source.Open().ok());
+    storage::ColumnBatch batch(&source.output_schema(), 8);
+    ASSERT_TRUE(source.NextColumnBatch(&batch).ok());
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(source.bad_rows(), 1u) << "pass " << pass;
+    ASSERT_TRUE(source.Close().ok());
+  }
+}
+
 TEST(WriteOperatorCsvTest, MatchesWriteRelationCsv) {
   Relation relation(TestSchema());
   ASSERT_TRUE(relation.Append(Tuple{Value(1), Value("alpha"), Value(0.5)}).ok());

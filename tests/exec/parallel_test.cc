@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "datagen/generator.h"
 #include "exec/parallel/exchange.h"
@@ -551,6 +552,411 @@ TEST(ParallelJoinLifecycleTest, ErrorAfterCompletedEpochsKeepsThem) {
   // Every routed row belongs to a completed epoch (multiple of the
   // epoch length until the error step).
   EXPECT_EQ(routed, join.steps());
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(ThreadPoolContainmentTest, ThrowingTaskBecomesGroupErrorOthersStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&ran, i] {
+      ++ran;
+      if (i == 3) throw std::runtime_error("task blew up");
+    });
+  }
+  TaskGroupHandle handle = pool.Submit(std::move(tasks));
+  Status s = handle.Wait();
+  ASSERT_TRUE(s.IsInternal()) << s;
+  EXPECT_NE(s.message().find("task blew up"), std::string::npos) << s;
+  EXPECT_EQ(handle.error_task(), 3u);
+  // Even the failed group runs every task to completion before Wait
+  // returns (accounting stays simple for phase callers).
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolContainmentTest, NonStdExceptionIsContainedToo) {
+  ThreadPool pool(2);
+  Status s = pool.Run({[] { throw 42; }});
+  ASSERT_TRUE(s.IsInternal()) << s;
+  EXPECT_NE(s.message().find("non-std::exception"), std::string::npos) << s;
+}
+
+TEST(ThreadPoolContainmentTest, InjectedFaultKeepsItsStatus) {
+  ThreadPool pool(2);
+  Status s = pool.Run(
+      {[] { throw fail::InjectedFault(Status::IOError("disk gone")); }});
+  ASSERT_TRUE(s.IsIOError()) << s;
+  EXPECT_EQ(s.message(), "disk gone");
+}
+
+TEST(ThreadPoolContainmentTest, PoolStaysUsableAfterAFailedGroup) {
+  ThreadPool pool(2);
+  ASSERT_FALSE(pool.Run({[] { throw std::runtime_error("x"); }}).ok());
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) tasks.push_back([&ran] { ++ran; });
+  EXPECT_TRUE(pool.Run(std::move(tasks)).ok());
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolContainmentTest, ErrorTaskIndexMatchesTheReportedError) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(
+        [i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  TaskGroupHandle handle = pool.Submit(std::move(tasks));
+  Status s = handle.Wait();
+  ASSERT_FALSE(s.ok());
+  const size_t failed = handle.error_task();
+  ASSERT_LT(failed, 6u);
+  // First error wins, and the index names the task that raised it.
+  EXPECT_NE(s.message().find("boom " + std::to_string(failed)),
+            std::string::npos)
+      << s;
+}
+
+TEST(ThreadPoolContainmentTest, PoolTaskFailpointInjectsIntoTaskBodies) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  ThreadPool pool(2);
+  fail::ScopedFailpoint guard(
+      fail::site::kPoolTask,
+      fail::Policy::Once(Status::IOError("injected fault")));
+  std::vector<std::function<void()>> tasks;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) tasks.push_back([&ran] { ++ran; });
+  Status s = pool.Run(std::move(tasks));
+  ASSERT_TRUE(s.IsIOError()) << s;
+  EXPECT_NE(s.message().find("site=pool.task"), std::string::npos) << s;
+  // The fired task was cut off before its body; the other three ran.
+  EXPECT_EQ(ran.load(), 3);
+}
+
+/// Child that fails whole refills with kUnavailable on scheduled
+/// 1-based NextColumnBatch calls, succeeding on the others — a
+/// transiently flapping source. A failed call delivers no rows, so the
+/// exchange's bounded retry can re-attempt without duplicating input.
+class TransientChild : public exec::Operator {
+ public:
+  TransientChild(const storage::Relation* rows, std::set<int> blips)
+      : scan_(rows), blips_(std::move(blips)) {}
+  Status Open() override {
+    calls_ = 0;
+    return scan_.Open();
+  }
+  Result<std::optional<storage::Tuple>> Next() override {
+    return scan_.Next();
+  }
+  Status NextColumnBatch(storage::ColumnBatch* out) override {
+    ++calls_;
+    if (blips_.count(calls_) > 0) {
+      return Status::Unavailable("source flapping (call " +
+                                 std::to_string(calls_) + ")");
+    }
+    return scan_.NextColumnBatch(out);
+  }
+  Status Close() override { return scan_.Close(); }
+  const storage::Schema& output_schema() const override {
+    return scan_.output_schema();
+  }
+  std::string name() const override { return "TransientChild"; }
+
+ private:
+  exec::RelationScan scan_;
+  std::set<int> blips_;
+  int calls_ = 0;
+};
+
+/// Child that delegates to a RelationScan for `good_calls` refills and
+/// then hard-errors — a source cut off partway through a known feed,
+/// so a degraded run's schedule is a strict prefix of the clean run's.
+class TruncatingChild : public exec::Operator {
+ public:
+  TruncatingChild(const storage::Relation* rows, int good_calls)
+      : scan_(rows), good_calls_(good_calls) {}
+  Status Open() override {
+    calls_ = 0;
+    return scan_.Open();
+  }
+  Result<std::optional<storage::Tuple>> Next() override {
+    return scan_.Next();
+  }
+  Status NextColumnBatch(storage::ColumnBatch* out) override {
+    if (++calls_ > good_calls_) return Status::IOError("feed cut off");
+    return scan_.NextColumnBatch(out);
+  }
+  Status Close() override { return scan_.Close(); }
+  const storage::Schema& output_schema() const override {
+    return scan_.output_schema();
+  }
+  std::string name() const override { return "TruncatingChild"; }
+
+ private:
+  exec::RelationScan scan_;
+  int good_calls_;
+  int calls_ = 0;
+};
+
+ParallelJoinOptions SmallCaseOptions(size_t shards) {
+  ParallelJoinOptions options;
+  options.base.join.spec = Spec();
+  options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+  options.base.adaptive.initial_state = adaptive::ProcessorState::kLapRap;
+  options.num_shards = shards;
+  options.unbounded_epoch_steps = 16;
+  options.base.join.batch_size = 8;
+  return options;
+}
+
+std::vector<ParallelMatchRef> CollectRefs(ParallelAdaptiveJoin* join) {
+  std::vector<ParallelMatchRef> all;
+  std::vector<ParallelMatchRef> refs;
+  while (true) {
+    Status s = join->NextMatchRefs(64, &refs);
+    EXPECT_TRUE(s.ok()) << s;
+    if (!s.ok() || refs.empty()) break;
+    all.insert(all.end(), refs.begin(), refs.end());
+  }
+  return all;
+}
+
+bool SameRef(const ParallelMatchRef& a, const ParallelMatchRef& b) {
+  return a.left_shard == b.left_shard && a.right_shard == b.right_shard &&
+         a.left_id == b.left_id && a.right_id == b.right_id &&
+         a.kind == b.kind && a.similarity == b.similarity;
+}
+
+TEST(SourceRetryTest, TransientUnavailableIsRetriedAway) {
+  const datagen::TestCase tc = SmallCase();
+  // Reference: a clean run of the same schedule.
+  exec::RelationScan ref_left(&tc.child);
+  exec::RelationScan ref_right(&tc.parent);
+  ParallelAdaptiveJoin reference(&ref_left, &ref_right, SmallCaseOptions(3));
+  auto expected = exec::CountAll(&reference);
+  ASSERT_TRUE(expected.ok());
+
+  TransientChild left(&tc.child, {1, 3});
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(3);
+  options.source_retry.max_retries = 2;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  auto count = exec::CountAll(&join);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, *expected);
+  EXPECT_EQ(join.source_retries(), 2u);
+}
+
+TEST(SourceRetryTest, NoRetryConfiguredSurfacesUnavailable) {
+  const datagen::TestCase tc = SmallCase();
+  TransientChild left(&tc.child, {1});
+  exec::RelationScan right(&tc.parent);
+  ParallelAdaptiveJoin join(&left, &right, SmallCaseOptions(2));
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  Status s = join.NextMatchRefs(64, &refs);
+  EXPECT_TRUE(s.IsUnavailable()) << s;
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(SourceRetryTest, ExhaustedRetriesReportTheAttemptCount) {
+  const datagen::TestCase tc = SmallCase();
+  TransientChild left(&tc.child, {1, 2, 3, 4});
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(2);
+  options.source_retry.max_retries = 2;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  Status s = join.NextMatchRefs(64, &refs);
+  ASSERT_TRUE(s.IsUnavailable()) << s;
+  EXPECT_NE(s.message().find("after 2 retry(ies)"), std::string::npos) << s;
+  EXPECT_EQ(join.source_retries(), 2u);
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, FinalizePartialDeliversAStrictPrefix) {
+  const datagen::TestCase tc = SmallCase();
+  // Reference: the clean run's full match-ref sequence.
+  exec::RelationScan ref_left(&tc.child);
+  exec::RelationScan ref_right(&tc.parent);
+  ParallelAdaptiveJoin reference(&ref_left, &ref_right, SmallCaseOptions(3));
+  ASSERT_TRUE(reference.Open().ok());
+  const std::vector<ParallelMatchRef> full = CollectRefs(&reference);
+  ASSERT_TRUE(reference.Close().ok());
+  ASSERT_GT(full.size(), 0u);
+
+  // Same schedule, left feed cut off after 4 refills, degradation on.
+  TruncatingChild left(&tc.child, 4);
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(3);
+  options.on_fault = FaultPolicy::kFinalizePartial;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  ASSERT_TRUE(join.Open().ok());
+  const std::vector<ParallelMatchRef> partial = CollectRefs(&join);
+
+  // The stream ended as a *successful* degraded run.
+  EXPECT_TRUE(join.stream_done());
+  EXPECT_TRUE(join.finalized_early());
+  ASSERT_TRUE(join.fault().has_value());
+  EXPECT_TRUE(join.fault()->status.IsIOError());
+  EXPECT_EQ(join.fault()->epoch, join.epochs_completed());
+  EXPECT_EQ(join.fault()->step, join.steps());
+  EXPECT_GT(join.epochs_completed(), 0u);  // earlier epochs survived
+
+  // Strict prefix of the clean run: completed epochs only, in order.
+  ASSERT_LT(partial.size(), full.size());
+  for (size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_TRUE(SameRef(partial[i], full[i])) << "ref " << i;
+  }
+  // Completeness over the partial result is well-defined and <= 1.
+  const CompletenessStats completeness = join.Completeness();
+  EXPECT_GE(completeness.ratio, 0.0);
+  EXPECT_LE(completeness.ratio, 1.0);
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, DefaultPolicyStillFailsHard) {
+  const datagen::TestCase tc = SmallCase();
+  TruncatingChild left(&tc.child, 4);
+  exec::RelationScan right(&tc.parent);
+  ParallelAdaptiveJoin join(&left, &right, SmallCaseOptions(3));
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  Status s = Status::OK();
+  while (s.ok()) {
+    s = join.NextMatchRefs(64, &refs);
+    if (s.ok() && refs.empty()) break;
+  }
+  EXPECT_TRUE(s.IsIOError()) << s;
+  EXPECT_FALSE(join.fault().has_value());
+  EXPECT_NE(s.message().find("epoch="), std::string::npos) << s;
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, CancelIsNeverDegraded) {
+  // kCancel must stay a hard stop even under kFinalizePartial: a
+  // cancelled query's buffered output is discarded, not delivered as
+  // a "partial result".
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan left(&tc.child);
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(2);
+  options.on_fault = FaultPolicy::kFinalizePartial;
+  int calls = 0;
+  options.governor = [&calls](const EpochView&) {
+    return ++calls >= 2 ? EpochDirective::kCancel : EpochDirective::kProceed;
+  };
+  ParallelAdaptiveJoin join(&left, &right, options);
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  Status s = Status::OK();
+  while (s.ok()) {
+    s = join.NextMatchRefs(64, &refs);
+    if (s.ok() && refs.empty()) break;
+  }
+  EXPECT_TRUE(s.IsCancelled()) << s;
+  EXPECT_FALSE(join.fault().has_value());
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, PhaseFaultIsShardAttributedAndDegradable) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan left(&tc.child);
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(3);
+  options.on_fault = FaultPolicy::kFinalizePartial;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  fail::ScopedFailpoint guard(
+      fail::site::kShardPhaseA,
+      fail::Policy::OnNthHit(4, Status::IOError("injected fault"),
+                             /*do_throw=*/true));
+  ASSERT_TRUE(join.Open().ok());
+  const std::vector<ParallelMatchRef> partial = CollectRefs(&join);
+  EXPECT_TRUE(join.finalized_early());
+  ASSERT_TRUE(join.fault().has_value());
+  EXPECT_EQ(join.fault()->site, "shard.phase_a");
+  EXPECT_GE(join.fault()->shard, 0);
+  EXPECT_LT(join.fault()->shard, 3);
+  EXPECT_EQ(join.epochs_completed(), 1u);  // hit 4 = second epoch, shard 0
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, MergeEntryFaultDegradesMergeInvariantsDoNot) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan left(&tc.child);
+  exec::RelationScan right(&tc.parent);
+  ParallelJoinOptions options = SmallCaseOptions(2);
+  options.on_fault = FaultPolicy::kFinalizePartial;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  fail::ScopedFailpoint guard(
+      fail::site::kExchangeMerge,
+      fail::Policy::OnNthHit(2, Status::IOError("injected fault")));
+  ASSERT_TRUE(join.Open().ok());
+  (void)CollectRefs(&join);
+  EXPECT_TRUE(join.finalized_early());
+  ASSERT_TRUE(join.fault().has_value());
+  EXPECT_EQ(join.fault()->site, "exchange.merge");
+  EXPECT_EQ(join.fault()->epoch, 1u);
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, StoreIngestFaultIsContainedAndSticky) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  const datagen::TestCase tc = SmallCase();
+  exec::RelationScan left(&tc.child);
+  exec::RelationScan right(&tc.parent);
+  // Default kFail policy: the injected ingest fault (thrown from
+  // TupleStore::AddRow deep inside a worker task) must surface as a
+  // sticky Status, not a std::terminate.
+  ParallelAdaptiveJoin join(&left, &right, SmallCaseOptions(3));
+  fail::ScopedFailpoint guard(
+      fail::site::kStoreAdd,
+      fail::Policy::OnNthHit(20, Status::IOError("injected fault")));
+  ASSERT_TRUE(join.Open().ok());
+  std::vector<ParallelMatchRef> refs;
+  Status s = Status::OK();
+  while (s.ok()) {
+    s = join.NextMatchRefs(64, &refs);
+    if (s.ok() && refs.empty()) break;
+  }
+  ASSERT_TRUE(s.IsIOError()) << s;
+  EXPECT_NE(s.message().find("site=store.add"), std::string::npos) << s;
+  Status retry = join.NextMatchRefs(64, &refs);
+  EXPECT_EQ(retry.code(), s.code());  // sticky
+  ASSERT_TRUE(join.Close().ok());
+}
+
+TEST(FaultDegradationTest, OpenFailpointLeavesBothChildrenClosed) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  // OpenGuard audit: a failure injected after both children opened
+  // must close both before Open returns.
+  FlakyChild left(64);
+  FlakyChild right(64);
+  ParallelJoinOptions options;
+  options.base.join.spec = OneColSpec();
+  options.num_shards = 2;
+  ParallelAdaptiveJoin join(&left, &right, options);
+  fail::ScopedFailpoint guard(
+      fail::site::kParallelOpen,
+      fail::Policy::Once(Status::IOError("injected fault")));
+  Status s = join.Open();
+  ASSERT_TRUE(s.IsIOError()) << s;
+  EXPECT_EQ(left.opens(), 1);
+  EXPECT_EQ(left.closes(), 1);
+  EXPECT_EQ(right.opens(), 1);
+  EXPECT_EQ(right.closes(), 1);
+  // And the operator is reusable once the fault clears.
+  fail::DisarmAll();
+  ASSERT_TRUE(join.Open().ok());
   ASSERT_TRUE(join.Close().ok());
 }
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "adaptive/adaptive_join.h"
+#include "common/failpoint.h"
+#include "exec/parallel/parallel_join.h"
 #include "exec/scan.h"
 #include "join/shjoin.h"
 #include "join/sshjoin.h"
@@ -198,6 +200,69 @@ TEST(FailureInjectionTest, MismatchedSchemaRejectedBeforeChildrenOpen) {
   exec::RelationScan string_scan(&strings);
   SHJoin join(&number_scan, &string_scan, SymmetricJoinOptions{});
   EXPECT_TRUE(join.Open().IsInvalidArgument());  // int column as key
+}
+
+TEST(FailureInjectionTest, ScanFailpointSurfacesWithBreadcrumbAndClears) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  const Relation left_data = Strings({"A", "B", "C"});
+  const Relation right_data = Strings({"A", "B"});
+  exec::RelationScan left(&left_data);
+  exec::RelationScan right(&right_data);
+  SHJoin join(&left, &right, SymmetricJoinOptions{});
+  fail::ScopedFailpoint guard(
+      fail::site::kScanNext,
+      fail::Policy::Once(Status::IOError("injected fault")));
+  ASSERT_TRUE(join.Open().ok());
+  Status seen = Status::OK();
+  while (true) {
+    auto next = join.Next();
+    if (!next.ok()) {
+      seen = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+  }
+  ASSERT_TRUE(seen.IsIOError()) << seen;
+  EXPECT_NE(seen.message().find("site=scan.next"), std::string::npos)
+      << seen;
+  // The error exit left the join closable and the plan rerunnable.
+  ASSERT_TRUE(join.Close().ok());
+  fail::DisarmAll();
+  exec::RelationScan left2(&left_data);
+  exec::RelationScan right2(&right_data);
+  SHJoin retry(&left2, &right2, SymmetricJoinOptions{});
+  auto count = exec::CountAll(&retry);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 2u);  // A and B match themselves
+}
+
+TEST(FailureInjectionTest, ParallelOpenFailpointClosesEveryOpenedChild) {
+  // OpenGuard audit, failpoint-driven: the parallel coordinator's Open
+  // opens both children and then validates; a failure injected at that
+  // point must close both before returning (the composite's own open_
+  // flag stays false, so nothing else ever would).
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  FlakyOperator left(OneCol(), 16);
+  FlakyOperator right(OneCol(), 16);
+  exec::parallel::ParallelJoinOptions options;
+  options.num_shards = 2;
+  exec::parallel::ParallelAdaptiveJoin join(&left, &right, options);
+  {
+    fail::ScopedFailpoint guard(
+        fail::site::kParallelOpen,
+        fail::Policy::Once(Status::IOError("injected fault")));
+    Status s = join.Open();
+    ASSERT_TRUE(s.IsIOError()) << s;
+    EXPECT_NE(s.message().find("site=parallel.open"), std::string::npos)
+        << s;
+  }
+  EXPECT_EQ(left.opens(), 1);
+  EXPECT_EQ(left.closes(), 1);
+  EXPECT_EQ(right.opens(), 1);
+  EXPECT_EQ(right.closes(), 1);
+  EXPECT_TRUE(join.Close().IsFailedPrecondition());
 }
 
 }  // namespace

@@ -383,6 +383,181 @@ TEST(LinkageServiceTest, UnknownIdsAndDoubleTakeAreErrors) {
                   .IsInvalidArgument());
 }
 
+/// Source yielding `good` keyed rows and then a mid-stream IOError.
+class FailingSource : public exec::Operator {
+ public:
+  explicit FailingSource(int good)
+      : schema_({{"s", storage::ValueType::kString}}), good_(good) {}
+  Status Open() override {
+    produced_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<storage::Tuple>> Next() override {
+    if (produced_ >= good_) return Status::IOError("stream dropped");
+    const int i = produced_++;
+    return std::optional<storage::Tuple>(
+        storage::Tuple{storage::Value("KEY " + std::to_string(i % 7))});
+  }
+  Status Close() override { return Status::OK(); }
+  const storage::Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "FailingSource"; }
+
+ private:
+  storage::Schema schema_;
+  int good_;
+  int produced_ = 0;
+};
+
+/// RelationScan wrapper whose first whole-batch refill reports a
+/// transient kUnavailable before recovering.
+class FlappingScan : public exec::Operator {
+ public:
+  explicit FlappingScan(const storage::Relation* rows) : scan_(rows) {}
+  Status Open() override {
+    calls_ = 0;
+    return scan_.Open();
+  }
+  Result<std::optional<storage::Tuple>> Next() override {
+    return scan_.Next();
+  }
+  Status NextColumnBatch(storage::ColumnBatch* out) override {
+    if (++calls_ == 1) return Status::Unavailable("source flapping");
+    return scan_.NextColumnBatch(out);
+  }
+  Status Close() override { return scan_.Close(); }
+  const storage::Schema& output_schema() const override {
+    return scan_.output_schema();
+  }
+  std::string name() const override { return "FlappingScan"; }
+
+ private:
+  exec::RelationScan scan_;
+  int calls_ = 0;
+};
+
+TEST(LinkageServiceTest, FailingQueryIsIsolatedFromItsNeighbor) {
+  const datagen::TestCase& tc = PaperCase();
+  const ParallelJoinOptions good_options = BaseJoinOptions(tc);
+  const storage::Relation reference = SoloRun(tc, good_options);
+  ASSERT_GT(reference.size(), 0u);
+
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 4;
+  LinkageService service(so);
+
+  // A healthy query and a mid-stream-failing one, running concurrently
+  // on the shared pool.
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions good_qo;
+  good_qo.join = good_options;
+  auto good = service.Submit(&child, &parent, good_qo);
+  ASSERT_TRUE(good.ok());
+
+  FailingSource bad_left(120);
+  FailingSource bad_right(400);
+  QueryOptions bad_qo;
+  bad_qo.join.base.join.spec.left_column = 0;
+  bad_qo.join.base.join.spec.right_column = 0;
+  bad_qo.join.base.adaptive.delta_adapt = 32;
+  bad_qo.join.base.adaptive.window = 32;
+  bad_qo.join.num_shards = 2;
+  auto bad = service.Submit(&bad_left, &bad_right, bad_qo);
+  ASSERT_TRUE(bad.ok());
+
+  // The faulty query fails, with breadcrumbs naming it.
+  auto bad_stats = service.Wait(*bad);
+  ASSERT_TRUE(bad_stats.ok());
+  EXPECT_EQ(bad_stats->state, QueryState::kFailed);
+  EXPECT_TRUE(bad_stats->status.IsIOError()) << bad_stats->status;
+  EXPECT_NE(bad_stats->status.message().find(
+                "query=" + std::to_string(*bad)),
+            std::string::npos)
+      << bad_stats->status;
+  EXPECT_NE(bad_stats->status.message().find("epoch="), std::string::npos)
+      << bad_stats->status;
+  EXPECT_FALSE(service.TakeResult(*bad).ok());
+
+  // The neighbor is untouched: done, byte-identical to its solo run.
+  auto good_stats = service.Wait(*good);
+  ASSERT_TRUE(good_stats.ok());
+  EXPECT_EQ(good_stats->state, QueryState::kDone)
+      << good_stats->status.ToString();
+  auto result = service.TakeResult(*good);
+  ASSERT_TRUE(result.ok());
+  ExpectSameRows(*result, reference);
+
+  // And the failure released its budget.
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+}
+
+TEST(LinkageServiceTest, FinalizePartialDegradesAFaultToDone) {
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+
+  FailingSource left(120);
+  FailingSource right(400);
+  QueryOptions qo;
+  qo.join.base.join.spec.left_column = 0;
+  qo.join.base.join.spec.right_column = 0;
+  qo.join.base.adaptive.delta_adapt = 32;
+  qo.join.base.adaptive.window = 32;
+  qo.join.num_shards = 2;
+  qo.join.on_fault = exec::parallel::FaultPolicy::kFinalizePartial;
+  auto id = service.Submit(&left, &right, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+
+  // Degraded, not failed: the same terminal shape as a hard deadline.
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_TRUE(stats->status.ok());
+  EXPECT_TRUE(stats->finalized_early);
+  ASSERT_TRUE(stats->fault.has_value());
+  EXPECT_TRUE(stats->fault->status.IsIOError()) << stats->fault->status;
+  EXPECT_EQ(stats->fault->step, stats->steps);
+  EXPECT_GE(stats->completeness.ratio, 0.0);
+  EXPECT_LE(stats->completeness.ratio, 1.0);
+  // The partial result is deliverable.
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+}
+
+TEST(LinkageServiceTest, TransientSourceRetriesSurfaceInQueryStats) {
+  const datagen::TestCase& tc = PaperCase();
+  const ParallelJoinOptions options = BaseJoinOptions(tc);
+  const storage::Relation reference = SoloRun(tc, options);
+
+  ServiceOptions so;
+  so.worker_threads = 1;
+  so.admission.max_concurrent_queries = 1;
+  LinkageService service(so);
+
+  FlappingScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = options;
+  qo.join.source_retry.max_retries = 2;
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_EQ(stats->source_retries, 1u);
+  EXPECT_FALSE(stats->fault.has_value());
+  // The absorbed retry did not change the result.
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ExpectSameRows(*result, reference);
+}
+
 TEST(LinkageServiceTest, DestructorCancelsOutstandingQueries) {
   const datagen::TestCase& tc = PaperCase();
   exec::RelationScan child_a(&tc.child);
