@@ -104,6 +104,35 @@ struct FaultReport {
   Status status;
 };
 
+/// Process-wide default of ParallelJoinOptions::pipeline_ingest: true,
+/// unless the AQP_PIPELINE_INGEST environment variable is set to
+/// 0/off/false/no (the CI serial-fallback ctest flavor). Read once.
+bool DefaultPipelineIngest();
+
+/// \brief Ingest-overlap counters: how much source parse + routing
+/// cost the pipelined ingest moved off the epoch critical path.
+///
+/// Written by the coordinator at epoch barriers (and by the ingest
+/// task between them); read them only when the operator is quiescent —
+/// between drive calls, or after the stream ended.
+struct IngestStats {
+  /// Epochs whose route was staged ahead by the ingest task.
+  uint64_t epochs_staged = 0;
+  /// Epochs routed serially on the critical path (the first epoch,
+  /// and every epoch when pipeline_ingest is off).
+  uint64_t epochs_routed_serially = 0;
+  /// Coordinator wall time blocked at swap points waiting for (or
+  /// helping finish) an in-flight ingest task. On a saturated pool
+  /// this approaches overlap_route_ns — no spare lane, no real
+  /// overlap (the 1-CPU bench caveat).
+  int64_t stall_ns = 0;
+  /// Staging wall time (source refills + routing) spent on the ingest
+  /// task, i.e. attributed to overlap rather than the critical path.
+  int64_t overlap_route_ns = 0;
+  /// Serial routing wall time on the critical path.
+  int64_t serial_route_ns = 0;
+};
+
 /// \brief Configuration of the partition-parallel adaptive join.
 struct ParallelJoinOptions {
   /// Join spec, interleaving, MAR thresholds, weights — exactly the
@@ -134,6 +163,14 @@ struct ParallelJoinOptions {
   /// Bounded retry of transient (kUnavailable) source refills during
   /// ingest; absorbed retries surface via source_retries().
   SourceRetryOptions source_retry;
+  /// Overlap ingest with execution: while epoch e's phases run, an
+  /// ingest task group pulls source batches and routes epoch e+1 into
+  /// a staged buffer tier, committed at the next epoch barrier.
+  /// Results and adaptation traces are byte-identical either way
+  /// (tests/integration/pipeline_parity_test.cc); the toggle exists to
+  /// keep the refactor bisectable and to let CI drive the retained
+  /// serial path. Default on (see DefaultPipelineIngest).
+  bool pipeline_ingest = DefaultPipelineIngest();
 };
 
 /// \brief One late-materialized output match of the parallel join:
@@ -252,6 +289,8 @@ class ParallelAdaptiveJoin : public exec::Operator,
   uint64_t source_retries() const {
     return exchange_ ? exchange_->source_retries() : 0;
   }
+  /// Ingest-overlap counters (see IngestStats for the read contract).
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
   /// Epochs routed, executed, and merged to completion.
   uint64_t epochs_completed() const { return epoch_; }
   /// @}
@@ -305,9 +344,41 @@ class ParallelAdaptiveJoin : public exec::Operator,
   template <typename Batch>
   Status FillBatch(Batch* out);
 
-  /// Runs one epoch (control point, route, phases, merge). Sets
-  /// `*stream_ended` when no step could be routed.
+  /// Runs one epoch (control point, route-or-swap, phases, merge).
+  /// Sets `*stream_ended` when no step could be routed. With
+  /// pipeline_ingest on, the epoch's route was usually staged by an
+  /// ingest task during the previous epoch; the swap point waits for
+  /// that task, commits the staged tier, and submits staging of the
+  /// *next* epoch before the phases run.
   Status PumpEpoch(bool* stream_ended);
+
+  /// \name Pipelined ingest (all coordinator-side).
+  /// @{
+  /// Submits a one-task ingest group that stages the next epoch
+  /// (predicted budget) into the exchange/shard staged tiers. No-op
+  /// when pipelining is off, no pool exists, the stream is ending, or
+  /// both inputs are already exhausted.
+  void MaybeSubmitIngest();
+  /// Waits for the in-flight ingest task (stall time accounted) and
+  /// returns its outcome: the task-group error if it threw, else the
+  /// StageEpoch status.
+  Status WaitIngest();
+  /// What the next pump's StepsToNextControlPoint() will return —
+  /// evaluated one epoch early by simulating the control-point updates
+  /// on (published) committed counters. Exact, not a heuristic: the
+  /// swap point re-derives the truth and Internal-errors on mismatch.
+  uint64_t PredictNextEpochBudget() const;
+  /// Drains any in-flight ingest task and discards the staged tier
+  /// (terminal paths: finalize, cancel, faults, Close, destruction).
+  /// A staging error is swallowed — the serial engine would never
+  /// have routed that epoch.
+  void AbandonStagedIngest();
+  /// Ingest-task fault at the swap point: the staged (never
+  /// committed) epoch is discarded, then the fault degrades or goes
+  /// sticky exactly like HandleEpochFault — same FaultReport shape,
+  /// no rollback needed because nothing was published.
+  Status HandleIngestFault(Status error, bool* stream_ended);
+  /// @}
 
   /// Refills the output buffer by pumping epochs until output exists
   /// or the stream ends.
@@ -384,6 +455,16 @@ class ParallelAdaptiveJoin : public exec::Operator,
   uint64_t pairs_emitted_ = 0;
   uint64_t exact_pairs_ = 0;
   uint64_t approximate_pairs_ = 0;
+
+  /// Pipelined-ingest state. The ingest task writes staged_route_,
+  /// ingest_status_, and the overlap counter; the coordinator touches
+  /// them only after TaskGroupHandle::Wait() (the pool's barrier).
+  std::vector<RouteEntry> staged_route_;
+  uint64_t staged_budget_ = 0;
+  Status ingest_status_;
+  TaskGroupHandle ingest_handle_;
+  bool ingest_inflight_ = false;
+  IngestStats ingest_stats_;
 
   /// Current epoch's route, per-shard merge cursors, and scratch.
   std::vector<RouteEntry> route_;

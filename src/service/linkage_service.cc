@@ -286,6 +286,7 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
     stats.completeness = q->join->Completeness();
     stats.final_state = q->join->state();
     stats.source_retries = q->join->source_retries();
+    stats.ingest = q->join->ingest_stats();
     stats.fault = q->join->fault();
     // The join's shard stores hold every ingested input row; a
     // long-lived service must not retain them past the query's end

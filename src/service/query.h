@@ -114,6 +114,11 @@ struct QueryStats {
   /// Source-refill retries the exchange performed against transiently
   /// unavailable (kUnavailable) inputs before they recovered.
   uint64_t source_retries = 0;
+  /// Pipelined-ingest overlap counters: epochs staged ahead vs routed
+  /// serially, swap-point stall time, and routing time hidden behind
+  /// phase execution vs spent on the critical path. All zero when
+  /// `join.pipeline_ingest` is off.
+  exec::parallel::IngestStats ingest;
   /// Set when a recoverable fault degraded the query to a partial
   /// result (join.on_fault == kFinalizePartial): which site fired,
   /// in which epoch, on which shard, with the original status.

@@ -25,6 +25,7 @@
 #include "common/failpoint.h"
 #include "datagen/generator.h"
 #include "exec/parallel/parallel_join.h"
+#include "exec/prefetch.h"
 #include "exec/scan.h"
 #include "service/linkage_service.h"
 
@@ -62,6 +63,11 @@ ParallelJoinOptions MakeOptions(const datagen::TestCase& tc, size_t flavor) {
   options.base.adaptive.delta_adapt = 50;
   options.base.adaptive.window = 50;
   options.num_shards = 1 + flavor % 3;
+  // Even flavors force the pipelined ingest path on regardless of the
+  // AQP_PIPELINE_INGEST environment override, so the exchange.stage
+  // site is exercised in every CI flavor; odd flavors keep the
+  // process default (serial in the pipeline-off ctest flavor).
+  if (flavor % 2 == 0) options.pipeline_ingest = true;
   switch (flavor % 4) {
     case 0:  // full adaptive
       break;
@@ -153,12 +159,23 @@ TEST(ChaosStressTest, SeededFaultMatrixKeepsTheServiceSane) {
       LinkageService service(so);
 
       ArmMatrix(policy_kind, seed);
-      std::vector<std::unique_ptr<exec::RelationScan>> scans;
+      std::vector<std::unique_ptr<exec::Operator>> scans;
       std::vector<QueryId> ids(kQueries, 0);
       std::vector<bool> submitted(kQueries, false);
       for (size_t i = 0; i < kQueries; ++i) {
         scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
         scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+        // A quarter of the burst reads through PrefetchSource wrappers,
+        // putting the ingest.prefetch site (and the producer-thread
+        // fault containment behind it) into the blast radius.
+        if (i % 4 == 2) {
+          auto child_wrap = std::make_unique<exec::PrefetchSource>(
+              scans[scans.size() - 2].get());
+          auto parent_wrap = std::make_unique<exec::PrefetchSource>(
+              scans[scans.size() - 1].get());
+          scans.push_back(std::move(child_wrap));
+          scans.push_back(std::move(parent_wrap));
+        }
         QueryOptions qo;
         qo.join = MakeOptions(tc, i);
         // Half the burst opts into graceful degradation; a third gets
@@ -208,6 +225,11 @@ TEST(ChaosStressTest, SeededFaultMatrixKeepsTheServiceSane) {
           ++degraded;
           ASSERT_TRUE(stats->fault.has_value());
           EXPECT_FALSE(stats->fault->status.ok());
+          // Injected faults always carry a site breadcrumb, and the
+          // reported step count is the published one: every counted
+          // step belongs to a committed epoch of the delivered prefix.
+          EXPECT_FALSE(stats->fault->site.empty());
+          EXPECT_EQ(stats->fault->step, stats->steps);
           EXPECT_GE(stats->completeness.ratio, 0.0);
           EXPECT_LE(stats->completeness.ratio, 1.0);
           ASSERT_LE(result->size(), reference.size());
@@ -259,7 +281,7 @@ TEST(ChaosStressTest, BackToBackBurstsOnOneServiceStayClean) {
 
   const std::vector<std::string> wave_sites = {
       fail::site::kShardPhaseA, fail::site::kExchangeRoute,
-      fail::site::kServiceFinalize};
+      fail::site::kExchangeStage, fail::site::kServiceFinalize};
   for (size_t wave = 0; wave < wave_sites.size(); ++wave) {
     SCOPED_TRACE(testing::Message() << "wave " << wave);
     fail::Arm(wave_sites[wave],
