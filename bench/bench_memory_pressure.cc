@@ -1,0 +1,170 @@
+// Memory governance overhead and the memory-completeness trade-off:
+// wall time and average completeness for a fixed batch of linkage
+// queries through a LinkageService, sweeping the per-query hard budget
+// (as a percentage of one query's measured solo peak; 0 = ungoverned)
+// against admission concurrency. The paper's time-completeness knob
+// has a memory twin: a budget below the natural peak buys bounded
+// footprint with a strict-prefix partial result, and the sweep shows
+// what each budget ratio costs in completeness and buys in wall time.
+//
+// Interpreting checked-in numbers: budgets below the first-control-
+// point floor (upfront store reservations) all finalize at the same
+// earliest boundary, so completeness plateaus rather than falling
+// linearly; on a single-core host the concurrency axis measures
+// coordination overhead only.
+//
+//   $ ./bench_memory_pressure --benchmark_out=BENCH_memory_pressure.json \
+//         --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/memory_budget.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "exec/stream.h"
+#include "service/linkage_service.h"
+
+namespace {
+
+using namespace aqp;  // NOLINT
+
+constexpr size_t kQueriesPerBatch = 6;
+
+const datagen::TestCase& SharedCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.atlas.size = 500;
+    options.accidents.size = 1000;
+    options.variant_rate = 0.10;
+    options.seed = 13;
+    auto generated = datagen::GenerateTestCase(options);
+    if (!generated.ok()) std::abort();
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+exec::parallel::ParallelJoinOptions QueryOptionsFor(
+    const datagen::TestCase& tc, size_t flavor) {
+  exec::parallel::ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.join.left_size_hint = tc.child.size();
+  options.base.join.right_size_hint = tc.parent.size();
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.num_shards = 2;
+  // Alternate adaptive and pinned-exact tenants.
+  if (flavor % 2 == 1) {
+    options.base.adaptive.policy = adaptive::AdaptivePolicy::kPinned;
+    options.base.adaptive.initial_state = adaptive::ProcessorState::kLexRex;
+  }
+  return options;
+}
+
+/// One adaptive query's natural peak footprint, measured once from a
+/// solo governed run — the budget sweep's 100% mark.
+uint64_t SoloPeakBytes() {
+  static const uint64_t peak = [] {
+    const datagen::TestCase& tc = SharedCase();
+    mem::BudgetNode root("calibrate");
+    uint64_t measured = 0;
+    {
+      mem::BudgetNode query("query", &root);
+      exec::RelationScan child(&tc.child);
+      exec::RelationScan parent(&tc.parent);
+      exec::parallel::ParallelJoinOptions options = QueryOptionsFor(tc, 0);
+      options.memory_budget = &query;
+      exec::parallel::ParallelAdaptiveJoin join(&child, &parent, options);
+      auto count = exec::CountAll(&join);
+      if (!count.ok()) std::abort();
+      measured = std::max(root.peak(), join.memory_bytes());
+    }
+    return measured;
+  }();
+  return peak;
+}
+
+/// The sweep: per-query hard budget at `budget_pct` percent of the
+/// solo peak (0 = ungoverned), `concurrent` queries admitted at once.
+void BM_MemoryPressure(benchmark::State& state) {
+  const datagen::TestCase& tc = SharedCase();
+  const auto budget_pct = static_cast<uint64_t>(state.range(0));
+  const auto concurrent = static_cast<size_t>(state.range(1));
+  const uint64_t hard_bytes = budget_pct * SoloPeakBytes() / 100;
+  double completeness = 0.0;
+  uint64_t partials = 0, peak_sum = 0;
+  size_t batches = 0;
+  for (auto _ : state) {
+    service::ServiceOptions so;
+    so.worker_threads = 2;
+    so.admission.max_concurrent_queries = concurrent;
+    so.admission.max_total_shards = 2 * concurrent;
+    service::LinkageService service(so);
+    std::vector<std::unique_ptr<exec::RelationScan>> scans;
+    std::vector<service::QueryId> ids;
+    for (size_t i = 0; i < kQueriesPerBatch; ++i) {
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+      scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+      service::QueryOptions qo;
+      qo.join = QueryOptionsFor(tc, i);
+      qo.memory.hard_bytes = hard_bytes;
+      auto id = service.Submit(scans[scans.size() - 2].get(),
+                               scans[scans.size() - 1].get(), qo);
+      if (!id.ok()) {
+        state.SkipWithError("submit failed");
+        return;
+      }
+      ids.push_back(*id);
+    }
+    for (service::QueryId id : ids) {
+      auto stats = service.Wait(id);
+      if (!stats.ok() || stats->state != service::QueryState::kDone) {
+        state.SkipWithError("query failed");
+        return;
+      }
+      completeness += stats->completeness.ratio;
+      if (stats->finalized_early) ++partials;
+      peak_sum += stats->peak_memory_bytes;
+    }
+    ++batches;
+  }
+  const double queries =
+      static_cast<double>(batches * kQueriesPerBatch);
+  state.counters["budget_pct"] = static_cast<double>(budget_pct);
+  state.counters["concurrent"] = static_cast<double>(concurrent);
+  state.counters["hard_bytes"] = static_cast<double>(hard_bytes);
+  state.counters["completeness"] =
+      queries > 0 ? completeness / queries : 0.0;
+  state.counters["partials_per_batch"] =
+      batches > 0 ? static_cast<double>(partials) /
+                        static_cast<double>(batches)
+                  : 0.0;
+  state.counters["avg_peak_bytes"] =
+      queries > 0 ? static_cast<double>(peak_sum) / queries : 0.0;
+}
+BENCHMARK(BM_MemoryPressure)
+    ->ArgsProduct({{0, 100, 75, 50}, {1, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("aqp_build_type", aqp::bench::BuildTypeName());
+  const unsigned cpus = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("aqp_host_cpus", std::to_string(cpus));
+  benchmark::AddCustomContext("aqp_solo_peak_bytes",
+                              std::to_string(SoloPeakBytes()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table(
       {"query", "state", "budget", "steps", "pairs", "completeness",
-       "final state", "ms"});
+       "final state", "peak KiB", "ms"});
   for (size_t i = 0; i < ids.size(); ++i) {
     auto stats = linkage.Wait(ids[i]);
     if (!stats.ok()) {
@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
                   std::to_string(stats->steps),
                   std::to_string(stats->pairs_emitted), completeness.str(),
                   adaptive::ProcessorStateName(stats->final_state),
+                  std::to_string(stats->peak_memory_bytes / 1024),
                   ms.str()});
   }
   std::cout << "serving " << num_queries << " queries, "

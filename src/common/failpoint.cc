@@ -82,7 +82,7 @@ std::vector<std::string> KnownSites() {
           site::kExchangeMerge, site::kShardPhaseA,
           site::kShardPhaseB,  site::kPoolTask,     site::kStoreAdd,
           site::kArenaAlloc,   site::kParallelOpen, site::kServiceAdmit,
-          site::kServiceFinalize};
+          site::kServiceFinalize, site::kBudgetCharge, site::kWatchdogStall};
 }
 
 void Arm(const std::string& site, Policy policy) {

@@ -87,6 +87,15 @@ inline constexpr char kParallelOpen[] = "parallel.open";
 inline constexpr char kServiceAdmit[] = "service.admit";
 /// LinkageService runner, at result finalization of a done query.
 inline constexpr char kServiceFinalize[] = "service.finalize";
+/// ParallelAdaptiveJoin::RefreshMemoryAccounting, evaluated at each
+/// epoch control point when the join carries a budget node (a failed
+/// charge degrades through the recoverable-fault path).
+inline constexpr char kBudgetCharge[] = "budget.charge";
+/// LinkageService::Govern, before the heartbeat-guarded control-point
+/// hold. Only honored when the query has a stall timeout configured;
+/// a throwing policy holds the epoch (simulated stall) until the
+/// watchdog force-finalizes the query.
+inline constexpr char kWatchdogStall[] = "watchdog.stall";
 }  // namespace site
 
 /// All canonical site names above (the chaos matrix).

@@ -1,0 +1,40 @@
+#include "common/memory_budget.h"
+
+#include <utility>
+
+namespace aqp {
+namespace mem {
+
+BudgetNode::BudgetNode(std::string name, BudgetNode* parent,
+                       BudgetLimits limits)
+    : name_(std::move(name)), parent_(parent), limits_(limits) {}
+
+BudgetNode::~BudgetNode() {
+  // Auto-release: a dying node's usage must leave every ancestor's
+  // aggregate, or a finished query would pin the global high-water
+  // forever (the budget-leak invariant).
+  Refresh(0);
+}
+
+void BudgetNode::Refresh(uint64_t bytes) {
+  const int64_t next = static_cast<int64_t>(bytes);
+  const int64_t prev = local_.exchange(next, std::memory_order_relaxed);
+  const int64_t delta = next - prev;
+  if (delta == 0) return;
+  for (BudgetNode* node = this; node != nullptr; node = node->parent_) {
+    const int64_t subtree =
+        node->subtree_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (subtree <= 0) continue;
+    // CAS-max: under concurrent refreshes of sibling subtrees the peak
+    // records the largest aggregate any single update observed.
+    const uint64_t observed = static_cast<uint64_t>(subtree);
+    uint64_t peak = node->peak_.load(std::memory_order_relaxed);
+    while (observed > peak &&
+           !node->peak_.compare_exchange_weak(peak, observed,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+}
+
+}  // namespace mem
+}  // namespace aqp

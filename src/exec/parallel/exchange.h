@@ -144,6 +144,16 @@ class RadixExchange {
   /// SourceRetryOptions).
   uint64_t source_retries() const { return source_retries_; }
 
+  /// Allocated footprint of the exchange's own buffers: the two
+  /// per-side refill batches (capacity-based, so recycled batches keep
+  /// reporting their retained arenas). Must be called from whichever
+  /// context owns the routing cursor — the ingest task while staging,
+  /// the coordinator otherwise.
+  uint64_t ApproximateMemoryUsage() const {
+    return input_batch_[0].ApproximateMemoryUsage() +
+           input_batch_[1].ApproximateMemoryUsage();
+  }
+
  private:
   /// Mirrors SymmetricJoin::RefillInput, wrapped in the transient
   /// retry loop.

@@ -10,6 +10,7 @@
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "exec/csv_io.h"
+#include "exec/prefetch.h"
 
 namespace aqp {
 namespace exec {
@@ -184,6 +185,19 @@ Status ParallelAdaptiveJoin::Open() {
   ingest_handle_ = TaskGroupHandle();
   ingest_inflight_ = false;
   ingest_stats_ = IngestStats();
+  shard_nodes_.clear();
+  coord_node_.reset();
+  if (options_.memory_budget != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      shard_nodes_.push_back(std::make_unique<mem::BudgetNode>(
+          "shard" + std::to_string(i), options_.memory_budget));
+    }
+    coord_node_ = std::make_unique<mem::BudgetNode>("coordinator",
+                                                    options_.memory_budget);
+  }
+  memory_bytes_ = 0;
+  peak_memory_bytes_ = 0;
+  ingest_side_bytes_.store(0, std::memory_order_relaxed);
   left_guard.Dismiss();
   right_guard.Dismiss();
   open_ = true;
@@ -366,12 +380,26 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
   *stream_ended = false;
   if (!pump_error_.ok()) return pump_error_;
   // Epoch boundary: every shard is quiescent — safe for adaptation,
-  // deadline enforcement, and teardown alike.
+  // deadline enforcement, and teardown alike. Budgeted runs charge
+  // their accounting tree first, so the governor's view (and any
+  // soft/hard budget decision it takes) sees this control point's
+  // footprint, not the previous one's.
+  if (options_.memory_budget != nullptr) {
+    Status charged = RefreshMemoryAccounting();
+    if (!charged.ok()) {
+      // An injected charge fault (`budget.charge`) degrades like any
+      // recoverable epoch fault; route_ was cleared after the last
+      // merge, so there is nothing to roll back.
+      return HandleEpochFault(std::move(charged), /*shard=*/-1,
+                              stream_ended);
+    }
+  }
   if (options_.governor) {
     EpochView view;
     view.steps = exchange_->steps();
     view.pairs_emitted = pairs_emitted_;
     view.state = state_;
+    view.memory_bytes = memory_bytes_;
     switch (options_.governor(view)) {
       case EpochDirective::kProceed:
         break;
@@ -400,6 +428,7 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
                        !exchange_->input_exhausted(exec::Side::kRight);
     *stream_ended = true;
     stream_done_ = true;
+    UpdateMemoryAccounting();
     return Status::OK();
   }
   Status control = ControlPoint();
@@ -475,6 +504,7 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
   if (routed == 0) {
     *stream_ended = true;
     stream_done_ = true;
+    UpdateMemoryAccounting();
     return Status::OK();
   }
   for (JoinShard* shard : shard_ptrs_) shard->BeginEpoch();
@@ -540,6 +570,11 @@ Status ParallelAdaptiveJoin::PumpEpoch(bool* stream_ended) {
     return pump_error_;
   }
   ++epoch_;
+  // The merged epoch's route is spent: drop it now so a fault at the
+  // *next* control point (a failed budget charge) cannot mistake its
+  // already-published, already-merged rows for an aborted epoch and
+  // roll them back.
+  route_.clear();
   return Status::OK();
 }
 
@@ -584,6 +619,7 @@ Status ParallelAdaptiveJoin::HandleEpochFault(Status error, int32_t shard,
     finalized_early_ = true;
     stream_done_ = true;
     *stream_ended = true;
+    UpdateMemoryAccounting();
     return Status::OK();
   }
   pump_error_ = std::move(annotated);
@@ -652,6 +688,13 @@ void ParallelAdaptiveJoin::MaybeSubmitIngest() {
         exchange_->StageEpoch(staged_budget_, shard_ptrs_, &staged_route_);
     ingest_stats_.overlap_route_ns += ElapsedNs(stage_start);
     ingest_status_ = staged.ok() ? Status::OK() : staged.status();
+    if (coord_node_ != nullptr) {
+      // Publish this task's tier sizes so the coordinator's next
+      // control-point charge can account the ingest side without
+      // touching buffers this task owns.
+      ingest_side_bytes_.store(IngestSideMemoryUsage(),
+                               std::memory_order_relaxed);
+    }
   });
   ingest_handle_ = active_pool_->Submit(std::move(tasks));
   ingest_inflight_ = true;
@@ -684,6 +727,71 @@ void ParallelAdaptiveJoin::AbandonStagedIngest() {
   staged_route_.clear();
 }
 
+Status ParallelAdaptiveJoin::RefreshMemoryAccounting() {
+  // Injected charge failure: a backing allocator refusing the
+  // accounting charge. Degrades through HandleEpochFault like any
+  // recoverable control-point fault.
+  AQP_FAILPOINT(fail::site::kBudgetCharge);
+  UpdateMemoryAccounting();
+  return Status::OK();
+}
+
+void ParallelAdaptiveJoin::UpdateMemoryAccounting() {
+  uint64_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Committed tiers only — the staged tier belongs to the ingest
+    // task and is accounted through ingest_side_bytes_ while one is in
+    // flight.
+    const uint64_t bytes = shards_[i]->CommittedMemoryUsage();
+    if (!shard_nodes_.empty()) shard_nodes_[i]->Refresh(bytes);
+    total += bytes;
+  }
+  uint64_t coord = CoordinatorMemoryUsage();
+  coord += ingest_inflight_
+               ? ingest_side_bytes_.load(std::memory_order_relaxed)
+               : IngestSideMemoryUsage();
+  if (coord_node_ != nullptr) coord_node_->Refresh(coord);
+  total += coord;
+  memory_bytes_ = total;
+  if (total > peak_memory_bytes_) peak_memory_bytes_ = total;
+}
+
+uint64_t ParallelAdaptiveJoin::IngestSideMemoryUsage() const {
+  uint64_t bytes = exchange_ != nullptr ? exchange_->ApproximateMemoryUsage()
+                                        : 0;
+  for (const auto& shard : shards_) bytes += shard->StagedMemoryUsage();
+  bytes += staged_route_.capacity() * sizeof(RouteEntry);
+  // Prefetching children buffer source batches on their own producer
+  // threads; their deques are part of this query's footprint (the
+  // consumer-side serving batches are owned by whichever context pulls
+  // the exchange — the same one calling this).
+  if (auto* prefetch = dynamic_cast<exec::PrefetchSource*>(left_)) {
+    bytes += prefetch->ApproximateMemoryUsage();
+  }
+  if (auto* prefetch = dynamic_cast<exec::PrefetchSource*>(right_)) {
+    bytes += prefetch->ApproximateMemoryUsage();
+  }
+  return bytes;
+}
+
+uint64_t ParallelAdaptiveJoin::CoordinatorMemoryUsage() const {
+  uint64_t bytes = route_.capacity() * sizeof(RouteEntry);
+  bytes += out_buffer_.capacity() * sizeof(ParallelMatchRef);
+  bytes += merge_scratch_.capacity() * sizeof(MergedMatch);
+  bytes += epoch_observables_.capacity() * sizeof(join::StepObservables);
+  for (size_t s = 0; s < 2; ++s) {
+    bytes += matched_exactly_[s].capacity() * sizeof(uint8_t);
+    bytes += matched_any_[s].capacity() * sizeof(uint8_t);
+  }
+  return bytes;
+}
+
+uint64_t ParallelAdaptiveJoin::ApproximateMemoryUsage() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->CommittedMemoryUsage();
+  return total + CoordinatorMemoryUsage() + IngestSideMemoryUsage();
+}
+
 Status ParallelAdaptiveJoin::HandleIngestFault(Status error,
                                                bool* stream_ended) {
   // The staged epoch was never committed: drop it (cursor counters
@@ -709,6 +817,7 @@ Status ParallelAdaptiveJoin::HandleIngestFault(Status error,
     finalized_early_ = true;
     stream_done_ = true;
     *stream_ended = true;
+    UpdateMemoryAccounting();
     return Status::OK();
   }
   pump_error_ = std::move(annotated);

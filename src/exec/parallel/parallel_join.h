@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "adaptive/adaptive_join.h"
 #include "adaptive/cost_model.h"
 #include "adaptive/mar.h"
 #include "adaptive/state.h"
 #include "adaptive/trace.h"
+#include "common/memory_budget.h"
 #include "exec/operator.h"
 #include "exec/parallel/exchange.h"
 #include "exec/parallel/shard.h"
@@ -47,6 +50,9 @@ struct EpochView {
   uint64_t steps = 0;
   uint64_t pairs_emitted = 0;
   adaptive::ProcessorState state = adaptive::ProcessorState::kLexRex;
+  /// Engine memory footprint as refreshed at this control point; 0
+  /// when the join carries no budget node (accounting off).
+  uint64_t memory_bytes = 0;
 };
 
 /// \brief Result-completeness snapshot (the paper's time-completeness
@@ -171,6 +177,15 @@ struct ParallelJoinOptions {
   /// keep the refactor bisectable and to let CI drive the retained
   /// serial path. Default on (see DefaultPipelineIngest).
   bool pipeline_ingest = DefaultPipelineIngest();
+  /// Per-query budget node of the hierarchical accounting tree
+  /// (borrowed; must outlive the join). When set, the join creates one
+  /// child node per shard plus a coordinator node under it at Open and
+  /// refreshes them at every epoch control point, so the governor (and
+  /// the node's ancestors, up to a service-global root) observe the
+  /// engine's footprint while it runs. Null = no accounting, no
+  /// refresh work — byte-identical behavior AND identical hot-path
+  /// cost to the pre-budget engine.
+  mem::BudgetNode* memory_budget = nullptr;
 };
 
 /// \brief One late-materialized output match of the parallel join:
@@ -313,6 +328,19 @@ class ParallelAdaptiveJoin : public exec::Operator,
   size_t num_shards() const { return shards_.size(); }
   const JoinShard& shard(size_t i) const { return *shards_[i]; }
   const ParallelJoinOptions& options() const { return options_; }
+
+  /// Engine memory footprint right now: shard committed+staged tiers,
+  /// exchange refill batches, prefetching children, and coordinator
+  /// buffers. Call only when quiescent (between drive calls with no
+  /// ingest task in flight, or after the stream ended) — the
+  /// per-control-point refresh uses the race-free split internally.
+  uint64_t ApproximateMemoryUsage() const;
+  /// Footprint as of the last control-point refresh (0 before any).
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  /// High-water of the refreshed footprint across the run. A final
+  /// snapshot is folded in when the stream ends, so with accounting
+  /// off (memory_budget null) this is simply the end-of-run footprint.
+  uint64_t peak_memory_bytes() const { return peak_memory_bytes_; }
   /// @}
 
  private:
@@ -383,6 +411,34 @@ class ParallelAdaptiveJoin : public exec::Operator,
   /// Refills the output buffer by pumping epochs until output exists
   /// or the stream ends.
   Status EnsureOutput(bool* have_output);
+
+  /// \name Memory accounting (tentpole PR 9).
+  /// @{
+  /// Control-point refresh: recomputes the engine footprint (race-free
+  /// against an in-flight ingest task via the committed/ingest-side
+  /// split), pushes it into the budget nodes, and updates
+  /// memory_bytes_/peak_memory_bytes_. Evaluates the `budget.charge`
+  /// failpoint first; a non-OK charge is returned for the caller to
+  /// degrade through HandleEpochFault. Only called when a budget node
+  /// is attached.
+  Status RefreshMemoryAccounting();
+  /// Sum of the tiers owned by the ingest/staging context: exchange
+  /// refill batches, shard staged tiers, the staged route, and
+  /// prefetching children. Called by the ingest task after staging
+  /// (published via ingest_side_bytes_), or by the coordinator when no
+  /// task is in flight.
+  uint64_t IngestSideMemoryUsage() const;
+  /// Coordinator-owned buffers (route, merge scratch, output buffer,
+  /// matched flags) — always safe from the coordinator.
+  uint64_t CoordinatorMemoryUsage() const;
+  /// The refresh body without the failpoint: recompute, push into the
+  /// budget nodes (if any), update memory_bytes_ and the peak. Also
+  /// called directly on stream-end paths (no ingest task is in flight
+  /// there), so the final footprint is always folded into the peak —
+  /// including with accounting off, which is what fixes the
+  /// parallel-runs-report-no-memory RunStats bug.
+  void UpdateMemoryAccounting();
+  /// @}
 
   /// Mirrors AdaptiveJoin::OnQuiescentPoint. An error (failed
   /// catch-up broadcast) leaves shard states inconsistent and is never
@@ -455,6 +511,19 @@ class ParallelAdaptiveJoin : public exec::Operator,
   uint64_t pairs_emitted_ = 0;
   uint64_t exact_pairs_ = 0;
   uint64_t approximate_pairs_ = 0;
+
+  /// Budget-tree children under options_.memory_budget (empty when
+  /// accounting is off): one node per shard plus one coordinator node
+  /// (exchange + ingest-side + coordinator buffers). Destroyed before
+  /// the borrowed parent, auto-releasing their usage.
+  std::vector<std::unique_ptr<mem::BudgetNode>> shard_nodes_;
+  std::unique_ptr<mem::BudgetNode> coord_node_;
+  uint64_t memory_bytes_ = 0;
+  uint64_t peak_memory_bytes_ = 0;
+  /// Ingest-side footprint published by the staging task after each
+  /// StageEpoch (relaxed; read by the coordinator's refresh while the
+  /// task is in flight, exact values re-read after the barrier).
+  std::atomic<uint64_t> ingest_side_bytes_{0};
 
   /// Pipelined-ingest state. The ingest task writes staged_route_,
   /// ingest_status_, and the overlap counter; the coordinator touches

@@ -180,6 +180,34 @@ void JoinShard::RunCrossProbePhase(const std::vector<JoinShard*>& shards) {
   }
 }
 
+uint64_t JoinShard::CommittedMemoryUsage() const {
+  uint64_t bytes = core_.ApproximateMemoryUsage();
+  for (size_t s = 0; s < 2; ++s) {
+    bytes += pending_rows_[s].ApproximateMemoryUsage();
+    bytes += epoch_rows_[s].ApproximateMemoryUsage();
+    bytes += seq_[s].capacity() * sizeof(uint64_t);
+    bytes += ordinal_[s].capacity() * sizeof(uint32_t);
+  }
+  bytes += pending_meta_.capacity() * sizeof(RoutedRow);
+  bytes += epoch_meta_.capacity() * sizeof(RoutedRow);
+  bytes += step_outputs_.capacity() * sizeof(StepOutputs);
+  bytes += matches_.capacity() * sizeof(join::JoinMatch);
+  bytes += cross_step_outputs_.capacity() * sizeof(StepOutputs);
+  bytes += cross_matches_.capacity() * sizeof(CrossMatch);
+  bytes += cross_tmp_.capacity() * sizeof(join::JoinMatch);
+  return bytes;
+}
+
+uint64_t JoinShard::StagedMemoryUsage() const {
+  uint64_t bytes = staged_meta_.capacity() * sizeof(RoutedRow);
+  for (size_t s = 0; s < 2; ++s) {
+    bytes += staged_rows_[s].ApproximateMemoryUsage();
+    bytes += staged_seq_[s].capacity() * sizeof(uint64_t);
+    bytes += staged_ordinal_[s].capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 std::pair<uint64_t, uint64_t> JoinShard::ApplyState(
     adaptive::ProcessorState state) {
   const uint64_t left =

@@ -200,6 +200,26 @@ class JoinShard {
     core_.ReserveStores(left_hint, right_hint);
   }
 
+  /// \name Memory accounting (capacity-based, like the core's).
+  ///
+  /// Split along the pipelined-ingest ownership boundary so budget
+  /// refreshes stay race-free: the *committed* figure covers state only
+  /// the coordinator/workers touch (safe at a control point even while
+  /// an ingest task is in flight); the *staged* figure covers the tier
+  /// the ingest task writes (only that task, or the coordinator after
+  /// the task-group wait, may read it).
+  /// @{
+  /// Core stores/indexes + pending/epoch tiers + routing maps + phase
+  /// output buffers.
+  uint64_t CommittedMemoryUsage() const;
+  /// The route-ahead staged tier only.
+  uint64_t StagedMemoryUsage() const;
+  /// Both (call only when no ingest task is in flight).
+  uint64_t ApproximateMemoryUsage() const {
+    return CommittedMemoryUsage() + StagedMemoryUsage();
+  }
+  /// @}
+
  private:
   uint32_t index_;
   join::JoinSpec spec_;

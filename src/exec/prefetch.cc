@@ -60,6 +60,20 @@ Status PrefetchSource::Close() {
   return child_->Close();
 }
 
+uint64_t PrefetchSource::ApproximateMemoryUsage() {
+  uint64_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes += queue_.size() * sizeof(Chunk);
+    for (const Chunk& chunk : queue_) {
+      bytes += chunk.batch.ApproximateMemoryUsage();
+    }
+  }
+  bytes += current_.ApproximateMemoryUsage();
+  bytes += row_batch_.ApproximateMemoryUsage();
+  return bytes;
+}
+
 void PrefetchSource::StartProducerLocked() {
   // The previous generation has exited (it cleared producer_running_
   // under mu_ on its way out); reclaim it before spawning.

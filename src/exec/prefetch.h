@@ -90,6 +90,12 @@ class PrefetchSource : public Operator {
 
   const PrefetchStats& stats() const { return stats_; }
 
+  /// Allocated footprint of the bounded chunk deque plus the
+  /// consumer-side serving batches. Locks the internal mutex for the
+  /// queue (safe against a running producer); call from the consumer
+  /// thread, which owns the serving batches.
+  uint64_t ApproximateMemoryUsage();
+
  private:
   /// One buffered producer result: a batch, or an error, or EOS (OK +
   /// empty batch). A terminal chunk (error or EOS) is always the last

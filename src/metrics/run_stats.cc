@@ -1,5 +1,7 @@
 #include "metrics/run_stats.h"
 
+#include <algorithm>
+
 namespace aqp {
 namespace metrics {
 
@@ -42,6 +44,7 @@ RunStats SummarizeRun(const adaptive::AdaptiveJoin& join,
   stats.wall_seconds = wall_seconds;
   stats.probe = core.approx_probe_stats();
   stats.memory_bytes = core.ApproximateMemoryUsage();
+  stats.peak_memory_bytes = stats.memory_bytes;
   return stats;
 }
 
@@ -52,6 +55,13 @@ void AddIngestStats(const exec::parallel::IngestStats& ingest,
   stats->ingest_stall_ns = ingest.stall_ns;
   stats->ingest_overlap_route_ns = ingest.overlap_route_ns;
   stats->ingest_serial_route_ns = ingest.serial_route_ns;
+}
+
+void AddMemoryStats(const exec::parallel::ParallelAdaptiveJoin& join,
+                    RunStats* stats) {
+  stats->memory_bytes = join.memory_bytes();
+  stats->peak_memory_bytes =
+      std::max(join.peak_memory_bytes(), join.memory_bytes());
 }
 
 }  // namespace metrics

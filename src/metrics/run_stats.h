@@ -39,8 +39,13 @@ struct RunStats {
   /// Approximate-probe work counters (Table 1 raw material).
   join::ApproxProbeStats probe;
 
-  /// Rough peak memory of the join state (§2.3).
+  /// Rough memory of the join state (§2.3): end-of-run footprint and
+  /// the high-water across the run. Single-threaded runs fill these
+  /// from the core; parallel runs MUST use AddMemoryStats — the core
+  /// accessor sees only one shard's slice, which is the old
+  /// parallel-runs-report-no-memory bug.
   uint64_t memory_bytes = 0;
+  uint64_t peak_memory_bytes = 0;
 
   /// Robustness counters (zero for clean runs): malformed CSV records
   /// skipped under quarantine, and transient source-refill retries the
@@ -74,6 +79,13 @@ RunStats SummarizeRun(const adaptive::AdaptiveJoin& join,
 
 /// Folds a parallel join's pipelined-ingest counters into `stats`.
 void AddIngestStats(const exec::parallel::IngestStats& ingest,
+                    RunStats* stats);
+
+/// Folds a parallel join's aggregated memory accounting (every shard's
+/// committed tiers + exchange/staging/prefetch + coordinator state)
+/// into `stats`. Call after the join finished; before this existed,
+/// parallel runs reported memory_bytes == 0.
+void AddMemoryStats(const exec::parallel::ParallelAdaptiveJoin& join,
                     RunStats* stats);
 
 }  // namespace metrics

@@ -2,6 +2,7 @@
 #define AQP_SERVICE_ADMISSION_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace aqp {
 namespace service {
@@ -20,6 +21,12 @@ struct AdmissionOptions {
   /// interleaves whatever it does hold with everyone else. 0 = no
   /// shard budget.
   size_t max_total_shards = 0;
+  /// Global memory high-water: while the budget tree's root usage is
+  /// at or above this, new submissions are shed with
+  /// kResourceExhausted and queued queries are held back from
+  /// admission (strict FIFO preserved — the front waits, nothing skips
+  /// it). 0 = no global memory gate.
+  uint64_t global_memory_high_water_bytes = 0;
 };
 
 /// \brief Book-keeper of the service's concurrency budget.
@@ -37,8 +44,21 @@ class AdmissionController {
   /// True iff a query needing `shards` may start now.
   bool CanAdmit(size_t shards) const;
 
+  /// True iff the global memory gate admits more work right now
+  /// (`global_used` is the budget root's live usage). Always true with
+  /// no high-water configured.
+  bool MemoryCanAdmit(uint64_t global_used) const {
+    return options_.global_memory_high_water_bytes == 0 ||
+           global_used < options_.global_memory_high_water_bytes;
+  }
+
   void Admit(size_t shards);
   void Release(size_t shards);
+
+  /// Records a submission shed by the global memory gate.
+  void RecordMemoryShed() { ++memory_shed_total_; }
+  /// Submissions shed with kResourceExhausted under global pressure.
+  size_t memory_shed_total() const { return memory_shed_total_; }
 
   size_t running_queries() const { return running_; }
   size_t shards_in_use() const { return shards_in_use_; }
@@ -62,6 +82,7 @@ class AdmissionController {
   size_t peak_shards_ = 0;
   size_t admitted_total_ = 0;
   size_t released_total_ = 0;
+  size_t memory_shed_total_ = 0;
 };
 
 }  // namespace service

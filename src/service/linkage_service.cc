@@ -33,11 +33,15 @@ size_t ResolveShards(size_t requested) {
 LinkageService::LinkageService(ServiceOptions options)
     : options_(options),
       pool_(ResolveWorkers(options.worker_threads)),
-      admission_(options.admission) {
+      admission_(options.admission),
+      governor_(options.governor) {
   const size_t runners = admission_.options().max_concurrent_queries;
   runners_.reserve(runners);
   for (size_t i = 0; i < runners; ++i) {
     runners_.emplace_back([this] { RunnerLoop(); });
+  }
+  if (options_.governor.watchdog_enabled()) {
+    monitor_ = std::thread([this] { MonitorLoop(); });
   }
 }
 
@@ -64,6 +68,9 @@ LinkageService::~LinkageService() {
   for (std::thread& runner : runners_) {
     runner.join();
   }
+  if (monitor_.joinable()) {
+    monitor_.join();
+  }
 }
 
 Result<QueryId> LinkageService::Submit(exec::Operator* left,
@@ -85,11 +92,26 @@ Result<QueryId> LinkageService::Submit(exec::Operator* left,
   record->shards = admission_.ClampShards(
       ResolveShards(record->options.join.num_shards));
   record->options.join.num_shards = record->shards;
+  // Effective budget and stall tolerance: the query's own values, the
+  // service defaults where unset.
+  record->memory = governor_.EffectiveBudget(record->options.memory);
+  record->stall_timeout = record->options.stall_timeout.count() > 0
+                              ? record->options.stall_timeout
+                              : options_.governor.stall_timeout;
 
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     return Status::FailedPrecondition(
         "LinkageService::Submit: service is shutting down");
+  }
+  // Global high-water: shed new work while the aggregate footprint of
+  // running queries is at or above the line. Shedding (rather than
+  // queueing) keeps the overload visible to the caller immediately.
+  if (!admission_.MemoryCanAdmit(governor_.used())) {
+    admission_.RecordMemoryShed();
+    return Status::ResourceExhausted(
+               "LinkageService::Submit: global memory high-water reached")
+        .WithContext(std::string("site=") + resource_site::kGlobalHighWater);
   }
   const QueryId id = next_id_++;
   record->id = id;
@@ -121,7 +143,10 @@ Status LinkageService::Cancel(QueryId id) {
   }
   // A running query tears down at its next epoch control point, via
   // the governor — between epochs every shard is quiescent, so no
-  // phase task of this query is left behind on the pool.
+  // phase task of this query is left behind on the pool. The notify
+  // also cuts a retry backoff sleep short, so cancellation is prompt
+  // even mid-backoff.
+  state_changed_.notify_all();
   return Status::OK();
 }
 
@@ -207,11 +232,30 @@ size_t LinkageService::released_total() const {
   return admission_.released_total();
 }
 
+size_t LinkageService::memory_shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_.memory_shed_total();
+}
+
+size_t LinkageService::watchdog_finalized_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watchdog_finalized_total_;
+}
+
+size_t LinkageService::pressure_finalized_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pressure_finalized_total_;
+}
+
 LinkageService::QueryRecord* LinkageService::FrontRunnableLocked() {
   // Strict FIFO: only the front of the queue is considered. Skipping
   // ahead when the front's shard budget does not fit would let narrow
   // queries starve a wide one forever.
   if (queue_.empty()) return nullptr;
+  // Global memory pressure also holds the front back (the line clears
+  // when a running query finishes and drops its budget subtree, which
+  // notifies state_changed_).
+  if (!admission_.MemoryCanAdmit(governor_.used())) return nullptr;
   QueryRecord* q = queries_.at(queue_.front()).get();
   return admission_.CanAdmit(q->shards) ? q : nullptr;
 }
@@ -231,6 +275,14 @@ void LinkageService::RunnerLoop() {
     admission_.Admit(q->shards);
     q->state = QueryState::kRunning;
     q->started = std::chrono::steady_clock::now();
+    // Hang the query under the global budget tree when anything will
+    // read it: its own budget, the admission high-water, or pressure
+    // reclaim. Ungoverned queries skip the whole accounting path.
+    if (q->memory.any() ||
+        admission_.options().global_memory_high_water_bytes > 0 ||
+        options_.governor.finalize_youngest_on_pressure) {
+      q->budget_node = governor_.MakeQueryNode(q->id);
+    }
     state_changed_.notify_all();
     lock.unlock();
     // Finish() releases the admission slot atomically with the
@@ -241,17 +293,86 @@ void LinkageService::RunnerLoop() {
   }
 }
 
+void LinkageService::StampHeartbeat(QueryRecord* q) {
+  q->heartbeat_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
 EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
+  StampHeartbeat(q);
+  // Deterministic stall probe (`watchdog.stall`): hold this control
+  // point — heartbeat deliberately stale — until the watchdog notices
+  // and force-finalizes, or the query is cancelled. Only evaluated for
+  // queries with a stall tolerance, so the site is inert in generic
+  // chaos bursts that arm every known site. Holding is only safe while
+  // a monitor thread exists to notice the stale heartbeat.
+  if (q->stall_timeout.count() > 0 && options_.governor.watchdog_enabled() &&
+      fail::AnyArmed()) {
+    bool stalled = false;
+    try {
+      stalled = !fail::Check(fail::site::kWatchdogStall).ok();
+    } catch (const fail::InjectedFault&) {
+      stalled = true;
+    }
+    while (stalled && !q->force_finalize.load(std::memory_order_relaxed) &&
+           !q->cancel_requested.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   if (q->cancel_requested.load(std::memory_order_relaxed)) {
     return EpochDirective::kCancel;
   }
+  if (q->force_finalize.load(std::memory_order_relaxed)) {
+    return EpochDirective::kFinalize;
+  }
   const DeadlineOptions& d = q->options.deadline;
-  if (!d.any()) return EpochDirective::kProceed;
   const auto elapsed = std::chrono::steady_clock::now() - q->started;
   const bool past_hard =
       (d.hard_deadline_steps > 0 && view.steps >= d.hard_deadline_steps) ||
       (d.hard_deadline.count() > 0 && elapsed >= d.hard_deadline);
   if (past_hard) return EpochDirective::kFinalize;
+  if (q->memory.any()) {
+    // Budget charge: the engine refreshed the accounting tree right
+    // before this hook, so view.memory_bytes is this control point's
+    // footprint. Growth since the previous charge feeds the predictive
+    // hard bound — finalize *before* the next epoch would overshoot.
+    const uint64_t used = view.memory_bytes;
+    const uint64_t growth =
+        used > q->prev_charge_bytes ? used - q->prev_charge_bytes : 0;
+    q->prev_charge_bytes = used;
+    q->max_growth_bytes = std::max(q->max_growth_bytes, growth);
+    // Forecast the next epoch's allocation as 2x the largest jump seen:
+    // the stores grow by capacity doubling, and a container that
+    // doubled before adds exactly twice that when it doubles again.
+    switch (ResourceGovernor::Charge(used, 2 * q->max_growth_bytes,
+                                     q->memory)) {
+      case ResourceDecision::kFinalizePartial: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!q->resource.has_value()) {
+          ResourceReport report;
+          report.peak_bytes =
+              q->budget_node != nullptr ? q->budget_node->peak() : used;
+          report.budget_bytes = q->memory.hard_bytes;
+          report.site = resource_site::kQueryHardBudget;
+          report.status =
+              Status::ResourceExhausted("per-query hard memory budget reached")
+                  .WithContext(std::string("site=") +
+                               resource_site::kQueryHardBudget);
+          q->resource = std::move(report);
+        }
+        return EpochDirective::kFinalize;
+      }
+      case ResourceDecision::kClampExact:
+        q->memory_clamped = true;  // runner-thread-owned while running
+        q->forced_exact = true;
+        return EpochDirective::kForceExactOnly;
+      case ResourceDecision::kProceed:
+        break;
+    }
+  }
   const bool past_soft =
       (d.soft_deadline_steps > 0 && view.steps >= d.soft_deadline_steps) ||
       (d.soft_deadline.count() > 0 && elapsed >= d.soft_deadline);
@@ -260,6 +381,80 @@ EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
     return EpochDirective::kForceExactOnly;
   }
   return EpochDirective::kProceed;
+}
+
+void LinkageService::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    state_changed_.wait_for(lock, options_.governor.poll_interval);
+    if (shutdown_) break;
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    for (auto& [id, q] : queries_) {
+      if (q->state != QueryState::kRunning &&
+          q->state != QueryState::kDraining) {
+        continue;
+      }
+      if (q->stall_timeout.count() <= 0) continue;
+      const int64_t heartbeat = q->heartbeat_ns.load(std::memory_order_relaxed);
+      if (heartbeat == 0) continue;  // not yet started pumping
+      if (now_ns - heartbeat < q->stall_timeout.count()) continue;
+      // Stalled: the runner has not reached a control point or drain
+      // iteration within the tolerance. Force-finalize — the engine
+      // delivers the strict-prefix partial it has merged so far. A
+      // worker stuck *inside* a phase cannot be preempted; the
+      // directive lands at the next quiescent boundary.
+      if (q->force_finalize.exchange(true, std::memory_order_relaxed)) {
+        continue;  // already told; don't double-count
+      }
+      if (!q->resource.has_value()) {
+        ResourceReport report;
+        report.peak_bytes =
+            q->budget_node != nullptr ? q->budget_node->peak() : 0;
+        report.budget_bytes = 0;
+        report.site = resource_site::kWatchdogStall;
+        report.status =
+            Status::Unavailable("watchdog force-finalized a stalled query")
+                .WithContext(std::string("site=") +
+                             resource_site::kWatchdogStall);
+        q->resource = std::move(report);
+      }
+      ++watchdog_finalized_total_;
+    }
+    if (options_.governor.finalize_youngest_on_pressure &&
+        !admission_.MemoryCanAdmit(governor_.used())) {
+      // Reclaim the *youngest* governed query: a greedy late arrival
+      // gives back its memory instead of evicting older neighbors.
+      // Draining queries are exempt — they already stopped consuming
+      // input, so flagging them frees nothing sooner.
+      QueryRecord* youngest = nullptr;
+      for (auto& [id, q] : queries_) {  // ascending id; last match wins
+        if (q->state == QueryState::kRunning && q->budget_node != nullptr &&
+            !q->force_finalize.load(std::memory_order_relaxed)) {
+          youngest = q.get();
+        }
+      }
+      if (youngest != nullptr) {
+        youngest->force_finalize.store(true, std::memory_order_relaxed);
+        if (!youngest->resource.has_value()) {
+          ResourceReport report;
+          report.peak_bytes = youngest->budget_node->peak();
+          report.budget_bytes =
+              admission_.options().global_memory_high_water_bytes;
+          report.site = resource_site::kGlobalHighWater;
+          report.status = Status::ResourceExhausted(
+                              "global memory pressure reclaimed the "
+                              "youngest running query")
+                              .WithContext(std::string("site=") +
+                                           resource_site::kGlobalHighWater);
+          youngest->resource = std::move(report);
+        }
+        ++pressure_finalized_total_;
+      }
+    }
+  }
 }
 
 void LinkageService::SetState(QueryRecord* q, QueryState state) {
@@ -288,13 +483,26 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
     stats.source_retries = q->join->source_retries();
     stats.ingest = q->join->ingest_stats();
     stats.fault = q->join->fault();
+    stats.memory_bytes = q->join->memory_bytes();
+    stats.peak_memory_bytes =
+        std::max(q->join->peak_memory_bytes(), stats.memory_bytes);
     // The join's shard stores hold every ingested input row; a
     // long-lived service must not retain them past the query's end
     // (the result is already materialized, the stats just harvested).
     q->join.reset();
   }
+  // The engine's shard/coordinator nodes (children) died with the
+  // join; dropping the query node now releases this query's footprint
+  // from the global aggregate — which may clear the high-water for
+  // queued work, so it must happen before the notify below.
+  q->budget_node.reset();
+  q->heartbeat_ns.store(0, std::memory_order_relaxed);
   stats.elapsed = std::chrono::steady_clock::now() - q->started;
   std::lock_guard<std::mutex> lock(mu_);
+  stats.memory_clamped = q->memory_clamped;
+  stats.attempts = std::max<uint64_t>(1, q->attempts);
+  stats.retries = stats.attempts - 1;
+  stats.resource = q->resource;
   q->stats = stats;
   q->state = state;
   q->final_status = std::move(status);
@@ -304,19 +512,25 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
   state_changed_.notify_all();
 }
 
-void LinkageService::ExecuteQuery(QueryRecord* q) {
+LinkageService::AttemptOutcome LinkageService::RunAttempt(QueryRecord* q) {
   ParallelJoinOptions join_options = q->options.join;
   join_options.shared_pool = &pool_;
+  // Null for ungoverned queries — the engine then skips refreshes and
+  // stays byte-identical to a budget-free run.
+  join_options.memory_budget = q->budget_node.get();
   join_options.governor = [this, q](const EpochView& view) {
     return Govern(q, view);
   };
   q->join = std::make_unique<ParallelAdaptiveJoin>(q->left, q->right,
                                                    std::move(join_options));
 
+  AttemptOutcome outcome;
+  StampHeartbeat(q);
   Status status = q->join->Open();
   if (!status.ok()) {
-    Finish(q, QueryState::kFailed, std::move(status));
-    return;
+    outcome.state = QueryState::kFailed;
+    outcome.status = std::move(status);
+    return outcome;
   }
 
   storage::Relation collected(q->join->output_schema());
@@ -324,6 +538,9 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
   const size_t drain_batch = std::max<size_t>(1, q->options.drain_batch);
   bool draining_reported = false;
   while (true) {
+    // Liveness: the watchdog must not fire on a healthy query that is
+    // slowly delivering a huge buffered result.
+    StampHeartbeat(q);
     // The governor only runs while epochs are still being pumped; once
     // the input side is done (draining), cancellation must be honored
     // here or a huge buffered result would pin the admission slot.
@@ -357,25 +574,82 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
 
   Status close = q->join->Close();
   if (!status.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      q->result.reset();
-    }
-    Finish(q,
-           status.IsCancelled() ? QueryState::kCancelled
-                                : QueryState::kFailed,
-           std::move(status));
-    return;
+    outcome.state = status.IsCancelled() ? QueryState::kCancelled
+                                         : QueryState::kFailed;
+    outcome.status = std::move(status);
+    return outcome;
   }
   if (!close.ok()) {
-    Finish(q, QueryState::kFailed, std::move(close));
-    return;
+    outcome.state = QueryState::kFailed;
+    outcome.status = std::move(close);
+    return outcome;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    q->result.emplace(std::move(collected));
+  outcome.state = QueryState::kDone;
+  outcome.collected.emplace(std::move(collected));
+  return outcome;
+}
+
+void LinkageService::ExecuteQuery(QueryRecord* q) {
+  const size_t max_retries = q->options.retry.max_retries;
+  size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      q->attempts = attempt;
+    }
+    AttemptOutcome outcome = RunAttempt(q);
+    // Only recoverably failed attempts retry: transient unavailability
+    // or I/O, never cancellation, invariant failures, or precondition
+    // bugs — and a degraded-to-partial query is done, not failed.
+    const bool retryable =
+        outcome.state == QueryState::kFailed &&
+        (outcome.status.IsUnavailable() || outcome.status.IsIOError()) &&
+        attempt <= max_retries &&
+        !q->cancel_requested.load(std::memory_order_relaxed);
+    if (!retryable) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (outcome.state == QueryState::kDone) {
+          q->result.emplace(std::move(*outcome.collected));
+        } else {
+          q->result.reset();
+        }
+      }
+      Finish(q, outcome.state, std::move(outcome.status));
+      return;
+    }
+    // Re-execution is idempotent: queries are read-only over borrowed,
+    // re-openable children. Drop the failed attempt's engine, keep the
+    // admission slot (the query never left `running`), and back off.
+    // The deadline clock spans attempts — q->started is NOT reset — so
+    // retrying cannot stretch the time budget; forced_exact and any
+    // ResourceReport stay sticky for the final stats.
+    q->join.reset();
+    q->prev_charge_bytes = 0;
+    q->max_growth_bytes = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (q->state == QueryState::kDraining) {
+        q->state = QueryState::kRunning;
+        state_changed_.notify_all();
+      }
+      const auto base = q->options.retry.backoff_base;
+      if (base.count() > 0) {
+        // Exponential backoff, interruptible by Cancel() and shutdown.
+        const auto delay = base * (int64_t{1} << (attempt - 1));
+        state_changed_.wait_for(lock, delay, [this, q] {
+          return shutdown_ ||
+                 q->cancel_requested.load(std::memory_order_relaxed);
+        });
+      }
+    }
+    if (q->cancel_requested.load(std::memory_order_relaxed)) {
+      Finish(q, QueryState::kCancelled,
+             Status::Cancelled("query cancelled during retry backoff"));
+      return;
+    }
   }
-  Finish(q, QueryState::kDone, Status::OK());
 }
 
 }  // namespace service

@@ -19,6 +19,7 @@
 #include "exec/parallel/thread_pool.h"
 #include "service/admission.h"
 #include "service/query.h"
+#include "service/resource_governor.h"
 #include "storage/relation.h"
 
 namespace aqp {
@@ -30,8 +31,11 @@ struct ServiceOptions {
   /// Runner threads participate in their own queries' phase groups, so
   /// even a 1-worker pool makes progress for any number of queries.
   size_t worker_threads = 0;
-  /// Concurrency and shard budgets.
+  /// Concurrency and shard budgets, plus the global memory high-water.
   AdmissionOptions admission;
+  /// Memory governance and watchdog policy (default budgets, stall
+  /// timeout, pressure reclaim).
+  ResourceGovernorOptions governor;
 };
 
 /// \brief Multi-query linkage serving: N concurrent adaptive linkage
@@ -53,6 +57,17 @@ struct ServiceOptions {
 /// partial result it has, with completeness statistics — the paper's
 /// time-completeness trade-off, per query. Cancel() tears a query down
 /// between epochs through the same hook.
+///
+/// Memory budgets ride the same control points: the engine refreshes a
+/// hierarchical accounting tree (global → per-query → per-shard) right
+/// before the governor runs, a soft budget clamps the query toward
+/// exact-only (freezing q-gram index growth), a hard budget finalizes
+/// it early with a strict-prefix partial, and the global high-water
+/// sheds new submissions with kResourceExhausted. A watchdog thread
+/// force-finalizes queries whose control-point heartbeat goes stale,
+/// and recoverably failed attempts (kUnavailable/kIOError) can be
+/// retried whole with exponential backoff — queries are read-only over
+/// re-openable children, so re-execution is idempotent.
 ///
 /// Results are byte-identical to a solo ParallelAdaptiveJoin run of
 /// the same options (without deadlines): pool sharing changes
@@ -110,6 +125,15 @@ class LinkageService {
   /// terminal path (done, failed, cancelled).
   size_t admitted_total() const;
   size_t released_total() const;
+  /// Submissions shed with kResourceExhausted by the global memory
+  /// high-water.
+  size_t memory_shed_total() const;
+  /// Queries force-finalized by the stuck-query watchdog.
+  size_t watchdog_finalized_total() const;
+  /// Queries force-finalized by global-pressure reclaim.
+  size_t pressure_finalized_total() const;
+  /// The global budget root's owner (live usage, peak, policy).
+  ResourceGovernor* governor() { return &governor_; }
   exec::parallel::ThreadPool* pool() { return &pool_; }
   const ServiceOptions& options() const { return options_; }
   /// @}
@@ -131,11 +155,48 @@ class LinkageService {
     /// Set by Cancel()/shutdown, read by the query's governor at every
     /// epoch control point.
     std::atomic<bool> cancel_requested{false};
+    /// Set by the watchdog (stall or global pressure), read by the
+    /// governor: finalize at the next control point with whatever
+    /// prefix has been merged.
+    std::atomic<bool> force_finalize{false};
+    /// Liveness heartbeat: steady-clock nanos stamped by the runner at
+    /// every epoch control point and drain iteration, read by the
+    /// watchdog thread. 0 = not running.
+    std::atomic<int64_t> heartbeat_ns{0};
     /// Written only by the runner thread while running.
     bool forced_exact = false;
+    bool memory_clamped = false;
+    uint64_t attempts = 0;
+    /// Previous control-point charge and the largest single-epoch
+    /// growth seen, for the predictive hard-budget forecast
+    /// (runner-owned). The forecast is 2x the max growth: capacity-
+    /// doubling containers allocate exactly twice their previous jump
+    /// when they next double, so last-epoch growth alone underpredicts.
+    uint64_t prev_charge_bytes = 0;
+    uint64_t max_growth_bytes = 0;
     std::chrono::steady_clock::time_point started{};
 
+    /// Effective per-query budget and stall tolerance (query override,
+    /// else service default), resolved at Submit.
+    MemoryBudgetOptions memory;
+    std::chrono::nanoseconds stall_timeout{0};
+    /// Why governance intervened, if it did (guarded by mu_; first
+    /// writer wins — a watchdog verdict is not overwritten by a later
+    /// budget trip and vice versa).
+    std::optional<ResourceReport> resource;
+
+    /// The query's node in the global budget tree; the engine hangs
+    /// its per-shard and coordinator children under it. Destroyed
+    /// after the join (children before parent).
+    std::unique_ptr<mem::BudgetNode> budget_node;
     std::unique_ptr<exec::parallel::ParallelAdaptiveJoin> join;
+  };
+
+  /// Outcome of one execution attempt of a query.
+  struct AttemptOutcome {
+    QueryState state = QueryState::kFailed;
+    Status status;
+    std::optional<storage::Relation> collected;
   };
 
   /// Runner thread body: claim the oldest admissible queued query, run
@@ -145,12 +206,22 @@ class LinkageService {
   /// (strict FIFO: if the front does not fit, nothing runs). Caller
   /// holds mu_.
   QueryRecord* FrontRunnableLocked();
-  /// Executes one admitted query end to end (no service lock held).
+  /// Executes one admitted query end to end (no service lock held),
+  /// including bounded whole-query retry of recoverably failed
+  /// attempts.
   void ExecuteQuery(QueryRecord* q);
-  /// Deadline/cancel policy, called by the engine at epoch control
-  /// points on the runner thread.
+  /// One execution attempt: open, drain, close. Queries are read-only
+  /// over re-openable children, so attempts are idempotent.
+  AttemptOutcome RunAttempt(QueryRecord* q);
+  /// Deadline/budget/cancel/watchdog policy, called by the engine at
+  /// epoch control points on the runner thread.
   exec::parallel::EpochDirective Govern(
       QueryRecord* q, const exec::parallel::EpochView& view);
+  /// Stamps the query's liveness heartbeat (runner thread).
+  static void StampHeartbeat(QueryRecord* q);
+  /// Watchdog thread body: force-finalize stalled queries; optionally
+  /// reclaim the youngest budget-governed query under global pressure.
+  void MonitorLoop();
   /// Transitions `q` to a state and wakes waiters.
   void SetState(QueryRecord* q, QueryState state);
   /// Marks `q` terminal with stats harvested from its join.
@@ -162,12 +233,17 @@ class LinkageService {
   mutable std::mutex mu_;
   std::condition_variable state_changed_;
   AdmissionController admission_;
+  ResourceGovernor governor_;
   std::map<QueryId, std::unique_ptr<QueryRecord>> queries_;
   std::deque<QueryId> queue_;
   QueryId next_id_ = 1;
   bool shutdown_ = false;
+  size_t watchdog_finalized_total_ = 0;
+  size_t pressure_finalized_total_ = 0;
 
   std::vector<std::thread> runners_;
+  /// Watchdog; started only when options_.governor.watchdog_enabled().
+  std::thread monitor_;
 };
 
 }  // namespace service

@@ -8,6 +8,7 @@
 #include "adaptive/state.h"
 #include "common/status.h"
 #include "exec/parallel/parallel_join.h"
+#include "service/resource_governor.h"
 
 namespace aqp {
 namespace service {
@@ -70,6 +71,25 @@ struct DeadlineOptions {
   }
 };
 
+/// \brief Bounded whole-query retry with exponential backoff.
+///
+/// Queries are read-only over borrowed, re-openable children, so
+/// re-executing one from scratch is idempotent — this extends the
+/// exchange's per-refill SourceRetryOptions to query granularity, for
+/// faults that killed a whole attempt (a child that died mid-run and
+/// recovered, an injected transient). Only *recoverably failed*
+/// attempts retry: terminal status kUnavailable or kIOError, never
+/// cancellation, Internal invariant failures, or precondition bugs. A
+/// degraded-to-partial query is `done`, not failed, and never retries.
+struct QueryRetryOptions {
+  /// Re-executions after the first attempt. 0 disables retrying.
+  size_t max_retries = 0;
+  /// Attempt k (1-based over retries) sleeps base * 2^(k-1) before
+  /// re-running; zero base never sleeps (deterministic tests). The
+  /// backoff is interruptible by Cancel() and shutdown.
+  std::chrono::milliseconds backoff_base{0};
+};
+
 /// \brief Everything a caller configures per query.
 struct QueryOptions {
   /// The join itself (spec, MAR thresholds, policy, shard count). The
@@ -79,6 +99,16 @@ struct QueryOptions {
   exec::parallel::ParallelJoinOptions join;
   /// Time budget; default none.
   DeadlineOptions deadline;
+  /// Memory budget (soft clamp / hard finalize at epoch control
+  /// points); default none — fields left at zero inherit the service's
+  /// ResourceGovernorOptions::default_query_budget.
+  MemoryBudgetOptions memory;
+  /// Stuck-query watchdog override: heartbeat stall tolerance for this
+  /// query. Zero inherits the service-level stall timeout; honored only
+  /// while the service watchdog is enabled.
+  std::chrono::nanoseconds stall_timeout{0};
+  /// Whole-query retry of recoverably failed attempts; default none.
+  QueryRetryOptions retry;
   /// Match refs materialized per drain call of the runner.
   size_t drain_batch = 256;
 
@@ -123,6 +153,22 @@ struct QueryStats {
   /// result (join.on_fault == kFinalizePartial): which site fired,
   /// in which epoch, on which shard, with the original status.
   std::optional<exec::parallel::FaultReport> fault;
+  /// Engine memory footprint at the end of the final attempt
+  /// (shard stores/indexes, exchange and staged tiers, prefetch
+  /// buffers, coordinator state) and its high-water across the run —
+  /// aggregated from the parallel engine, which previously reported no
+  /// memory at all through RunStats.
+  uint64_t memory_bytes = 0;
+  uint64_t peak_memory_bytes = 0;
+  /// True iff the soft memory budget clamped the query to exact-only.
+  bool memory_clamped = false;
+  /// Executions of the query (1 + retries actually performed).
+  uint64_t attempts = 1;
+  uint64_t retries = 0;
+  /// Set when memory governance or the watchdog cut the run short:
+  /// which site acted (query.hard_budget / global.high_water /
+  /// watchdog.stall), against which bound, at what peak.
+  std::optional<ResourceReport> resource;
 };
 
 }  // namespace service

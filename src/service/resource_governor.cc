@@ -1,0 +1,44 @@
+#include "service/resource_governor.h"
+
+namespace aqp {
+namespace service {
+
+const char* ResourceDecisionName(ResourceDecision decision) {
+  switch (decision) {
+    case ResourceDecision::kProceed:
+      return "proceed";
+    case ResourceDecision::kClampExact:
+      return "clamp_exact";
+    case ResourceDecision::kFinalizePartial:
+      return "finalize_partial";
+  }
+  return "unknown";
+}
+
+ResourceDecision ResourceGovernor::Charge(uint64_t used, uint64_t growth,
+                                          const MemoryBudgetOptions& limits) {
+  // Hard first: a query past (or about to cross) its hard bound must
+  // finalize even if the soft bound would also fire this charge.
+  if (limits.hard_bytes > 0 && used + growth > limits.hard_bytes) {
+    return ResourceDecision::kFinalizePartial;
+  }
+  if (limits.soft_bytes > 0 && used >= limits.soft_bytes) {
+    return ResourceDecision::kClampExact;
+  }
+  return ResourceDecision::kProceed;
+}
+
+MemoryBudgetOptions ResourceGovernor::EffectiveBudget(
+    const MemoryBudgetOptions& query) const {
+  MemoryBudgetOptions effective = query;
+  if (effective.soft_bytes == 0) {
+    effective.soft_bytes = options_.default_query_budget.soft_bytes;
+  }
+  if (effective.hard_bytes == 0) {
+    effective.hard_bytes = options_.default_query_budget.hard_bytes;
+  }
+  return effective;
+}
+
+}  // namespace service
+}  // namespace aqp

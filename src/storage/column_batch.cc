@@ -227,6 +227,20 @@ void ColumnBatch::ComputeKeyHashes(size_t col) {
   }
 }
 
+uint64_t ColumnBatch::ApproximateMemoryUsage() const {
+  uint64_t bytes = arena_.capacity();
+  bytes += key_hashes_.capacity() * sizeof(uint64_t);
+  bytes += columns_.capacity() * sizeof(Column);
+  for (const Column& c : columns_) {
+    bytes += c.nulls.capacity() * sizeof(uint8_t);
+    bytes += c.i64.capacity() * sizeof(int64_t);
+    bytes += c.f64.capacity() * sizeof(double);
+    bytes += c.offset.capacity() * sizeof(uint32_t);
+    bytes += c.len.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 Status ColumnBatch::Validate() const {
   if (schema_ == nullptr) {
     return Status::FailedPrecondition("ColumnBatch has no schema");

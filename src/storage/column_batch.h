@@ -199,6 +199,13 @@ class ColumnBatch {
   uint64_t key_hash(size_t row) const { return key_hashes_[row]; }
   /// @}
 
+  /// Allocated footprint in bytes: every column lane's capacity, the
+  /// shared string arena, and the key-hash lane. Capacity-based (like
+  /// TupleStore::ApproximateMemoryUsage), so a Clear()ed batch still
+  /// reports its retained allocations — that is what a budget must
+  /// see, since recycled batches keep their arenas by design.
+  uint64_t ApproximateMemoryUsage() const;
+
   /// Checks per-column row alignment against the committed row count
   /// (debug paths). A null schema fails.
   Status Validate() const;

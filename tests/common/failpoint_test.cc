@@ -163,7 +163,7 @@ TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
 
 TEST_F(FailpointTest, KnownSitesEnumeratesEveryCanonicalSite) {
   const std::vector<std::string> sites = fail::KnownSites();
-  EXPECT_EQ(sites.size(), 15u);
+  EXPECT_EQ(sites.size(), 17u);
   for (const char* expected :
        {fail::site::kCsvOpen, fail::site::kCsvRead, fail::site::kScanNext,
         fail::site::kExchangeRoute, fail::site::kExchangeStage,
@@ -171,7 +171,8 @@ TEST_F(FailpointTest, KnownSitesEnumeratesEveryCanonicalSite) {
         fail::site::kShardPhaseA, fail::site::kShardPhaseB,
         fail::site::kPoolTask, fail::site::kStoreAdd,
         fail::site::kArenaAlloc, fail::site::kParallelOpen,
-        fail::site::kServiceAdmit, fail::site::kServiceFinalize}) {
+        fail::site::kServiceAdmit, fail::site::kServiceFinalize,
+        fail::site::kBudgetCharge, fail::site::kWatchdogStall}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), std::string(expected)),
               sites.end())
         << expected << " missing from KnownSites()";

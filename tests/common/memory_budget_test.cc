@@ -1,0 +1,161 @@
+// The hierarchical memory-accounting tree: local/subtree figures,
+// delta propagation up the ancestor chain, peak high-water tracking,
+// automatic release on destruction (the budget-leak invariant), and
+// concurrent refreshes from sibling subtrees into one shared root.
+
+#include "common/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace aqp {
+namespace mem {
+namespace {
+
+TEST(MemoryBudgetTest, FreshNodeIsZero) {
+  BudgetNode root("global");
+  EXPECT_EQ(root.local_used(), 0u);
+  EXPECT_EQ(root.used(), 0u);
+  EXPECT_EQ(root.peak(), 0u);
+  EXPECT_EQ(root.parent(), nullptr);
+  EXPECT_EQ(root.name(), "global");
+}
+
+TEST(MemoryBudgetTest, RefreshReplacesLocalUsage) {
+  BudgetNode node("n");
+  node.Refresh(100);
+  EXPECT_EQ(node.local_used(), 100u);
+  EXPECT_EQ(node.used(), 100u);
+  node.Refresh(40);  // wholesale replacement, not accumulation
+  EXPECT_EQ(node.local_used(), 40u);
+  EXPECT_EQ(node.used(), 40u);
+  EXPECT_EQ(node.peak(), 100u);  // peak sticks
+}
+
+TEST(MemoryBudgetTest, DeltasPropagateUpTheAncestorChain) {
+  BudgetNode root("global");
+  BudgetNode query("query1", &root);
+  BudgetNode shard0("shard0", &query);
+  BudgetNode shard1("shard1", &query);
+
+  shard0.Refresh(100);
+  shard1.Refresh(50);
+  query.Refresh(7);  // coordinator's own state
+  EXPECT_EQ(shard0.used(), 100u);
+  EXPECT_EQ(query.local_used(), 7u);
+  EXPECT_EQ(query.used(), 157u);
+  EXPECT_EQ(root.used(), 157u);
+
+  shard0.Refresh(20);  // shrink propagates as a negative delta
+  EXPECT_EQ(query.used(), 77u);
+  EXPECT_EQ(root.used(), 77u);
+}
+
+TEST(MemoryBudgetTest, PeakTracksSubtreeHighWaterPerLevel) {
+  BudgetNode root("global");
+  BudgetNode q1("query1", &root);
+  BudgetNode q2("query2", &root);
+
+  q1.Refresh(100);
+  q2.Refresh(60);
+  EXPECT_EQ(root.peak(), 160u);
+  q1.Refresh(0);
+  q2.Refresh(90);
+  // Root peak is the high-water of the *aggregate*, not the sum of
+  // per-child peaks (which would be 190).
+  EXPECT_EQ(root.peak(), 160u);
+  EXPECT_EQ(q1.peak(), 100u);
+  EXPECT_EQ(q2.peak(), 90u);
+}
+
+TEST(MemoryBudgetTest, DestructionReleasesUsageFromAncestors) {
+  BudgetNode root("global");
+  {
+    BudgetNode query("query1", &root);
+    BudgetNode shard("shard0", &query);
+    shard.Refresh(500);
+    query.Refresh(30);
+    EXPECT_EQ(root.used(), 530u);
+  }  // children destroyed before parent, parent before root
+  EXPECT_EQ(root.used(), 0u);      // no leak at quiescence
+  EXPECT_EQ(root.peak(), 530u);    // history survives
+}
+
+TEST(MemoryBudgetTest, LimitsAndOverSoftOverHard) {
+  BudgetLimits limits;
+  EXPECT_FALSE(limits.any());
+  limits.soft_bytes = 100;
+  limits.hard_bytes = 200;
+  EXPECT_TRUE(limits.any());
+
+  BudgetNode node("q", nullptr, limits);
+  EXPECT_FALSE(node.over_soft());
+  node.Refresh(100);
+  EXPECT_TRUE(node.over_soft());
+  EXPECT_FALSE(node.over_hard());
+  node.Refresh(200);
+  EXPECT_TRUE(node.over_hard());
+  EXPECT_EQ(node.limits().hard_bytes, 200u);
+
+  BudgetNode unbounded("u");
+  unbounded.Refresh(1u << 30);
+  EXPECT_FALSE(unbounded.over_soft());
+  EXPECT_FALSE(unbounded.over_hard());
+}
+
+TEST(MemoryBudgetTest, ConcurrentSiblingRefreshesStayConsistent) {
+  // Every running query refreshes its own subtree; all deltas land in
+  // the shared root. After the threads join, the root must equal the
+  // sum of the final per-subtree figures exactly (atomic deltas can
+  // interleave but never lose updates).
+  constexpr size_t kQueries = 4;
+  constexpr size_t kShardsPerQuery = 3;
+  constexpr uint64_t kRounds = 2000;
+
+  BudgetNode root("global");
+  std::vector<std::unique_ptr<BudgetNode>> queries;
+  std::vector<std::unique_ptr<BudgetNode>> shards;
+  for (size_t q = 0; q < kQueries; ++q) {
+    queries.push_back(
+        std::make_unique<BudgetNode>("query" + std::to_string(q), &root));
+    for (size_t s = 0; s < kShardsPerQuery; ++s) {
+      shards.push_back(std::make_unique<BudgetNode>(
+          "shard" + std::to_string(s), queries.back().get()));
+    }
+  }
+
+  std::vector<std::thread> workers;
+  for (size_t q = 0; q < kQueries; ++q) {
+    workers.emplace_back([q, &shards] {
+      for (uint64_t round = 1; round <= kRounds; ++round) {
+        for (size_t s = 0; s < kShardsPerQuery; ++s) {
+          shards[q * kShardsPerQuery + s]->Refresh(round * (q + 1) + s);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  uint64_t expected = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    uint64_t subtree = 0;
+    for (size_t s = 0; s < kShardsPerQuery; ++s) {
+      subtree += kRounds * (q + 1) + s;
+    }
+    EXPECT_EQ(queries[q]->used(), subtree);
+    expected += subtree;
+  }
+  EXPECT_EQ(root.used(), expected);
+  EXPECT_GE(root.peak(), expected);
+
+  shards.clear();
+  queries.clear();
+  EXPECT_EQ(root.used(), 0u);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace aqp

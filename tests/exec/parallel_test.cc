@@ -203,6 +203,11 @@ TEST(RadixExchangeTest, ReplaysTheSingleThreadedSchedule) {
     shards.push_back(std::make_unique<JoinShard>(
         i, Spec(), join::ApproxProbeOptions{},
         adaptive::ProcessorState::kLexRex));
+    // Production flow: the coordinator binds side schemas before any
+    // routing; without it the shard batches scatter into a bare layout
+    // (caught by assert in Debug builds).
+    shards.back()->BindSchemas(&child.output_schema(),
+                               &parent.output_schema());
     ptrs.push_back(shards.back().get());
   }
   RadixExchange exchange(&child, &parent, Spec(),

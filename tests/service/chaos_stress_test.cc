@@ -17,12 +17,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "datagen/generator.h"
 #include "exec/parallel/parallel_join.h"
 #include "exec/prefetch.h"
@@ -263,6 +265,161 @@ TEST(ChaosStressTest, SeededFaultMatrixKeepsTheServiceSane) {
   EXPECT_EQ(bursts, 9u);
   EXPECT_GT(faulted + degraded + rejected, 0u);
   EXPECT_GT(clean, 0u);
+}
+
+TEST(ChaosStressTest, MemoryPressureBurstTerminatesEveryQueryWithoutLeaks) {
+  // The memory-pressure flavor: a 10-query burst against a global
+  // high-water deliberately below the burst's aggregate peak, with a
+  // third of the queries under a per-query hard budget of half their
+  // own natural footprint. Needs no failpoints — pressure is the
+  // chaos. Invariants:
+  //   * every query terminal (done, possibly partial; or shed at
+  //     submission with kResourceExhausted);
+  //   * a hard-budgeted query finalizes early, and when the per-query
+  //     budget is what tripped, its recorded peak stayed at or under
+  //     the budget (the predictive bound);
+  //   * partials are strict prefixes of the ungoverned reference;
+  //   * no budget-counter leak: admission balanced, the governor's
+  //     global aggregate back to zero.
+  const datagen::TestCase& tc = ChaosCase();
+  constexpr size_t kQueries = 10;
+
+  // Calibrate each flavor solo under an unlimited budget tree: its
+  // natural peak, and its footprint at the *first* control point —
+  // the un-governable floor (the symmetric stores' upfront
+  // reservations land before any budget decision can run). A
+  // meaningful hard budget sits between the two; below the floor the
+  // recorded peak is the floor, not the budget.
+  std::map<size_t, storage::Relation> references;
+  uint64_t flavor_floor[4] = {0, 0, 0, 0};
+  uint64_t flavor_peak[4] = {0, 0, 0, 0};
+  uint64_t flavor_budget[4] = {0, 0, 0, 0};
+  uint64_t max_peak = 0;
+  for (size_t flavor = 0; flavor < 4; ++flavor) {
+    mem::BudgetNode root("calibrate");
+    {
+      mem::BudgetNode query("query", &root);
+      exec::RelationScan child(&tc.child);
+      exec::RelationScan parent(&tc.parent);
+      ParallelJoinOptions options = MakeOptions(tc, flavor);
+      options.memory_budget = &query;
+      uint64_t first_cp = 0;
+      options.governor = [&](const exec::parallel::EpochView& view) {
+        if (first_cp == 0) first_cp = view.memory_bytes;
+        return exec::parallel::EpochDirective::kProceed;
+      };
+      ParallelAdaptiveJoin join(&child, &parent, options);
+      auto result = exec::CollectAll(&join);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      references.emplace(flavor, std::move(*result));
+      flavor_floor[flavor] = first_cp;
+      flavor_peak[flavor] = std::max(root.peak(), join.memory_bytes());
+    }
+    ASSERT_GT(flavor_floor[flavor], 0u);
+    ASSERT_GT(flavor_peak[flavor], flavor_floor[flavor]);
+    // Midway between floor and peak: unfinishable, yet above the floor
+    // so the predictive bound can keep the recorded peak under it.
+    flavor_budget[flavor] =
+        flavor_floor[flavor] +
+        (flavor_peak[flavor] - flavor_floor[flavor]) / 2;
+    max_peak = std::max(max_peak, flavor_peak[flavor]);
+  }
+
+  // Global line at 1.5x one query's peak: three concurrent queries
+  // overshoot it, so admission holds, sheds, or pressure-reclaims.
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 3;
+  so.admission.max_total_shards = 6;
+  so.admission.global_memory_high_water_bytes = max_peak + max_peak / 2;
+  so.governor.finalize_youngest_on_pressure = true;
+  so.governor.poll_interval = std::chrono::milliseconds(2);
+  LinkageService service(so);
+
+  std::vector<std::unique_ptr<exec::RelationScan>> scans;
+  std::vector<QueryId> ids(kQueries, 0);
+  std::vector<bool> submitted(kQueries, false);
+  size_t shed = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.child));
+    scans.push_back(std::make_unique<exec::RelationScan>(&tc.parent));
+    QueryOptions qo;
+    qo.join = MakeOptions(tc, i);
+    // A third of the burst gets a hard budget it cannot finish under.
+    const bool hard_budgeted = i % 3 == 2;
+    if (hard_budgeted) qo.memory.hard_bytes = flavor_budget[i % 4];
+    auto id = service.Submit(scans[scans.size() - 2].get(),
+                             scans[scans.size() - 1].get(), qo);
+    if (!id.ok()) {
+      EXPECT_TRUE(id.status().IsResourceExhausted()) << id.status();
+      EXPECT_NE(id.status().ToString().find("global.high_water"),
+                std::string::npos);
+      ++shed;
+      continue;
+    }
+    ids[i] = *id;
+    submitted[i] = true;
+  }
+
+  size_t full = 0, partial = 0, hard_submitted = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    if (!submitted[i]) continue;
+    SCOPED_TRACE(testing::Message() << "query " << i);
+    auto stats = service.Wait(ids[i]);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_TRUE(IsTerminalState(stats->state));
+    // No faults are armed: pressure degrades, it never fails a query.
+    ASSERT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+    auto result = service.TakeResult(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const storage::Relation& reference = references.at(i % 4);
+    ASSERT_LE(result->size(), reference.size());
+    for (size_t r = 0; r < result->size(); ++r) {
+      ASSERT_EQ(result->row(r), reference.row(r)) << "row " << r;
+    }
+    if (i % 3 == 2) {
+      // Half its own peak is not survivable: governance intervened,
+      // well before the run could finish.
+      ++hard_submitted;
+      EXPECT_TRUE(stats->finalized_early);
+      EXPECT_LT(result->size(), reference.size());
+      ASSERT_TRUE(stats->resource.has_value());
+      if (stats->resource->site == resource_site::kQueryHardBudget) {
+        EXPECT_EQ(stats->resource->budget_bytes, flavor_budget[i % 4]);
+        // The predictive hard bound: the recorded peak never
+        // overshot the budget it was protecting.
+        EXPECT_LE(stats->resource->peak_bytes,
+                  stats->resource->budget_bytes);
+      } else {
+        // Pressure reclaim beat the per-query budget to it.
+        EXPECT_EQ(stats->resource->site, resource_site::kGlobalHighWater);
+      }
+    }
+    if (stats->finalized_early) {
+      ++partial;
+    } else {
+      // A reclaim flag that landed after the query's last control
+      // point leaves a report but no truncation; the result is still
+      // the full one.
+      ++full;
+      EXPECT_EQ(result->size(), reference.size());
+    }
+  }
+
+  // The burst actually ran under pressure: every hard-budgeted query
+  // that got in was cut to a partial, and nothing was lost — each of
+  // the ten submissions is accounted full, partial, or shed.
+  EXPECT_GE(partial, hard_submitted);
+  EXPECT_EQ(full + partial + shed, kQueries);
+  EXPECT_EQ(service.memory_shed_total(), shed);
+  // Budget-counter leak check: quiescent service, balanced admission,
+  // nothing left charged under the global root.
+  EXPECT_EQ(service.running_queries(), 0u);
+  EXPECT_EQ(service.queued_queries(), 0u);
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.governor()->used(), 0u);
+  EXPECT_GT(service.governor()->peak(), 0u);
 }
 
 TEST(ChaosStressTest, BackToBackBurstsOnOneServiceStayClean) {

@@ -1,0 +1,325 @@
+// Memory governance at the service boundary: the per-query Charge()
+// policy (reactive soft clamp, predictive hard finalize), effective
+// budget resolution, the budget tree hanging under the governor's
+// global root, and the three enforcement layers end to end — soft
+// budget clamps a query to exact-only, hard budget finalizes it early
+// with a strict-prefix partial and a ResourceReport, and the global
+// high-water sheds new submissions with kResourceExhausted while a
+// held query keeps the aggregate above the line.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "exec/stream.h"
+#include "service/linkage_service.h"
+#include "service/resource_governor.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+
+// ---------------------------------------------------------------------
+// Charge(): the per-control-point policy, pure function of the figures.
+
+TEST(ResourceGovernorTest, ChargeProceedsUnderBothBounds) {
+  MemoryBudgetOptions limits;
+  limits.soft_bytes = 1000;
+  limits.hard_bytes = 2000;
+  EXPECT_EQ(ResourceGovernor::Charge(500, 100, limits),
+            ResourceDecision::kProceed);
+}
+
+TEST(ResourceGovernorTest, ChargeSoftBoundIsReactive) {
+  MemoryBudgetOptions limits;
+  limits.soft_bytes = 1000;
+  // At the line counts as over it — the clamp is reactive.
+  EXPECT_EQ(ResourceGovernor::Charge(1000, 0, limits),
+            ResourceDecision::kClampExact);
+  EXPECT_EQ(ResourceGovernor::Charge(999, 0, limits),
+            ResourceDecision::kProceed);
+}
+
+TEST(ResourceGovernorTest, ChargeHardBoundIsPredictive) {
+  MemoryBudgetOptions limits;
+  limits.hard_bytes = 2000;
+  // Still under the budget, but one more epoch of the observed growth
+  // would cross it: finalize now so the peak never overshoots.
+  EXPECT_EQ(ResourceGovernor::Charge(1500, 600, limits),
+            ResourceDecision::kFinalizePartial);
+  EXPECT_EQ(ResourceGovernor::Charge(1500, 400, limits),
+            ResourceDecision::kProceed);
+}
+
+TEST(ResourceGovernorTest, ChargeHardWinsOverSoft) {
+  MemoryBudgetOptions limits;
+  limits.soft_bytes = 1000;
+  limits.hard_bytes = 1200;
+  // Over both: the hard bound's finalize takes precedence over the
+  // soft bound's clamp.
+  EXPECT_EQ(ResourceGovernor::Charge(1300, 100, limits),
+            ResourceDecision::kFinalizePartial);
+}
+
+TEST(ResourceGovernorTest, ChargeZeroDisablesEachBound) {
+  MemoryBudgetOptions none;
+  EXPECT_EQ(ResourceGovernor::Charge(1u << 30, 1u << 20, none),
+            ResourceDecision::kProceed);
+  MemoryBudgetOptions soft_only;
+  soft_only.soft_bytes = 100;
+  EXPECT_EQ(ResourceGovernor::Charge(1u << 30, 1u << 20, soft_only),
+            ResourceDecision::kClampExact);
+}
+
+TEST(ResourceGovernorTest, ResourceDecisionNames) {
+  EXPECT_STREQ(ResourceDecisionName(ResourceDecision::kProceed), "proceed");
+  EXPECT_STREQ(ResourceDecisionName(ResourceDecision::kClampExact),
+               "clamp_exact");
+  EXPECT_STREQ(ResourceDecisionName(ResourceDecision::kFinalizePartial),
+               "finalize_partial");
+}
+
+TEST(ResourceGovernorTest, EffectiveBudgetFallsBackPerField) {
+  ResourceGovernorOptions options;
+  options.default_query_budget.soft_bytes = 111;
+  options.default_query_budget.hard_bytes = 222;
+  ResourceGovernor governor(options);
+
+  MemoryBudgetOptions unset;
+  EXPECT_EQ(governor.EffectiveBudget(unset).soft_bytes, 111u);
+  EXPECT_EQ(governor.EffectiveBudget(unset).hard_bytes, 222u);
+
+  MemoryBudgetOptions partial;
+  partial.hard_bytes = 999;  // own hard, default soft
+  EXPECT_EQ(governor.EffectiveBudget(partial).soft_bytes, 111u);
+  EXPECT_EQ(governor.EffectiveBudget(partial).hard_bytes, 999u);
+}
+
+TEST(ResourceGovernorTest, QueryNodesAggregateUnderTheGlobalRoot) {
+  ResourceGovernor governor(ResourceGovernorOptions{});
+  EXPECT_EQ(governor.used(), 0u);
+  {
+    auto q1 = governor.MakeQueryNode(1);
+    auto q2 = governor.MakeQueryNode(2);
+    q1->Refresh(1000);
+    q2->Refresh(500);
+    EXPECT_EQ(governor.used(), 1500u);
+    EXPECT_GE(governor.peak(), 1500u);
+    q1.reset();
+    EXPECT_EQ(governor.used(), 500u);
+  }
+  // All query nodes gone: nothing left charged globally.
+  EXPECT_EQ(governor.used(), 0u);
+  EXPECT_GE(governor.peak(), 1500u);
+}
+
+// ---------------------------------------------------------------------
+// Service integration.
+
+const datagen::TestCase& PaperCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.pattern = datagen::PerturbationPattern::kFewHighIntensityRegions;
+    options.perturb_parent = false;
+    options.variant_rate = 0.10;
+    options.atlas.size = 400;
+    options.accidents.size = 800;
+    options.seed = 20090326;
+    auto generated = datagen::GenerateTestCase(options);
+    EXPECT_TRUE(generated.ok());
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+ParallelJoinOptions BaseJoinOptions(const datagen::TestCase& tc) {
+  ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.base.adaptive.delta_adapt = 50;
+  options.base.adaptive.window = 50;
+  options.num_shards = 2;
+  return options;
+}
+
+storage::Relation SoloRun(const datagen::TestCase& tc,
+                          ParallelJoinOptions options) {
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ParallelAdaptiveJoin join(&child, &parent, options);
+  auto result = exec::CollectAll(&join);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+ServiceOptions SmallService() {
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 4;
+  return so;
+}
+
+TEST(ResourceGovernorServiceTest, UngovernedQueryReportsMemoryNoResource) {
+  const datagen::TestCase& tc = PaperCase();
+  LinkageService service(SmallService());
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  // Satellite fix: even without any budget the service reports the
+  // engine's real footprint (previously zero for parallel runs).
+  EXPECT_GT(stats->memory_bytes, 0u);
+  EXPECT_GE(stats->peak_memory_bytes, stats->memory_bytes);
+  EXPECT_FALSE(stats->memory_clamped);
+  EXPECT_FALSE(stats->resource.has_value());
+  EXPECT_EQ(stats->attempts, 1u);
+  EXPECT_EQ(stats->retries, 0u);
+  // No budget, no high-water: the query never hung under the tree.
+  EXPECT_EQ(service.governor()->used(), 0u);
+  EXPECT_EQ(service.governor()->peak(), 0u);
+}
+
+TEST(ResourceGovernorServiceTest, SoftBudgetClampsToExactOnly) {
+  const datagen::TestCase& tc = PaperCase();
+  LinkageService service(SmallService());
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.memory.soft_bytes = 1;  // over from the first control point on
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  // The clamp degrades match quality, never terminates the query: it
+  // runs its whole input in the cheapest exact state.
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_TRUE(stats->memory_clamped);
+  EXPECT_TRUE(stats->forced_exact);
+  EXPECT_FALSE(stats->finalized_early);
+  EXPECT_FALSE(stats->resource.has_value());
+  EXPECT_EQ(stats->final_state, adaptive::ProcessorState::kLexRex);
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->size(), 0u);
+  EXPECT_EQ(service.governor()->used(), 0u);
+}
+
+TEST(ResourceGovernorServiceTest, HardBudgetFinalizesEarlyWithStrictPrefix) {
+  const datagen::TestCase& tc = PaperCase();
+  const storage::Relation reference = SoloRun(tc, BaseJoinOptions(tc));
+  ASSERT_GT(reference.size(), 0u);
+
+  ServiceOptions so = SmallService();
+  // Service-wide default budget; the query sets none of its own.
+  so.governor.default_query_budget.hard_bytes = 4096;
+  LinkageService service(so);
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  // Early finalization is the hard deadline's path: done, partial.
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_TRUE(stats->finalized_early);
+  ASSERT_TRUE(stats->resource.has_value());
+  EXPECT_EQ(stats->resource->site, resource_site::kQueryHardBudget);
+  EXPECT_EQ(stats->resource->budget_bytes, 4096u);
+  EXPECT_TRUE(stats->resource->status.IsResourceExhausted());
+  EXPECT_NE(stats->resource->status.ToString().find("query.hard_budget"),
+            std::string::npos);
+  EXPECT_LE(stats->completeness.ratio, 1.0);
+
+  // The partial is a strict prefix of the untruncated run's rows.
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_LT(result->size(), reference.size());
+  for (size_t i = 0; i < result->size(); ++i) {
+    ASSERT_EQ(result->row(i), reference.row(i)) << "row " << i;
+  }
+  EXPECT_EQ(service.governor()->used(), 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+}
+
+TEST(ResourceGovernorServiceTest, GlobalHighWaterShedsSubmissions) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  const datagen::TestCase& tc = PaperCase();
+  fail::DisarmAll();
+  // Watchdog enabled (large stall tolerance — it must never fire) so
+  // the stall probe can hold query 1 at a charged control point while
+  // the high-water is tested against query 2's submission.
+  ServiceOptions so = SmallService();
+  so.governor.stall_timeout = std::chrono::seconds(30);
+  so.admission.global_memory_high_water_bytes = 1;
+  LinkageService service(so);
+
+  fail::Arm(fail::site::kWatchdogStall,
+            fail::Policy::Once(Status::Unavailable("hold this control point")));
+  exec::RelationScan child1(&tc.child);
+  exec::RelationScan parent1(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  auto held = service.Submit(&child1, &parent1, qo);
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+
+  // Wait until query 1 holds at its first control point with its tree
+  // charged — from then on the global aggregate sits above the line.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.governor()->used() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(service.governor()->used(), 0u) << "query never charged the tree";
+
+  exec::RelationScan child2(&tc.child);
+  exec::RelationScan parent2(&tc.parent);
+  auto shed = service.Submit(&child2, &parent2, qo);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().ToString().find("global.high_water"),
+            std::string::npos);
+  EXPECT_EQ(service.memory_shed_total(), 1u);
+
+  // Release the held query; its cancel flag breaks the hold loop.
+  ASSERT_TRUE(service.Cancel(*held).ok());
+  auto stats = service.Wait(*held);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kCancelled);
+  EXPECT_EQ(service.watchdog_finalized_total(), 0u);
+  EXPECT_EQ(service.governor()->used(), 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  fail::DisarmAll();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

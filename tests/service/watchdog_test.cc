@@ -1,0 +1,306 @@
+// The stuck-query watchdog and whole-query retry. A deterministically
+// stalled query (the `watchdog.stall` failpoint holds its control
+// point with a stale heartbeat) must be detected and force-finalized
+// with the strict-prefix partial it has merged, while a healthy slow
+// query under a generous tolerance must never trip it. Recoverably
+// failed attempts (kUnavailable/kIOError) retry with exponential
+// backoff and land byte-identical to an undisturbed run; exhausted
+// retries and non-recoverable failures stay failed on the first try.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/generator.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/scan.h"
+#include "exec/stream.h"
+#include "service/linkage_service.h"
+
+namespace aqp {
+namespace service {
+namespace {
+
+using exec::parallel::ParallelAdaptiveJoin;
+using exec::parallel::ParallelJoinOptions;
+
+const datagen::TestCase& PaperCase() {
+  static const datagen::TestCase* tc = [] {
+    datagen::TestCaseOptions options;
+    options.pattern = datagen::PerturbationPattern::kFewHighIntensityRegions;
+    options.perturb_parent = false;
+    options.variant_rate = 0.10;
+    options.atlas.size = 400;
+    options.accidents.size = 800;
+    options.seed = 20090326;
+    auto generated = datagen::GenerateTestCase(options);
+    EXPECT_TRUE(generated.ok());
+    return new datagen::TestCase(std::move(*generated));
+  }();
+  return *tc;
+}
+
+ParallelJoinOptions BaseJoinOptions(const datagen::TestCase& tc) {
+  ParallelJoinOptions options;
+  options.base.join.spec.left_column = datagen::kAccidentsLocationColumn;
+  options.base.join.spec.right_column = datagen::kAtlasLocationColumn;
+  options.base.join.spec.sim_threshold = 0.85;
+  options.base.adaptive.parent_side = exec::Side::kRight;
+  options.base.adaptive.parent_table_size = tc.parent.size();
+  options.base.adaptive.delta_adapt = 50;
+  options.base.adaptive.window = 50;
+  options.num_shards = 2;
+  return options;
+}
+
+storage::Relation SoloRun(const datagen::TestCase& tc,
+                          ParallelJoinOptions options) {
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  ParallelAdaptiveJoin join(&child, &parent, options);
+  auto result = exec::CollectAll(&join);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+ServiceOptions SmallService() {
+  ServiceOptions so;
+  so.worker_threads = 2;
+  so.admission.max_concurrent_queries = 2;
+  so.admission.max_total_shards = 4;
+  return so;
+}
+
+/// Scoped disarm-on-exit, so a failing assertion cannot leak an armed
+/// site into the next test.
+struct FailpointGuard {
+  FailpointGuard() { fail::DisarmAll(); }
+  ~FailpointGuard() { fail::DisarmAll(); }
+};
+
+TEST(WatchdogTest, ForceFinalizesADeterministicallyStalledQuery) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  const storage::Relation reference = SoloRun(tc, BaseJoinOptions(tc));
+
+  ServiceOptions so = SmallService();
+  so.governor.stall_timeout = std::chrono::milliseconds(50);
+  so.governor.poll_interval = std::chrono::milliseconds(2);
+  LinkageService service(so);
+
+  // The stall probe holds the first governed control point with the
+  // heartbeat going stale; the watchdog must notice within the
+  // tolerance and force-finalize.
+  fail::Arm(fail::site::kWatchdogStall,
+            fail::Policy::Once(Status::Unavailable("stall here")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+
+  // Force-finalization is graceful degradation, not failure: the query
+  // is done, with the strict-prefix partial it had merged.
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_TRUE(stats->finalized_early);
+  ASSERT_TRUE(stats->resource.has_value());
+  EXPECT_EQ(stats->resource->site, resource_site::kWatchdogStall);
+  EXPECT_EQ(stats->resource->budget_bytes, 0u);
+  EXPECT_TRUE(stats->resource->status.IsUnavailable());
+  EXPECT_NE(stats->resource->status.ToString().find("watchdog.stall"),
+            std::string::npos);
+  EXPECT_EQ(service.watchdog_finalized_total(), 1u);
+
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_LT(result->size(), reference.size());
+  for (size_t i = 0; i < result->size(); ++i) {
+    ASSERT_EQ(result->row(i), reference.row(i)) << "row " << i;
+  }
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  EXPECT_EQ(service.governor()->used(), 0u);
+}
+
+TEST(WatchdogTest, NeverFiresOnAHealthySlowQuery) {
+  const datagen::TestCase& tc = PaperCase();
+  ServiceOptions so = SmallService();
+  // Tight poll, generous tolerance: every control point and drain
+  // iteration re-stamps the heartbeat, so a query that is merely slow
+  // (thousands of times slower than the poll) never goes stale.
+  so.governor.stall_timeout = std::chrono::seconds(30);
+  so.governor.poll_interval = std::chrono::milliseconds(1);
+  LinkageService service(so);
+
+  const storage::Relation reference = SoloRun(tc, BaseJoinOptions(tc));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.drain_batch = 16;  // many drain iterations, each re-stamping
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_FALSE(stats->finalized_early);
+  EXPECT_FALSE(stats->resource.has_value());
+  EXPECT_EQ(service.watchdog_finalized_total(), 0u);
+
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(result->row(i), reference.row(i)) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Whole-query retry.
+
+TEST(WatchdogRetryTest, RetriesARecoverablyFailedAttempt) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  const storage::Relation reference = SoloRun(tc, BaseJoinOptions(tc));
+  LinkageService service(SmallService());
+
+  // First attempt dies on a transient source failure; the second runs
+  // against the recovered (disarmed) source and must be byte-identical
+  // to an undisturbed run — re-execution is idempotent.
+  fail::Arm(fail::site::kScanNext,
+            fail::Policy::Once(Status::Unavailable("transient scan fault")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.retry.max_retries = 2;
+  qo.retry.backoff_base = std::chrono::milliseconds(1);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_EQ(stats->attempts, 2u);
+  EXPECT_EQ(stats->retries, 1u);
+  EXPECT_FALSE(stats->finalized_early);
+
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(result->row(i), reference.row(i)) << "row " << i;
+  }
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+}
+
+TEST(WatchdogRetryTest, ExhaustsRetriesAndStaysFailed) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  LinkageService service(SmallService());
+
+  // Every attempt fails: 1 initial + 2 retries, then terminal failed.
+  fail::Arm(fail::site::kScanNext,
+            fail::Policy::WithProbability(
+                1.0, 7, Status::Unavailable("source stays down")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.retry.max_retries = 2;
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kFailed);
+  EXPECT_TRUE(stats->status.IsUnavailable()) << stats->status.ToString();
+  EXPECT_EQ(stats->attempts, 3u);
+  EXPECT_EQ(stats->retries, 2u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+  EXPECT_EQ(service.governor()->used(), 0u);
+}
+
+TEST(WatchdogRetryTest, DoesNotRetryNonRecoverableFailures) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  LinkageService service(SmallService());
+
+  // An invariant violation is a bug, not weather — retrying would just
+  // re-run the bug. One attempt, terminal failed.
+  fail::Arm(fail::site::kScanNext,
+            fail::Policy::Once(Status::Internal("invariant violated")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.retry.max_retries = 5;
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kFailed);
+  EXPECT_EQ(stats->attempts, 1u);
+  EXPECT_EQ(stats->retries, 0u);
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+}
+
+TEST(WatchdogRetryTest, CancelInterruptsRetryBackoff) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  LinkageService service(SmallService());
+
+  // Attempts always fail; the backoff between them is far longer than
+  // the test. Cancel() must cut the sleep short, not wait it out.
+  fail::Arm(fail::site::kScanNext,
+            fail::Policy::WithProbability(
+                1.0, 11, Status::Unavailable("source stays down")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.retry.max_retries = 10;
+  qo.retry.backoff_base = std::chrono::seconds(30);
+  const auto begun = std::chrono::steady_clock::now();
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  // Give the first attempt a moment to fail and enter backoff, then
+  // cancel. (If the cancel happens to land mid-attempt instead, the
+  // governor path also honors it — either way terminal is prompt.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(service.Cancel(*id).ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kCancelled);
+  EXPECT_LT(std::chrono::steady_clock::now() - begun,
+            std::chrono::seconds(20));
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aqp

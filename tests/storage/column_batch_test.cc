@@ -147,6 +147,39 @@ TEST(ColumnBatchTest, ValidateCatchesMisalignedColumns) {
   EXPECT_FALSE(no_schema.Validate().ok());
 }
 
+TEST(ColumnBatchTest, ApproximateMemoryUsageTracksAppends) {
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 8);
+  const uint64_t empty = batch.ApproximateMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    batch.AppendTupleRow(
+        Tuple{Value(i), Value("a string of some length " + std::to_string(i)),
+              Value(0.5 * i)});
+  }
+  const uint64_t filled = batch.ApproximateMemoryUsage();
+  // 100 rows × (~25B string arena + 8B i64 + 8B f64 + null lanes).
+  EXPECT_GT(filled, empty + 100 * 30);
+  batch.ComputeKeyHashes(1);
+  // The hash lane is 8 bytes per row on top.
+  EXPECT_GE(batch.ApproximateMemoryUsage(), filled + 100 * 8);
+}
+
+TEST(ColumnBatchTest, ApproximateMemoryUsageIsCapacityBasedAcrossReset) {
+  // Capacity accounting (matching TupleStore/QGramIndex): a Reset keeps
+  // the retained allocations, and the figure must say so rather than
+  // dropping to near zero while the arena still holds its buffers.
+  Schema schema = TestSchema();
+  ColumnBatch batch(&schema, 8);
+  for (int i = 0; i < 64; ++i) {
+    batch.AppendTupleRow(Tuple{Value(i), Value("payload payload payload"),
+                               Value(1.0)});
+  }
+  const uint64_t filled = batch.ApproximateMemoryUsage();
+  batch.Reset(&schema);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_GE(batch.ApproximateMemoryUsage(), filled / 2);
+}
+
 TEST(ColumnBatchTest, ToStringShowsRowsAndTruncates) {
   Schema schema({{"x", ValueType::kInt64}});
   ColumnBatch batch(&schema, 8);
