@@ -347,6 +347,14 @@ EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
     // Forecast the next epoch's allocation as 2x the largest jump seen:
     // the stores grow by capacity doubling, and a container that
     // doubled before adds exactly twice that when it doubles again.
+    // The first charge deliberately counts the whole upfront footprint
+    // as one jump, so a hard budget under 3x the first-control-point
+    // floor finalizes right there. That is aggressive for queries that
+    // would have stayed flat, but it is what keeps the recorded peak
+    // at or under the budget when the next control point is far away
+    // (or never comes): a query can blow through its whole remaining
+    // headroom in the very first epoch after the baseline, and a
+    // delta-only forecast would not see it coming.
     switch (ResourceGovernor::Charge(used, 2 * q->max_growth_bytes,
                                      q->memory)) {
       case ResourceDecision::kFinalizePartial: {
@@ -398,6 +406,10 @@ void LinkageService::MonitorLoop() {
         continue;
       }
       if (q->stall_timeout.count() <= 0) continue;
+      // Between attempts the runner sleeps in retry backoff with the
+      // heartbeat parked at the failed attempt's last control point —
+      // idle by design, not stalled.
+      if (q->backing_off) continue;
       const int64_t heartbeat = q->heartbeat_ns.load(std::memory_order_relaxed);
       if (heartbeat == 0) continue;  // not yet started pumping
       if (now_ns - heartbeat < q->stall_timeout.count()) continue;
@@ -428,10 +440,13 @@ void LinkageService::MonitorLoop() {
       // Reclaim the *youngest* governed query: a greedy late arrival
       // gives back its memory instead of evicting older neighbors.
       // Draining queries are exempt — they already stopped consuming
-      // input, so flagging them frees nothing sooner.
+      // input, so flagging them frees nothing sooner. Backing-off
+      // queries likewise: the failed attempt's engine is already torn
+      // down, so their footprint is gone.
       QueryRecord* youngest = nullptr;
       for (auto& [id, q] : queries_) {  // ascending id; last match wins
-        if (q->state == QueryState::kRunning && q->budget_node != nullptr &&
+        if (q->state == QueryState::kRunning && !q->backing_off &&
+            q->budget_node != nullptr &&
             !q->force_finalize.load(std::memory_order_relaxed)) {
           youngest = q.get();
         }
@@ -491,14 +506,16 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
     // (the result is already materialized, the stats just harvested).
     q->join.reset();
   }
-  // The engine's shard/coordinator nodes (children) died with the
-  // join; dropping the query node now releases this query's footprint
-  // from the global aggregate — which may clear the high-water for
-  // queued work, so it must happen before the notify below.
-  q->budget_node.reset();
-  q->heartbeat_ns.store(0, std::memory_order_relaxed);
   stats.elapsed = std::chrono::steady_clock::now() - q->started;
   std::lock_guard<std::mutex> lock(mu_);
+  // The engine's shard/coordinator nodes (children) died with the
+  // join; dropping the query node releases this query's footprint
+  // from the global aggregate. It must happen under mu_ — the monitor
+  // dereferences budget_node for running queries while holding mu_,
+  // and the query is still kRunning/kDraining here — and before the
+  // notify below, which may clear the high-water for queued work.
+  q->budget_node.reset();
+  q->heartbeat_ns.store(0, std::memory_order_relaxed);
   stats.memory_clamped = q->memory_clamped;
   stats.attempts = std::max<uint64_t>(1, q->attempts);
   stats.retries = stats.attempts - 1;
@@ -637,11 +654,27 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
       const auto base = q->options.retry.backoff_base;
       if (base.count() > 0) {
         // Exponential backoff, interruptible by Cancel() and shutdown.
-        const auto delay = base * (int64_t{1} << (attempt - 1));
+        // The exponent is clamped: max_retries is caller-controlled,
+        // and an unclamped shift would overflow the chrono arithmetic
+        // (and hit UB at 63) long before that many attempts matter.
+        const unsigned shift =
+            static_cast<unsigned>(std::min<size_t>(attempt - 1, 20));
+        const auto delay = base * (int64_t{1} << shift);
+        // The heartbeat is idle during the sleep, not stalled; the
+        // flag (guarded by mu_, like the watchdog's scan) keeps the
+        // monitor from force-finalizing a healthy retrying query whose
+        // backoff outlasts its stall tolerance.
+        q->backing_off = true;
         state_changed_.wait_for(lock, delay, [this, q] {
           return shutdown_ ||
                  q->cancel_requested.load(std::memory_order_relaxed);
         });
+        // Restamp before clearing the flag, still under mu_, so the
+        // stall clock restarts at backoff exit rather than at the
+        // failed attempt's last control point — no window where the
+        // monitor sees an un-flagged query with a pre-sleep heartbeat.
+        StampHeartbeat(q);
+        q->backing_off = false;
       }
     }
     if (q->cancel_requested.load(std::memory_order_relaxed)) {

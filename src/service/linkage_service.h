@@ -172,8 +172,17 @@ class LinkageService {
     /// (runner-owned). The forecast is 2x the max growth: capacity-
     /// doubling containers allocate exactly twice their previous jump
     /// when they next double, so last-epoch growth alone underpredicts.
+    /// The first charge counts the whole upfront footprint as one
+    /// jump — aggressive near the floor, but it is what keeps the
+    /// recorded peak under the budget when no later control point
+    /// arrives in time (see Govern).
     uint64_t prev_charge_bytes = 0;
     uint64_t max_growth_bytes = 0;
+    /// True while the runner sleeps in retry backoff between attempts
+    /// (guarded by mu_): the heartbeat is idle there by design, so the
+    /// watchdog skips the query, and pressure reclaim too — the failed
+    /// attempt's engine is already torn down, so it holds no memory.
+    bool backing_off = false;
     std::chrono::steady_clock::time_point started{};
 
     /// Effective per-query budget and stall tolerance (query override,

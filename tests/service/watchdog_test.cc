@@ -208,6 +208,53 @@ TEST(WatchdogRetryTest, RetriesARecoverablyFailedAttempt) {
   EXPECT_EQ(service.shards_in_use(), 0u);
 }
 
+TEST(WatchdogRetryTest, BackoffLongerThanStallToleranceIsNotAStall) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  FailpointGuard guard;
+  const datagen::TestCase& tc = PaperCase();
+  const storage::Relation reference = SoloRun(tc, BaseJoinOptions(tc));
+
+  // Watchdog armed with a tolerance well below the retry backoff: the
+  // heartbeat is parked at the failed attempt's last control point for
+  // the whole sleep, so without the backing-off exemption the monitor
+  // would force-finalize a healthy retrying query — and the sticky
+  // flag would then cut the recovered second attempt to a near-empty
+  // partial labeled watchdog.stall.
+  ServiceOptions so = SmallService();
+  so.governor.stall_timeout = std::chrono::milliseconds(100);
+  so.governor.poll_interval = std::chrono::milliseconds(2);
+  LinkageService service(so);
+
+  fail::Arm(fail::site::kScanNext,
+            fail::Policy::Once(Status::Unavailable("transient scan fault")));
+  exec::RelationScan child(&tc.child);
+  exec::RelationScan parent(&tc.parent);
+  QueryOptions qo;
+  qo.join = BaseJoinOptions(tc);
+  qo.retry.max_retries = 2;
+  qo.retry.backoff_base = std::chrono::milliseconds(400);
+  auto id = service.Submit(&child, &parent, qo);
+  ASSERT_TRUE(id.ok());
+  auto stats = service.Wait(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->state, QueryState::kDone) << stats->status.ToString();
+  EXPECT_EQ(stats->attempts, 2u);
+  EXPECT_FALSE(stats->finalized_early);
+  EXPECT_FALSE(stats->resource.has_value());
+  EXPECT_EQ(service.watchdog_finalized_total(), 0u);
+
+  auto result = service.TakeResult(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(result->row(i), reference.row(i)) << "row " << i;
+  }
+  EXPECT_EQ(service.admitted_total(), service.released_total());
+  EXPECT_EQ(service.shards_in_use(), 0u);
+}
+
 TEST(WatchdogRetryTest, ExhaustsRetriesAndStaysFailed) {
   if (!fail::kCompiledIn) {
     GTEST_SKIP() << "failpoints compiled out";
