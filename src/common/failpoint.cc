@@ -1,8 +1,9 @@
 #include "common/failpoint.h"
 
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace aqp {
 namespace fail {
@@ -25,9 +26,11 @@ struct SiteState {
   uint64_t fires = 0;
 };
 
+// Lock hierarchy: `mu` is a leaf — failpoint evaluation happens inside
+// arbitrary engine code, so nothing else may ever be acquired under it.
 struct RegistryImpl {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteState> sites;
+  sync::Mutex mu{"failpoint.registry.mu"};
+  std::unordered_map<std::string, SiteState> sites AQP_GUARDED_BY(mu);
   // Count of armed sites, mirrored into an atomic so the hot path can
   // skip the mutex entirely when nothing is armed.
   std::atomic<size_t> armed_count{0};
@@ -43,7 +46,7 @@ RegistryImpl& Registry() {
 // OK status <=> no fire.
 std::pair<Status, bool> Evaluate(const char* site) {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end() || !it->second.armed) {
     return {Status::OK(), false};
@@ -87,7 +90,7 @@ std::vector<std::string> KnownSites() {
 
 void Arm(const std::string& site, Policy policy) {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   SiteState& state = reg.sites[site];
   if (!state.armed) {
     reg.armed_count.fetch_add(1, std::memory_order_relaxed);
@@ -101,7 +104,7 @@ void Arm(const std::string& site, Policy policy) {
 
 bool Disarm(const std::string& site) {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end() || !it->second.armed) return false;
   it->second.armed = false;
@@ -111,21 +114,21 @@ bool Disarm(const std::string& site) {
 
 void DisarmAll() {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   reg.sites.clear();
   reg.armed_count.store(0, std::memory_order_relaxed);
 }
 
 uint64_t Hits(const std::string& site) {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 uint64_t Fires(const std::string& site) {
   RegistryImpl& reg = Registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  sync::MutexLock lock(&reg.mu);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.fires;
 }

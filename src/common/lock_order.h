@@ -1,0 +1,80 @@
+#ifndef AQP_COMMON_LOCK_ORDER_H_
+#define AQP_COMMON_LOCK_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// Debug-only runtime lock-order (deadlock-potential) detector, hooked
+/// into sync::Mutex. Every acquisition records directed edges from all
+/// locks the acquiring thread already holds to the lock being taken;
+/// the edges accumulate in one global acquired-order graph. An
+/// acquisition whose new edge would close a cycle is a lock-order
+/// inversion — some interleaving of the participating threads
+/// deadlocks — and aborts the process immediately with both offending
+/// acquisition stacks, instead of hanging only on the unlucky schedule.
+/// This covers the dynamic deadlock class that the static
+/// -Wthread-safety annotations cannot express (the analysis has no
+/// inter-procedural lock ordering).
+///
+/// AQP_LOCK_ORDER gates the whole detector: 1 compiles the hooks and
+/// per-mutex bookkeeping in (the default in Debug builds), 0 compiles
+/// every hook to nothing and removes the per-mutex id field (the
+/// default under NDEBUG), so Release builds pay zero cost — verified
+/// by the bench smokes and the compiled-out guard in
+/// tests/common/lock_order_test.cc.
+
+#ifndef AQP_LOCK_ORDER
+#ifdef NDEBUG
+#define AQP_LOCK_ORDER 0
+#else
+#define AQP_LOCK_ORDER 1
+#endif
+#endif
+
+namespace aqp {
+namespace sync {
+namespace lock_order {
+
+/// True iff the detector is compiled into this build.
+inline constexpr bool kEnabled = AQP_LOCK_ORDER != 0;
+
+#if AQP_LOCK_ORDER
+
+/// Registers a lock and returns its stable id. `name` is kept for
+/// diagnostics and must outlive the lock (string literals only).
+uint64_t Register(const char* name);
+
+/// Forgets a destroyed lock: its graph node, every edge touching it,
+/// and its name. Ids are never reused, so a dangling id in another
+/// thread's transient state cannot alias a new lock.
+void Unregister(uint64_t id);
+
+/// Called BEFORE blocking on the lock, so an actual A/B deadlock
+/// aborts with a report instead of hanging. Records held→id edges,
+/// runs cycle detection, and aborts (after printing the current stack,
+/// the held-lock stacks, and the first-seen stack of the conflicting
+/// edge) on inversion or on same-thread recursive acquisition.
+void BeforeAcquire(uint64_t id);
+
+/// Called after the lock is held: pushes it on the thread's held
+/// stack.
+void AfterAcquire(uint64_t id);
+
+/// Called before releasing: pops the lock from the thread's held stack
+/// (out-of-order release is fine).
+void BeforeRelease(uint64_t id);
+
+/// Number of distinct order edges recorded so far (test observability).
+size_t EdgeCountForTest();
+
+/// Locks currently held by the calling thread (test observability).
+size_t HeldCountForTest();
+
+#endif  // AQP_LOCK_ORDER
+
+}  // namespace lock_order
+}  // namespace sync
+}  // namespace aqp
+
+#endif  // AQP_COMMON_LOCK_ORDER_H_

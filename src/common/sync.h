@@ -1,0 +1,227 @@
+#ifndef AQP_COMMON_SYNC_H_
+#define AQP_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.h"
+
+/// \file
+/// Annotated synchronization primitives: thin wrappers over the std
+/// primitives that carry Clang thread-safety-analysis attributes, so
+/// the lock discipline every concurrent subsystem documents in
+/// comments is checked by the compiler on every clang build
+/// (-Wthread-safety -Werror=thread-safety in CI; the macros compile to
+/// nothing on GCC). Debug builds additionally thread every
+/// Lock/Unlock through the runtime lock-order detector
+/// (common/lock_order.h), which catches the dynamic deadlock class the
+/// static analysis cannot express.
+///
+/// Conventions (see README "Static analysis"):
+///   * every field protected by a mutex is declared
+///     `AQP_GUARDED_BY(mu_)`;
+///   * every private method that must be called with the lock held is
+///     annotated `AQP_REQUIRES(mu_)` (and named ...Locked);
+///   * condition waits are explicit `while (!cond) cv_.Wait(mu_);`
+///     loops, never predicate lambdas — the analysis checks lambda
+///     bodies as separate functions and cannot see the caller's locks;
+///   * `AQP_NO_THREAD_SAFETY_ANALYSIS` is an escape of last resort and
+///     must carry a justifying comment (zero uses in service/).
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety attribute macros (no-ops on other compilers).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define AQP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AQP_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex class).
+#define AQP_CAPABILITY(x) AQP_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define AQP_SCOPED_CAPABILITY AQP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The field/variable may only be accessed while holding the given
+/// capability.
+#define AQP_GUARDED_BY(x) AQP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data *pointed to* by the field may only be accessed while
+/// holding the given capability.
+#define AQP_PT_GUARDED_BY(x) AQP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the given
+/// capabilities.
+#define AQP_REQUIRES(...) \
+  AQP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AQP_REQUIRES_SHARED(...) \
+  AQP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capabilities (its own
+/// `this` when the argument list is empty).
+#define AQP_ACQUIRE(...) \
+  AQP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AQP_ACQUIRE_SHARED(...) \
+  AQP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define AQP_RELEASE(...) \
+  AQP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AQP_RELEASE_SHARED(...) \
+  AQP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given
+/// value.
+#define AQP_TRY_ACQUIRE(...) \
+  AQP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the given
+/// capabilities (documents non-reentrancy of self-locking methods).
+#define AQP_EXCLUDES(...) AQP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define AQP_ASSERT_CAPABILITY(x) AQP_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define AQP_RETURN_CAPABILITY(x) AQP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Lock-ordering documentation hooks (checked by the runtime detector,
+/// advisory for the static analysis).
+#define AQP_ACQUIRED_BEFORE(...) \
+  AQP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define AQP_ACQUIRED_AFTER(...) \
+  AQP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function. Requires a
+/// comment justifying why the invariant holds anyway.
+#define AQP_NO_THREAD_SAFETY_ANALYSIS \
+  AQP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace aqp {
+namespace sync {
+
+class CondVar;
+
+/// \brief Annotated std::mutex: the capability the analysis tracks.
+///
+/// In Debug builds every acquisition and release also feeds the
+/// runtime lock-order detector; name the mutex at construction so
+/// inversion reports read as "service.mu -> pool.mutex" instead of
+/// opaque ids. Release builds carry no id field and no hook calls.
+class AQP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : Mutex("mutex") {}
+  explicit Mutex(const char* name) {
+#if AQP_LOCK_ORDER
+    id_ = lock_order::Register(name);
+#else
+    (void)name;
+#endif
+  }
+  ~Mutex() {
+#if AQP_LOCK_ORDER
+    lock_order::Unregister(id_);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AQP_ACQUIRE() {
+#if AQP_LOCK_ORDER
+    lock_order::BeforeAcquire(id_);
+#endif
+    mu_.lock();
+#if AQP_LOCK_ORDER
+    lock_order::AfterAcquire(id_);
+#endif
+  }
+
+  void Unlock() AQP_RELEASE() {
+#if AQP_LOCK_ORDER
+    lock_order::BeforeRelease(id_);
+#endif
+    mu_.unlock();
+  }
+
+  /// Never blocks, so it cannot deadlock: the detector records the
+  /// hold but runs no order check (try-lock is the sanctioned way to
+  /// take locks against the recorded order).
+  bool TryLock() AQP_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if AQP_LOCK_ORDER
+    lock_order::AfterAcquire(id_);
+#endif
+    return true;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+#if AQP_LOCK_ORDER
+  uint64_t id_ = 0;
+#endif
+};
+
+/// \brief RAII scoped acquisition of a Mutex.
+class AQP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) AQP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() AQP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to sync::Mutex.
+///
+/// Deliberately predicate-free: callers write explicit
+/// `while (!cond) cv.Wait(mu);` loops so every guarded read sits in an
+/// analysis-visible context (a lambda predicate would be analyzed as a
+/// lock-free separate function and flagged). The mutex is released
+/// and re-acquired by the underlying std wait without re-running the
+/// lock-order hooks: the thread re-acquires a lock it already ordered,
+/// which adds no new edges.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) AQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Returns false iff the deadline passed (callers re-check their
+  /// condition either way).
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      AQP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Returns false iff the timeout elapsed.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) AQP_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sync
+}  // namespace aqp
+
+#endif  // AQP_COMMON_SYNC_H_

@@ -27,18 +27,6 @@ Status RunTaskContained(const std::function<void()>& task) {
   }
 }
 
-/// Records `status` as the group's sticky error. Caller holds the
-/// pool mutex. First error wins; the group's remaining tasks still run
-/// (completion accounting stays uniform; callers discard their output
-/// on error).
-void RecordTaskResultLocked(internal::TaskGroup* group, size_t task_index,
-                            const Status& status) {
-  if (!status.ok() && group->error.ok()) {
-    group->error = status;
-    group->error_task = task_index;
-  }
-}
-
 }  // namespace
 
 Status TaskGroupHandle::Wait() {
@@ -64,10 +52,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -82,10 +70,10 @@ TaskGroupHandle ThreadPool::Submit(std::vector<std::function<void()>> tasks) {
     return TaskGroupHandle(this, std::move(group));
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(&mutex_);
     ring_.push_back(group);
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   return TaskGroupHandle(this, std::move(group));
 }
 
@@ -97,7 +85,7 @@ void ThreadPool::RemoveFromRingLocked(
     const std::shared_ptr<internal::TaskGroup>& group) {
   for (size_t i = 0; i < ring_.size(); ++i) {
     if (ring_[i] == group) {
-      ring_.erase(ring_.begin() + i);
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(i));
       // Keep the cursor pointing at the same *next* group: entries at
       // or past the erased slot shifted down by one.
       if (cursor_ > i) --cursor_;
@@ -106,8 +94,17 @@ void ThreadPool::RemoveFromRingLocked(
   }
 }
 
+void ThreadPool::RecordTaskResultLocked(internal::TaskGroup* group,
+                                        size_t task_index,
+                                        const Status& status) {
+  if (!status.ok() && group->error.ok()) {
+    group->error = status;
+    group->error_task = task_index;
+  }
+}
+
 Status ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   // Participate: drain the group's own undispatched tasks. The waiter
   // never takes another group's task, so its latency is bounded by its
   // own group's work.
@@ -118,27 +115,35 @@ Status ThreadPool::WaitGroup(const std::shared_ptr<internal::TaskGroup>& group) 
     if (group->next == group->tasks.size()) {
       RemoveFromRingLocked(group);
     }
-    lock.unlock();
+    mutex_.Unlock();
     Status status = RunTaskContained(task);
-    lock.lock();
+    mutex_.Lock();
     RecordTaskResultLocked(group.get(), index, status);
     if (--group->remaining == 0) {
-      group->done.notify_all();
+      group->done.NotifyAll();
     }
   }
   // Tasks taken by workers may still be in flight; the group is only
   // complete when every task has *finished*.
-  group->done.wait(lock, [&group] { return group->remaining == 0; });
-  return group->error;
+  while (group->remaining != 0) {
+    group->done.Wait(mutex_);
+  }
+  Status error = group->error;
+  mutex_.Unlock();
+  return error;
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (true) {
-    work_available_.wait(lock,
-                         [this] { return shutdown_ || !ring_.empty(); });
+    while (!shutdown_ && ring_.empty()) {
+      work_available_.Wait(mutex_);
+    }
     if (ring_.empty()) {
-      if (shutdown_) return;
+      if (shutdown_) {
+        mutex_.Unlock();
+        return;
+      }
       continue;
     }
     // FIFO-fair dispatch: one task from the cursor's group, then
@@ -151,16 +156,16 @@ void ThreadPool::WorkerLoop() {
     ++group->next;
     if (group->next == group->tasks.size()) {
       // Erasing at the cursor leaves it on the following group.
-      ring_.erase(ring_.begin() + cursor_);
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(cursor_));
     } else {
       ++cursor_;
     }
-    lock.unlock();
+    mutex_.Unlock();
     Status status = RunTaskContained(task);
-    lock.lock();
+    mutex_.Lock();
     RecordTaskResultLocked(group.get(), index, status);
     if (--group->remaining == 0) {
-      group->done.notify_all();
+      group->done.NotifyAll();
     }
   }
 }

@@ -1,15 +1,14 @@
 #ifndef AQP_EXEC_PARALLEL_THREAD_POOL_H_
 #define AQP_EXEC_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace aqp {
 namespace exec {
@@ -21,7 +20,11 @@ namespace internal {
 
 /// \brief One submitted batch of tasks, tracked until every task has
 /// *completed* (not merely been dispatched). All fields are guarded by
-/// the owning pool's mutex; `done` waits on that mutex.
+/// the owning pool's `mutex_`; `done` waits on that mutex. (The
+/// guard cannot be spelled as a GUARDED_BY attribute — the analysis
+/// has no way to name another object's member through the shared_ptr —
+/// so enforcement happens one level up: every ThreadPool method that
+/// touches a group is annotated AQP_REQUIRES(mutex_).)
 struct TaskGroup {
   std::vector<std::function<void()>> tasks;
   /// Index of the next undispatched task.
@@ -29,7 +32,7 @@ struct TaskGroup {
   /// Tasks not yet completed (dispatched or not).
   size_t remaining = 0;
   /// Signalled when `remaining` reaches zero.
-  std::condition_variable done;
+  sync::CondVar done;
   /// First error raised by a task of this group (a thrown exception is
   /// contained and converted; it never crosses the pool boundary).
   /// Sticky: later errors of the same group are dropped.
@@ -98,6 +101,9 @@ class TaskGroupHandle {
 /// Workers are started once and parked when no group has undispatched
 /// tasks; per-phase cost is the lock/notify handshakes, not thread
 /// creation.
+///
+/// Lock hierarchy: `mutex_` is a leaf — no other lock is acquired
+/// while it is held (tasks run with it released).
 class ThreadPool {
  public:
   /// Starts `threads` workers (clamped to >= 1).
@@ -116,33 +122,42 @@ class ThreadPool {
   /// to both contribute the calling thread and block for completion.
   /// Tasks must not call Submit()+Wait() on the same pool (a task
   /// occupying a worker while waiting can deadlock the pool).
-  TaskGroupHandle Submit(std::vector<std::function<void()>> tasks);
+  TaskGroupHandle Submit(std::vector<std::function<void()>> tasks)
+      AQP_EXCLUDES(mutex_);
 
   /// Submit + Wait: executes every task (in any order, on any worker
   /// or on the calling thread) and returns when all have completed.
   /// Returns the group's first task error (see TaskGroupHandle::Wait).
-  Status Run(std::vector<std::function<void()>> tasks);
+  Status Run(std::vector<std::function<void()>> tasks) AQP_EXCLUDES(mutex_);
 
   size_t thread_count() const { return workers_.size(); }
 
  private:
   friend class TaskGroupHandle;
 
-  void WorkerLoop();
+  void WorkerLoop() AQP_EXCLUDES(mutex_);
   /// Drops `group` from the dispatch ring (all tasks dispatched).
-  /// Caller holds mutex_.
-  void RemoveFromRingLocked(const std::shared_ptr<internal::TaskGroup>& group);
+  void RemoveFromRingLocked(const std::shared_ptr<internal::TaskGroup>& group)
+      AQP_REQUIRES(mutex_);
+  /// Records `status` as the group's sticky error (first error wins;
+  /// the group's remaining tasks still run — completion accounting
+  /// stays uniform and callers discard their output on error).
+  void RecordTaskResultLocked(internal::TaskGroup* group, size_t task_index,
+                              const Status& status) AQP_REQUIRES(mutex_);
   /// Runs the group's own tasks on the calling thread, then blocks
   /// until the group completes. Returns the group's sticky error.
-  Status WaitGroup(const std::shared_ptr<internal::TaskGroup>& group);
+  Status WaitGroup(const std::shared_ptr<internal::TaskGroup>& group)
+      AQP_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
+  sync::Mutex mutex_{"thread_pool.mutex_"};
+  sync::CondVar work_available_;
   /// Groups with undispatched tasks, in arrival order; cursor_ cycles
   /// over them round-robin, one task per visit.
-  std::vector<std::shared_ptr<internal::TaskGroup>> ring_;
-  size_t cursor_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::shared_ptr<internal::TaskGroup>> ring_
+      AQP_GUARDED_BY(mutex_);
+  size_t cursor_ AQP_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ AQP_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 

@@ -33,16 +33,16 @@ Status PrefetchSource::Open() {
   if (open_) return Status::Internal("PrefetchSource: double Open");
   AQP_RETURN_IF_ERROR(child_->Open());
   OpenGuard child_guard(child_);
-  queue_.clear();
   current_ = storage::ColumnBatch();
   cursor_ = 0;
   eos_ = false;
   row_batch_ = storage::ColumnBatch();
   row_pos_ = 0;
   row_eos_ = false;
-  stats_ = PrefetchStats();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
+    queue_.clear();
+    stats_ = PrefetchStats();
     StartProducerLocked();
   }
   child_guard.Dismiss();
@@ -53,17 +53,25 @@ Status PrefetchSource::Open() {
 Status PrefetchSource::Close() {
   if (!open_) return Status::Internal("PrefetchSource: Close before Open");
   StopProducer();
-  queue_.clear();
+  {
+    sync::MutexLock lock(&mu_);
+    queue_.clear();
+  }
   current_ = storage::ColumnBatch();
   cursor_ = 0;
   open_ = false;
   return child_->Close();
 }
 
+PrefetchStats PrefetchSource::stats() const {
+  sync::MutexLock lock(&mu_);
+  return stats_;
+}
+
 uint64_t PrefetchSource::ApproximateMemoryUsage() {
   uint64_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     bytes += queue_.size() * sizeof(Chunk);
     for (const Chunk& chunk : queue_) {
       bytes += chunk.batch.ApproximateMemoryUsage();
@@ -84,14 +92,17 @@ void PrefetchSource::StartProducerLocked() {
 
 void PrefetchSource::StopProducer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     stop_ = true;
-    cv_space_.notify_all();
-    cv_ready_.notify_all();
+    cv_space_.NotifyAll();
+    cv_ready_.NotifyAll();
   }
   if (thread_.joinable()) thread_.join();
-  stop_ = false;
-  producer_running_ = false;
+  {
+    sync::MutexLock lock(&mu_);
+    stop_ = false;
+    producer_running_ = false;
+  }
 }
 
 Status PrefetchSource::ProduceOne(storage::ColumnBatch* batch) {
@@ -115,9 +126,10 @@ Status PrefetchSource::ProduceOne(storage::ColumnBatch* batch) {
 void PrefetchSource::ProducerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_space_.wait(lock,
-                     [&] { return stop_ || queue_.size() < options_.depth; });
+      sync::MutexLock lock(&mu_);
+      while (!stop_ && queue_.size() >= options_.depth) {
+        cv_space_.Wait(mu_);
+      }
       if (stop_) {
         producer_running_ = false;
         return;
@@ -129,7 +141,7 @@ void PrefetchSource::ProducerLoop() {
     const int64_t refill_ns = ElapsedNs(refill_start);
     const bool terminal = !chunk.status.ok() || chunk.batch.empty();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++stats_.refills;
       stats_.producer_refill_ns += refill_ns;
       queue_.push_back(std::move(chunk));
@@ -137,7 +149,7 @@ void PrefetchSource::ProducerLoop() {
       // pre-pulled (the consumer decides whether to retry), and
       // end-of-stream has nothing left to pull.
       if (terminal) producer_running_ = false;
-      cv_ready_.notify_one();
+      cv_ready_.NotifyOne();
     }
     if (terminal) return;
   }
@@ -150,7 +162,7 @@ Status PrefetchSource::NextColumnBatch(storage::ColumnBatch* out) {
     if (eos_) return Status::OK();  // sticky end-of-stream
     Chunk chunk;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       // Lazy restart after a surfaced error (non-sticky: upstream
       // transient-retry loops re-enter here). A parked-at-terminal
       // producer still has its chunk queued, so the restart condition
@@ -161,12 +173,14 @@ Status PrefetchSource::NextColumnBatch(storage::ColumnBatch* out) {
       } else {
         ++stats_.consumer_waits;
         const auto wait_start = std::chrono::steady_clock::now();
-        cv_ready_.wait(lock, [&] { return !queue_.empty(); });
+        while (queue_.empty()) {
+          cv_ready_.Wait(mu_);
+        }
         stats_.consumer_wait_ns += ElapsedNs(wait_start);
       }
       chunk = std::move(queue_.front());
       queue_.pop_front();
-      cv_space_.notify_one();
+      cv_space_.NotifyOne();
     }
     if (!chunk.status.ok()) return chunk.status;  // no rows delivered
     if (chunk.batch.empty()) {

@@ -1,15 +1,14 @@
 #ifndef AQP_EXEC_PREFETCH_H_
 #define AQP_EXEC_PREFETCH_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "exec/operator.h"
 #include "storage/column_batch.h"
 
@@ -27,10 +26,6 @@ struct PrefetchOptions {
 };
 
 /// \brief Observability counters of a PrefetchSource.
-///
-/// Written by the producer under the internal mutex; read them after
-/// Close() (or between batches on the consumer thread) — the accessor
-/// takes no lock.
 struct PrefetchStats {
   /// Producer refills completed (including the end-of-stream and any
   /// failed attempts).
@@ -70,6 +65,9 @@ struct PrefetchStats {
 /// The producer evaluates the `ingest.prefetch` failpoint before every
 /// child refill; an injected status surfaces to the consumer exactly
 /// like a child error.
+///
+/// Lock hierarchy: `mu_` is a leaf — the producer and consumer never
+/// hold it across a child call or any other lock.
 class PrefetchSource : public Operator {
  public:
   /// `child` is borrowed and must outlive the wrapper.
@@ -88,13 +86,15 @@ class PrefetchSource : public Operator {
   }
   std::string name() const override { return "PrefetchSource"; }
 
-  const PrefetchStats& stats() const { return stats_; }
+  /// Snapshot of the counters, taken under the internal mutex (safe
+  /// against a running producer).
+  PrefetchStats stats() const AQP_EXCLUDES(mu_);
 
   /// Allocated footprint of the bounded chunk deque plus the
   /// consumer-side serving batches. Locks the internal mutex for the
   /// queue (safe against a running producer); call from the consumer
   /// thread, which owns the serving batches.
-  uint64_t ApproximateMemoryUsage();
+  uint64_t ApproximateMemoryUsage() AQP_EXCLUDES(mu_);
 
  private:
   /// One buffered producer result: a batch, or an error, or EOS (OK +
@@ -106,12 +106,11 @@ class PrefetchSource : public Operator {
   };
 
   /// Spawns a producer generation (joins the previous, exited one).
-  /// Caller holds mu_.
-  void StartProducerLocked();
+  void StartProducerLocked() AQP_REQUIRES(mu_);
   /// Signals stop, joins the producer, and clears the stop flag so the
   /// operator can be re-opened.
-  void StopProducer();
-  void ProducerLoop();
+  void StopProducer() AQP_EXCLUDES(mu_);
+  void ProducerLoop() AQP_EXCLUDES(mu_);
   /// Failpoint + one child refill, exceptions contained to a Status.
   Status ProduceOne(storage::ColumnBatch* batch);
 
@@ -119,12 +118,14 @@ class PrefetchSource : public Operator {
   PrefetchOptions options_;
   bool open_ = false;
 
-  std::mutex mu_;
-  std::condition_variable cv_ready_;  // consumer waits: queue non-empty
-  std::condition_variable cv_space_;  // producer waits: queue below depth
-  std::deque<Chunk> queue_;
-  bool producer_running_ = false;
-  bool stop_ = false;
+  mutable sync::Mutex mu_{"prefetch.mu_"};
+  sync::CondVar cv_ready_;  // consumer waits: queue non-empty
+  sync::CondVar cv_space_;  // producer waits: queue below depth
+  std::deque<Chunk> queue_ AQP_GUARDED_BY(mu_);
+  bool producer_running_ AQP_GUARDED_BY(mu_) = false;
+  bool stop_ AQP_GUARDED_BY(mu_) = false;
+  /// Producer handle: touched only by the consumer thread (Open /
+  /// Close / lazy restart), never by the producer itself.
   std::thread thread_;
 
   /// Consumer-side cursor into the batch currently being served.
@@ -137,7 +138,7 @@ class PrefetchSource : public Operator {
   size_t row_pos_ = 0;
   bool row_eos_ = false;
 
-  PrefetchStats stats_;
+  PrefetchStats stats_ AQP_GUARDED_BY(mu_);
 };
 
 }  // namespace exec

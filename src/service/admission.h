@@ -31,9 +31,12 @@ struct AdmissionOptions {
 
 /// \brief Book-keeper of the service's concurrency budget.
 ///
-/// Pure accounting — NOT internally synchronized. The service calls it
-/// under its own registry mutex; the high-water marks exist so tests
-/// and operators can verify the caps were actually enforced.
+/// Pure accounting — NOT internally synchronized. The service's
+/// controller is declared `AQP_GUARDED_BY(mu_)` in linkage_service.h,
+/// so every access goes through the registry mutex and clang's
+/// thread-safety analysis rejects an unlocked call site at compile
+/// time. The high-water marks exist so tests and operators can verify
+/// the caps were actually enforced.
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionOptions options);

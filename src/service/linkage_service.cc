@@ -35,7 +35,7 @@ LinkageService::LinkageService(ServiceOptions options)
       pool_(ResolveWorkers(options.worker_threads)),
       admission_(options.admission),
       governor_(options.governor) {
-  const size_t runners = admission_.options().max_concurrent_queries;
+  const size_t runners = options.admission.max_concurrent_queries;
   runners_.reserve(runners);
   for (size_t i = 0; i < runners; ++i) {
     runners_.emplace_back([this] { RunnerLoop(); });
@@ -47,7 +47,7 @@ LinkageService::LinkageService(ServiceOptions options)
 
 LinkageService::~LinkageService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     shutdown_ = true;
     // Queued queries never run; running ones see the cancel flag at
     // their next epoch control point.
@@ -64,7 +64,7 @@ LinkageService::~LinkageService() {
     }
     queue_.clear();
   }
-  state_changed_.notify_all();
+  state_changed_.NotifyAll();
   for (std::thread& runner : runners_) {
     runner.join();
   }
@@ -87,11 +87,6 @@ Result<QueryId> LinkageService::Submit(exec::Operator* left,
   record->options = std::move(options);
   record->left = left;
   record->right = right;
-  // Resolve and clamp the shard budget up front: admission accounting
-  // needs the real number, and shard count never changes results.
-  record->shards = admission_.ClampShards(
-      ResolveShards(record->options.join.num_shards));
-  record->options.join.num_shards = record->shards;
   // Effective budget and stall tolerance: the query's own values, the
   // service defaults where unset.
   record->memory = governor_.EffectiveBudget(record->options.memory);
@@ -99,7 +94,7 @@ Result<QueryId> LinkageService::Submit(exec::Operator* left,
                               ? record->options.stall_timeout
                               : options_.governor.stall_timeout;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (shutdown_) {
     return Status::FailedPrecondition(
         "LinkageService::Submit: service is shutting down");
@@ -113,17 +108,22 @@ Result<QueryId> LinkageService::Submit(exec::Operator* left,
                "LinkageService::Submit: global memory high-water reached")
         .WithContext(std::string("site=") + resource_site::kGlobalHighWater);
   }
+  // Resolve and clamp the shard budget up front: admission accounting
+  // needs the real number, and shard count never changes results.
+  record->shards = admission_.ClampShards(
+      ResolveShards(record->options.join.num_shards));
+  record->options.join.num_shards = record->shards;
   const QueryId id = next_id_++;
   record->id = id;
   record->stats.shards = record->shards;
   queries_.emplace(id, std::move(record));
   queue_.push_back(id);
-  state_changed_.notify_all();
+  state_changed_.NotifyAll();
   return id;
 }
 
 Status LinkageService::Cancel(QueryId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound("LinkageService::Cancel: unknown query " +
@@ -139,38 +139,42 @@ Status LinkageService::Cancel(QueryId id) {
     q->final_status = Status::Cancelled("cancelled while queued");
     q->stats.state = q->state;
     q->stats.status = q->final_status;
-    state_changed_.notify_all();
+    state_changed_.NotifyAll();
   }
   // A running query tears down at its next epoch control point, via
   // the governor — between epochs every shard is quiescent, so no
   // phase task of this query is left behind on the pool. The notify
   // also cuts a retry backoff sleep short, so cancellation is prompt
   // even mid-backoff.
-  state_changed_.notify_all();
+  state_changed_.NotifyAll();
   return Status::OK();
 }
 
 Result<QueryStats> LinkageService::Wait(QueryId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound("LinkageService::Wait: unknown query " +
                             std::to_string(id));
   }
   QueryRecord* q = it->second.get();
-  state_changed_.wait(lock, [q] { return IsTerminalState(q->state); });
+  while (!IsTerminalState(q->state)) {
+    state_changed_.Wait(mu_);
+  }
   return q->stats;
 }
 
 Result<storage::Relation> LinkageService::TakeResult(QueryId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound("LinkageService::TakeResult: unknown query " +
                             std::to_string(id));
   }
   QueryRecord* q = it->second.get();
-  state_changed_.wait(lock, [q] { return IsTerminalState(q->state); });
+  while (!IsTerminalState(q->state)) {
+    state_changed_.Wait(mu_);
+  }
   if (q->state != QueryState::kDone) {
     return q->final_status.ok()
                ? Status::FailedPrecondition("query did not complete")
@@ -188,7 +192,7 @@ Result<storage::Relation> LinkageService::TakeResult(QueryId id) {
 }
 
 Result<QueryState> LinkageService::state(QueryId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound("LinkageService::state: unknown query " +
@@ -198,52 +202,52 @@ Result<QueryState> LinkageService::state(QueryId id) const {
 }
 
 size_t LinkageService::running_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.running_queries();
 }
 
 size_t LinkageService::queued_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return queue_.size();
 }
 
 size_t LinkageService::peak_running_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.peak_running_queries();
 }
 
 size_t LinkageService::peak_shards_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.peak_shards_in_use();
 }
 
 size_t LinkageService::shards_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.shards_in_use();
 }
 
 size_t LinkageService::admitted_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.admitted_total();
 }
 
 size_t LinkageService::released_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.released_total();
 }
 
 size_t LinkageService::memory_shed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return admission_.memory_shed_total();
 }
 
 size_t LinkageService::watchdog_finalized_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return watchdog_finalized_total_;
 }
 
 size_t LinkageService::pressure_finalized_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return pressure_finalized_total_;
 }
 
@@ -261,14 +265,17 @@ LinkageService::QueryRecord* LinkageService::FrontRunnableLocked() {
 }
 
 void LinkageService::RunnerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    state_changed_.wait(lock, [this] {
-      return shutdown_ || FrontRunnableLocked() != nullptr;
-    });
+    while (!shutdown_ && FrontRunnableLocked() == nullptr) {
+      state_changed_.Wait(mu_);
+    }
     QueryRecord* q = FrontRunnableLocked();
     if (q == nullptr) {
-      if (shutdown_) return;
+      if (shutdown_) {
+        mu_.Unlock();
+        return;
+      }
       continue;
     }
     queue_.pop_front();
@@ -283,13 +290,13 @@ void LinkageService::RunnerLoop() {
         options_.governor.finalize_youngest_on_pressure) {
       q->budget_node = governor_.MakeQueryNode(q->id);
     }
-    state_changed_.notify_all();
-    lock.unlock();
+    state_changed_.NotifyAll();
+    mu_.Unlock();
     // Finish() releases the admission slot atomically with the
     // terminal state transition, so a Wait()er never observes a done
     // query still holding budget.
     ExecuteQuery(q);
-    lock.lock();
+    mu_.Lock();
   }
 }
 
@@ -358,7 +365,7 @@ EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
     switch (ResourceGovernor::Charge(used, 2 * q->max_growth_bytes,
                                      q->memory)) {
       case ResourceDecision::kFinalizePartial: {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(&mu_);
         if (!q->resource.has_value()) {
           ResourceReport report;
           report.peak_bytes =
@@ -392,9 +399,9 @@ EpochDirective LinkageService::Govern(QueryRecord* q, const EpochView& view) {
 }
 
 void LinkageService::MonitorLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!shutdown_) {
-    state_changed_.wait_for(lock, options_.governor.poll_interval);
+    state_changed_.WaitFor(mu_, options_.governor.poll_interval);
     if (shutdown_) break;
     const int64_t now_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -470,12 +477,13 @@ void LinkageService::MonitorLoop() {
       }
     }
   }
+  mu_.Unlock();
 }
 
 void LinkageService::SetState(QueryRecord* q, QueryState state) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   q->state = state;
-  state_changed_.notify_all();
+  state_changed_.NotifyAll();
 }
 
 void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
@@ -507,7 +515,7 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
     q->join.reset();
   }
   stats.elapsed = std::chrono::steady_clock::now() - q->started;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   // The engine's shard/coordinator nodes (children) died with the
   // join; dropping the query node releases this query's footprint
   // from the global aggregate. It must happen under mu_ — the monitor
@@ -526,14 +534,17 @@ void LinkageService::Finish(QueryRecord* q, QueryState state, Status status) {
   // The freed slot (and shard budget) may unblock the next queued
   // query on another runner; the same notify wakes Wait()ers.
   admission_.Release(q->shards);
-  state_changed_.notify_all();
+  state_changed_.NotifyAll();
 }
 
 LinkageService::AttemptOutcome LinkageService::RunAttempt(QueryRecord* q) {
   ParallelJoinOptions join_options = q->options.join;
   join_options.shared_pool = &pool_;
   // Null for ungoverned queries — the engine then skips refreshes and
-  // stays byte-identical to a budget-free run.
+  // stays byte-identical to a budget-free run. Reading the raw pointer
+  // lock-free is safe on the runner thread: budget_node is only
+  // written by this thread (admission in RunnerLoop, release in
+  // Finish).
   join_options.memory_budget = q->budget_node.get();
   join_options.governor = [this, q](const EpochView& view) {
     return Govern(q, view);
@@ -612,7 +623,7 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
   while (true) {
     ++attempt;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       q->attempts = attempt;
     }
     AttemptOutcome outcome = RunAttempt(q);
@@ -626,7 +637,7 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
         !q->cancel_requested.load(std::memory_order_relaxed);
     if (!retryable) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(&mu_);
         if (outcome.state == QueryState::kDone) {
           q->result.emplace(std::move(*outcome.collected));
         } else {
@@ -646,10 +657,10 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
     q->prev_charge_bytes = 0;
     q->max_growth_bytes = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       if (q->state == QueryState::kDraining) {
         q->state = QueryState::kRunning;
-        state_changed_.notify_all();
+        state_changed_.NotifyAll();
       }
       const auto base = q->options.retry.backoff_base;
       if (base.count() > 0) {
@@ -665,10 +676,11 @@ void LinkageService::ExecuteQuery(QueryRecord* q) {
         // monitor from force-finalizing a healthy retrying query whose
         // backoff outlasts its stall tolerance.
         q->backing_off = true;
-        state_changed_.wait_for(lock, delay, [this, q] {
-          return shutdown_ ||
-                 q->cancel_requested.load(std::memory_order_relaxed);
-        });
+        const auto deadline = std::chrono::steady_clock::now() + delay;
+        while (!shutdown_ &&
+               !q->cancel_requested.load(std::memory_order_relaxed)) {
+          if (!state_changed_.WaitUntil(mu_, deadline)) break;
+        }
         // Restamp before clearing the flag, still under mu_, so the
         // stall clock restarts at backoff exit rather than at the
         // failed attempt's last control point — no window where the

@@ -3,17 +3,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "exec/operator.h"
 #include "exec/parallel/parallel_join.h"
 #include "exec/parallel/thread_pool.h"
@@ -77,6 +76,13 @@ struct ServiceOptions {
 /// thread. Child operators of a query are borrowed, must outlive the
 /// query's terminal state, and are only ever touched by that query's
 /// runner thread.
+///
+/// Lock hierarchy: `mu_` is acquired strictly above the pool's
+/// internal mutex (a runner holding `mu_` never submits to or waits on
+/// the pool; ExecuteQuery drops `mu_` first) and above the failpoint
+/// registry's mutex. The Debug lock-order detector enforces this at
+/// runtime; the annotations enforce the per-field discipline at
+/// compile time.
 class LinkageService {
  public:
   explicit LinkageService(ServiceOptions options);
@@ -92,46 +98,46 @@ class LinkageService {
   /// Children must be unopened; the service opens and closes them on
   /// the query's runner thread. Fails after shutdown began.
   Result<QueryId> Submit(exec::Operator* left, exec::Operator* right,
-                         QueryOptions options);
+                         QueryOptions options) AQP_EXCLUDES(mu_);
 
   /// Requests cancellation: a queued query is cancelled immediately, a
   /// running one at its next epoch control point. Terminal queries are
   /// left untouched (NotFound for unknown ids, OK otherwise).
-  Status Cancel(QueryId id);
+  Status Cancel(QueryId id) AQP_EXCLUDES(mu_);
 
   /// Blocks until `id` is terminal and returns its final stats.
-  Result<QueryStats> Wait(QueryId id);
+  Result<QueryStats> Wait(QueryId id) AQP_EXCLUDES(mu_);
 
   /// Moves the query's collected output out of the registry. Valid
   /// exactly once, after the query reached `done` (including
   /// deadline-partial results); blocks until terminal.
-  Result<storage::Relation> TakeResult(QueryId id);
+  Result<storage::Relation> TakeResult(QueryId id) AQP_EXCLUDES(mu_);
 
   /// Current state of a query.
-  Result<QueryState> state(QueryId id) const;
+  Result<QueryState> state(QueryId id) const AQP_EXCLUDES(mu_);
 
   /// \name Introspection.
   /// @{
-  size_t running_queries() const;
-  size_t queued_queries() const;
+  size_t running_queries() const AQP_EXCLUDES(mu_);
+  size_t queued_queries() const AQP_EXCLUDES(mu_);
   /// High-water mark of concurrently running queries (tests verify the
   /// admission cap with this).
-  size_t peak_running_queries() const;
-  size_t peak_shards_in_use() const;
+  size_t peak_running_queries() const AQP_EXCLUDES(mu_);
+  size_t peak_shards_in_use() const AQP_EXCLUDES(mu_);
   /// Shard budget currently held by running queries (0 at quiescence —
   /// the budget-leak check under fault injection).
-  size_t shards_in_use() const;
+  size_t shards_in_use() const AQP_EXCLUDES(mu_);
   /// Lifetime admission counters; equal at quiescence on every
   /// terminal path (done, failed, cancelled).
-  size_t admitted_total() const;
-  size_t released_total() const;
+  size_t admitted_total() const AQP_EXCLUDES(mu_);
+  size_t released_total() const AQP_EXCLUDES(mu_);
   /// Submissions shed with kResourceExhausted by the global memory
   /// high-water.
-  size_t memory_shed_total() const;
+  size_t memory_shed_total() const AQP_EXCLUDES(mu_);
   /// Queries force-finalized by the stuck-query watchdog.
-  size_t watchdog_finalized_total() const;
+  size_t watchdog_finalized_total() const AQP_EXCLUDES(mu_);
   /// Queries force-finalized by global-pressure reclaim.
-  size_t pressure_finalized_total() const;
+  size_t pressure_finalized_total() const AQP_EXCLUDES(mu_);
   /// The global budget root's owner (live usage, peak, policy).
   ResourceGovernor* governor() { return &governor_; }
   exec::parallel::ThreadPool* pool() { return &pool_; }
@@ -139,6 +145,22 @@ class LinkageService {
   /// @}
 
  private:
+  /// Registry entry of one query. Fields fall into three ownership
+  /// classes (the guard cannot be spelled as GUARDED_BY attributes —
+  /// the analysis cannot name the owning service's `mu_` from a nested
+  /// struct — so the accessing LinkageService methods carry the
+  /// REQUIRES annotations instead):
+  ///   * immutable after Submit: id, options, left, right, shards,
+  ///     memory, stall_timeout;
+  ///   * guarded by the service's `mu_`: state, final_status, stats,
+  ///     result, result_taken, attempts, backing_off, resource,
+  ///     budget_node;
+  ///   * runner-thread-owned while running (no other thread reads
+  ///     them until the query is terminal): forced_exact,
+  ///     memory_clamped, prev_charge_bytes, max_growth_bytes, started,
+  ///     join;
+  ///   * lock-free atomics: cancel_requested, force_finalize,
+  ///     heartbeat_ns.
   struct QueryRecord {
     QueryId id = 0;
     QueryOptions options;
@@ -196,7 +218,10 @@ class LinkageService {
 
     /// The query's node in the global budget tree; the engine hangs
     /// its per-shard and coordinator children under it. Destroyed
-    /// after the join (children before parent).
+    /// after the join (children before parent). Written and read under
+    /// mu_ (the monitor dereferences it for running queries); the
+    /// runner may read the raw pointer lock-free between its own
+    /// writes.
     std::unique_ptr<mem::BudgetNode> budget_node;
     std::unique_ptr<exec::parallel::ParallelAdaptiveJoin> join;
   };
@@ -210,46 +235,54 @@ class LinkageService {
 
   /// Runner thread body: claim the oldest admissible queued query, run
   /// it to a terminal state, repeat.
-  void RunnerLoop();
+  void RunnerLoop() AQP_EXCLUDES(mu_);
   /// Oldest queued query that fits the admission budget right now
-  /// (strict FIFO: if the front does not fit, nothing runs). Caller
-  /// holds mu_.
-  QueryRecord* FrontRunnableLocked();
+  /// (strict FIFO: if the front does not fit, nothing runs).
+  QueryRecord* FrontRunnableLocked() AQP_REQUIRES(mu_);
   /// Executes one admitted query end to end (no service lock held),
   /// including bounded whole-query retry of recoverably failed
   /// attempts.
-  void ExecuteQuery(QueryRecord* q);
+  void ExecuteQuery(QueryRecord* q) AQP_EXCLUDES(mu_);
   /// One execution attempt: open, drain, close. Queries are read-only
   /// over re-openable children, so attempts are idempotent.
-  AttemptOutcome RunAttempt(QueryRecord* q);
+  AttemptOutcome RunAttempt(QueryRecord* q) AQP_EXCLUDES(mu_);
   /// Deadline/budget/cancel/watchdog policy, called by the engine at
   /// epoch control points on the runner thread.
-  exec::parallel::EpochDirective Govern(
-      QueryRecord* q, const exec::parallel::EpochView& view);
+  exec::parallel::EpochDirective Govern(QueryRecord* q,
+                                        const exec::parallel::EpochView& view)
+      AQP_EXCLUDES(mu_);
   /// Stamps the query's liveness heartbeat (runner thread).
   static void StampHeartbeat(QueryRecord* q);
   /// Watchdog thread body: force-finalize stalled queries; optionally
   /// reclaim the youngest budget-governed query under global pressure.
-  void MonitorLoop();
+  void MonitorLoop() AQP_EXCLUDES(mu_);
   /// Transitions `q` to a state and wakes waiters.
-  void SetState(QueryRecord* q, QueryState state);
+  void SetState(QueryRecord* q, QueryState state) AQP_EXCLUDES(mu_);
   /// Marks `q` terminal with stats harvested from its join.
-  void Finish(QueryRecord* q, QueryState state, Status status);
+  void Finish(QueryRecord* q, QueryState state, Status status)
+      AQP_EXCLUDES(mu_);
 
   ServiceOptions options_;
   exec::parallel::ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable state_changed_;
-  AdmissionController admission_;
+  mutable sync::Mutex mu_{"linkage_service.mu_"};
+  sync::CondVar state_changed_;
+  /// Pure accounting, NOT internally synchronized (see admission.h):
+  /// every touch happens under mu_, which the annotation enforces.
+  AdmissionController admission_ AQP_GUARDED_BY(mu_);
+  /// Internally thread-safe (atomic budget tree, immutable options);
+  /// deliberately NOT guarded — governor() hands it out for lock-free
+  /// introspection.
   ResourceGovernor governor_;
-  std::map<QueryId, std::unique_ptr<QueryRecord>> queries_;
-  std::deque<QueryId> queue_;
-  QueryId next_id_ = 1;
-  bool shutdown_ = false;
-  size_t watchdog_finalized_total_ = 0;
-  size_t pressure_finalized_total_ = 0;
+  std::map<QueryId, std::unique_ptr<QueryRecord>> queries_
+      AQP_GUARDED_BY(mu_);
+  std::deque<QueryId> queue_ AQP_GUARDED_BY(mu_);
+  QueryId next_id_ AQP_GUARDED_BY(mu_) = 1;
+  bool shutdown_ AQP_GUARDED_BY(mu_) = false;
+  size_t watchdog_finalized_total_ AQP_GUARDED_BY(mu_) = 0;
+  size_t pressure_finalized_total_ AQP_GUARDED_BY(mu_) = 0;
 
+  /// Written only by the constructor; joined by the destructor.
   std::vector<std::thread> runners_;
   /// Watchdog; started only when options_.governor.watchdog_enabled().
   std::thread monitor_;
